@@ -1,0 +1,179 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (simulated time; see DESIGN.md for the per-experiment index)
+   plus Bechamel wall-clock microbenchmarks of the substrate hot paths.
+
+   Usage:
+     bench/main.exe                 run every experiment at scale 1
+     bench/main.exe fig1 fig3       run selected experiments
+     bench/main.exe --scale 2 fig6  grow toward paper-scale parameters
+     bench/main.exe bechamel        substrate microbenchmarks (wall time) *)
+
+open Repro_util
+
+type runner = ?scale:int -> unit -> Table.t list
+
+let experiments : (string * string * runner) list =
+  [
+    ("fig1", "aged vs un-aged mmap write bandwidth", Repro_experiments.Fig1_aging_bandwidth.run);
+    ("fig2", "2MB mmap+write anatomy; mmap vs syscall", Repro_experiments.Fig2_mmap_overhead.run);
+    ("fig3", "free-space fragmentation under aging", Repro_experiments.Fig3_fragmentation.run);
+    ("fig4", "TLB/LLC latency CDF, 2MB vs 4KB pages", Repro_experiments.Fig4_tlb_cdf.run);
+    ("fig6", "aged read/write throughput (mmap + POSIX)", Repro_experiments.Fig6_throughput.run);
+    ("fig7", "aged application throughput + Table 2 faults", Repro_experiments.Fig7_apps_aged.run);
+    ("fig8", "P-ART lookup latency CDF", Repro_experiments.Fig8_part_cdf.run);
+    ("fig9", "syscall applications (Filebench/pgbench/WiredTiger)", Repro_experiments.Fig9_syscall_apps.run);
+    ("fig10", "metadata scalability vs threads", Repro_experiments.Fig10_scalability.run);
+    ("table2", "page-fault counts (part of fig7 output)", Repro_experiments.Fig7_apps_aged.run);
+    ("sec52", "crash-consistency campaign + recovery time", Repro_experiments.Sec52_crash_recovery.run);
+    ("sec4", "defragmentation interference", Repro_experiments.Sec4_defrag_interference.run);
+    ("ablations", "design-choice ablations (hugepages, hybrid atomicity, journals, NUMA)",
+      Repro_experiments.Ablations.run);
+    ("profiles", "aging-profile sensitivity (Agrawal vs Wang-HPC, Sec 4)",
+      Repro_experiments.Sec4_profiles.run);
+    ("sec57", "DRAM index footprint (Sec 5.7)", Repro_experiments.Sec57_resources.run);
+    ("xattr", "alignment xattrs across rsync (Sec 3.6)", Repro_experiments.Sec36_xattr_rsync.run);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of substrate hot paths (real wall time).   *)
+
+let substrate_tests () =
+  let open Bechamel in
+  [
+    Test.make ~name:"rbtree-insert-1k"
+      (Staged.stage (fun () ->
+           let t = Repro_rbtree.Rbtree.Int_map.create () in
+           for i = 1 to 1000 do
+             Repro_rbtree.Rbtree.Int_map.insert t (i * 7919 mod 104729) i
+           done));
+    Test.make ~name:"extent-first-fit-512"
+      (Staged.stage (fun () ->
+           let t = Repro_rbtree.Extent_tree.create () in
+           Repro_rbtree.Extent_tree.insert_free t ~off:0 ~len:(64 * Units.mib);
+           for _ = 1 to 512 do
+             ignore (Repro_rbtree.Extent_tree.alloc_first_fit t ~len:Units.base_page)
+           done));
+    Test.make ~name:"aligned-alloc-churn-256"
+      (Staged.stage (fun () ->
+           let a =
+             Repro_alloc.Aligned_alloc.create ~cpus:2
+               ~regions:[| (0, 32 * Units.mib); (32 * Units.mib, 32 * Units.mib) |]
+           in
+           for i = 1 to 256 do
+             match
+               Repro_alloc.Aligned_alloc.alloc a ~cpu:(i land 1) ~len:(12 * Units.kib)
+                 ~prefer_aligned:false
+             with
+             | Some exts ->
+                 if i land 3 = 0 then
+                   List.iter
+                     (fun (e : Repro_alloc.Aligned_alloc.extent) ->
+                       Repro_alloc.Aligned_alloc.free a ~off:e.off ~len:e.len)
+                     exts
+             | None -> ()
+           done));
+    Test.make ~name:"undo-journal-txn-64"
+      (Staged.stage (fun () ->
+           let dev =
+             Repro_pmem.Device.create ~cost:Repro_pmem.Device.Cost.free
+               ~size:(4 * Units.mib) ()
+           in
+           let cpu = Cpu.make ~id:0 () in
+           let counter = Repro_journal.Undo_journal.Txn_counter.create () in
+           let j =
+             Repro_journal.Undo_journal.format dev cpu counter ~off:0 ~entries:256
+               ~copy_bytes:(256 * Units.kib)
+           in
+           for _ = 1 to 64 do
+             let txn = Repro_journal.Undo_journal.begin_txn j cpu ~reserve:4 in
+             Repro_journal.Undo_journal.log_range j cpu txn ~addr:Units.mib ~len:16;
+             Repro_journal.Undo_journal.commit j cpu txn
+           done));
+    Test.make ~name:"lru-sets-access-4k"
+      (Staged.stage (fun () ->
+           let l = Repro_memsim.Lru_sets.create ~sets:16 ~ways:4 in
+           for i = 1 to 4096 do
+             ignore (Repro_memsim.Lru_sets.access l (i * 37))
+           done));
+    Test.make ~name:"winefs-create-write-unlink-32"
+      (Staged.stage (fun () ->
+           let dev =
+             Repro_pmem.Device.create ~cost:Repro_pmem.Device.Cost.free
+               ~size:(48 * Units.mib) ()
+           in
+           let fs =
+             Winefs.Fs.format dev (Repro_vfs.Types.config ~cpus:2 ~inodes_per_cpu:256 ())
+           in
+           let cpu = Cpu.make ~id:0 () in
+           for i = 1 to 32 do
+             let p = Printf.sprintf "/f%d" i in
+             let fd = Winefs.Fs.create fs cpu p in
+             ignore (Winefs.Fs.pwrite fs cpu fd ~off:0 ~src:(String.make 4096 'b'));
+             Winefs.Fs.close fs cpu fd;
+             Winefs.Fs.unlink fs cpu p
+           done));
+  ]
+
+let bechamel_benches () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "== Bechamel microbenchmarks (wall time per run) ==\n%!";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"substrate" (substrate_tests ()))
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ t ] -> Printf.printf "  %-40s %12.0f ns/run\n%!" name t
+      | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1 in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--scale" :: n :: rest ->
+        scale := max 1 (int_of_string n);
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let selected = parse [] args in
+  let run_bechamel = List.mem "bechamel" selected in
+  let selected = List.filter (fun s -> s <> "bechamel") selected in
+  let to_run =
+    if selected = [] && not run_bechamel then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some e -> Some e
+          | None ->
+              Printf.eprintf "unknown experiment %S (known: %s)\n" name
+                (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+              exit 2)
+        selected
+  in
+  let seen = Hashtbl.create 8 in
+  Printf.printf "WineFS reproduction benchmark harness (scale %d)\n" !scale;
+  Printf.printf "Simulated-time results; shapes, not absolute numbers, are the target.\n\n%!";
+  List.iter
+    (fun (name, descr, (run : runner)) ->
+      if not (Hashtbl.mem seen descr) then begin
+        Hashtbl.replace seen descr ();
+        Printf.printf "### %s — %s\n%!" name descr;
+        let t0 = Unix.gettimeofday () in
+        let tables = run ~scale:!scale () in
+        List.iter Table.print tables;
+        Printf.printf "(%s took %.1fs wall)\n\n%!" name (Unix.gettimeofday () -. t0)
+      end)
+    to_run;
+  if run_bechamel || (selected = [] && not run_bechamel) then bechamel_benches ()

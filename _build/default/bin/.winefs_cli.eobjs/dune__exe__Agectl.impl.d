@@ -1,0 +1,1 @@
+bin/agectl.ml: Arg Cmd Cmdliner Printf Repro_aging Repro_baselines Repro_pmem Repro_util Repro_vfs Term Units Unix

@@ -1,0 +1,1 @@
+bin/crashmonkey.ml: Arg Cmd Cmdliner List Printf Repro_crashcheck Term

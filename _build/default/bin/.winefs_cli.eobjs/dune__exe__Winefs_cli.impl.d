@@ -1,0 +1,1 @@
+bin/winefs_cli.ml: Arg Cmd Cmdliner Cpu List Printf Repro_pmem Repro_util Repro_vfs Term Units Winefs

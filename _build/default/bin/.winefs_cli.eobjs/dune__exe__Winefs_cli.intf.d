@@ -1,0 +1,1 @@
+bin/winefs_cli.mli:

@@ -1,0 +1,54 @@
+(* agectl — age a file system with the Geriatrix-style ager and print the
+   fragmentation census (the Figure 3 measurement as a command).
+
+   Examples:
+     agectl --fs WineFS --util 0.7
+     agectl --fs NOVA --util 0.9 --churn-gib 24 --profile wang-hpc --size-mib 1024 *)
+
+open Cmdliner
+open Repro_util
+module Device = Repro_pmem.Device
+module Types = Repro_vfs.Types
+module Registry = Repro_baselines.Registry
+module G = Repro_aging.Geriatrix
+
+let run fs_name util churn_gib size_mib profile_name seed =
+  let factory = Registry.by_name fs_name in
+  let profile =
+    match profile_name with
+    | "agrawal" -> G.agrawal
+    | "wang-hpc" -> G.wang_hpc
+    | p ->
+        Printf.eprintf "unknown profile %S (agrawal | wang-hpc)\n" p;
+        exit 2
+  in
+  let dev = Device.create ~size:(size_mib * Units.mib) () in
+  let h = factory.make dev (Types.config ~cpus:4 ~inodes_per_cpu:16384 ()) in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    G.age h ~seed ~profile ~target_util:util ~churn_bytes:(churn_gib * Units.gib) ()
+  in
+  Printf.printf "file system     : %s\n" factory.fs_name;
+  Printf.printf "profile         : %s\n" profile.profile_name;
+  Printf.printf "device          : %d MiB\n" size_mib;
+  Printf.printf "churn           : %d GiB written (%d files created, %d deleted)\n"
+    churn_gib r.files_created r.files_deleted;
+  Printf.printf "utilization     : %.1f%% (%d files live)\n" (100. *. r.utilization) r.live_files;
+  Printf.printf "aligned 2MB free: %d extents\n" r.aligned_free_2m;
+  Printf.printf "frag ratio      : %.1f%% of free space is hugepage-capable\n"
+    (100. *. r.free_frag_ratio);
+  Printf.printf "(wall time %.1fs)\n" (Unix.gettimeofday () -. t0);
+  0
+
+let () =
+  let fs = Arg.(value & opt string "WineFS" & info [ "fs" ] ~doc:"File system (see registry)") in
+  let util = Arg.(value & opt float 0.7 & info [ "util" ] ~doc:"Target utilization (0..1)") in
+  let churn = Arg.(value & opt int 8 & info [ "churn-gib" ] ~doc:"Churn volume in GiB") in
+  let size = Arg.(value & opt int 384 & info [ "size-mib" ] ~doc:"Device size in MiB") in
+  let profile = Arg.(value & opt string "agrawal" & info [ "profile" ] ~doc:"agrawal | wang-hpc") in
+  let seed = Arg.(value & opt int 0xA6E & info [ "seed" ] ~doc:"Ager RNG seed") in
+  let cmd =
+    Cmd.v (Cmd.info "agectl" ~doc:"Age a simulated PM file system and report fragmentation")
+      Term.(const run $ fs $ util $ churn $ size $ profile $ seed)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,144 @@
+(* winefs_cli — operate a persistent WineFS image stored as a host file.
+
+   Example session:
+     winefs_cli init   image.pm --size 64
+     winefs_cli mkdir  image.pm /docs
+     winefs_cli put    image.pm /docs/readme ./README.md
+     winefs_cli ls     image.pm /docs
+     winefs_cli cat    image.pm /docs/readme
+     winefs_cli stat   image.pm /docs/readme
+     winefs_cli df     image.pm
+     winefs_cli rm     image.pm /docs/readme *)
+
+open Cmdliner
+open Repro_util
+module Device = Repro_pmem.Device
+module Types = Repro_vfs.Types
+module Fs = Winefs.Fs
+
+let cpu () = Cpu.make ~id:0 ()
+
+let with_image image f =
+  let dev = Device.load_file image in
+  let fs = Fs.mount dev (Types.config ()) in
+  let c = cpu () in
+  let r = f fs c in
+  Fs.unmount fs c;
+  Device.save_file dev image;
+  r
+
+let handle_errors f =
+  try
+    f ();
+    0
+  with
+  | Types.Error (e, msg) ->
+      Printf.eprintf "error: %s: %s\n" (Types.errno_to_string e) msg;
+      1
+  | Sys_error m | Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+
+let image_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE")
+let path_arg n = Arg.(required & pos n (some string) None & info [] ~docv:"PATH")
+
+let init_cmd =
+  let size = Arg.(value & opt int 64 & info [ "size" ] ~docv:"MIB" ~doc:"Image size in MiB") in
+  let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"Logical CPUs (pools/journals)") in
+  let run image size cpus =
+    handle_errors (fun () ->
+        let dev = Device.create ~size:(size * Units.mib) () in
+        let fs = Fs.format dev (Types.config ~cpus ()) in
+        Fs.unmount fs (cpu ());
+        Device.save_file dev image;
+        Printf.printf "formatted %s: %d MiB WineFS image, %d per-CPU pools\n" image size cpus)
+  in
+  Cmd.v (Cmd.info "init" ~doc:"Create and format a new WineFS image")
+    Term.(const run $ image_arg $ size $ cpus)
+
+let ls_cmd =
+  let run image path =
+    handle_errors (fun () ->
+        with_image image (fun fs c ->
+            List.iter print_endline (Fs.readdir fs c path)))
+  in
+  Cmd.v (Cmd.info "ls" ~doc:"List a directory") Term.(const run $ image_arg $ path_arg 1)
+
+let mkdir_cmd =
+  let run image path =
+    handle_errors (fun () -> with_image image (fun fs c -> Fs.mkdir fs c path))
+  in
+  Cmd.v (Cmd.info "mkdir" ~doc:"Create a directory") Term.(const run $ image_arg $ path_arg 1)
+
+let put_cmd =
+  let local = Arg.(required & pos 2 (some string) None & info [] ~docv:"LOCAL_FILE") in
+  let run image path local =
+    handle_errors (fun () ->
+        let ic = open_in_bin local in
+        let len = in_channel_length ic in
+        let data = really_input_string ic len in
+        close_in ic;
+        with_image image (fun fs c ->
+            let fd =
+              if Fs.exists fs c path then Fs.openf fs c path { Types.o_rdwr with trunc = true }
+              else Fs.create fs c path
+            in
+            ignore (Fs.pwrite fs c fd ~off:0 ~src:data);
+            Fs.close fs c fd;
+            Printf.printf "wrote %d bytes to %s\n" len path))
+  in
+  Cmd.v (Cmd.info "put" ~doc:"Copy a local file into the image")
+    Term.(const run $ image_arg $ path_arg 1 $ local)
+
+let cat_cmd =
+  let run image path =
+    handle_errors (fun () ->
+        with_image image (fun fs c ->
+            let fd = Fs.openf fs c path Types.o_rdonly in
+            print_string (Fs.pread fs c fd ~off:0 ~len:(Fs.file_size fs fd));
+            Fs.close fs c fd))
+  in
+  Cmd.v (Cmd.info "cat" ~doc:"Print a file's contents") Term.(const run $ image_arg $ path_arg 1)
+
+let rm_cmd =
+  let run image path =
+    handle_errors (fun () -> with_image image (fun fs c -> Fs.unlink fs c path))
+  in
+  Cmd.v (Cmd.info "rm" ~doc:"Remove a file") Term.(const run $ image_arg $ path_arg 1)
+
+let stat_cmd =
+  let run image path =
+    handle_errors (fun () ->
+        with_image image (fun fs c ->
+            let st = Fs.stat fs c path in
+            Printf.printf "ino=%d kind=%s size=%d blocks=%d nlink=%d\n" st.Types.st_ino
+              (match st.st_kind with Types.Regular -> "file" | Types.Directory -> "dir")
+              st.st_size st.st_blocks st.st_nlink;
+            List.iter
+              (fun (fo, phys, len) ->
+                Printf.printf "  extent file_off=%-10d phys=%-10d len=%-10d %s\n" fo phys len
+                  (if Units.is_aligned phys Units.huge_page && len >= Units.huge_page then
+                     "(hugepage-capable)"
+                   else ""))
+              (Fs.file_extents fs c path)))
+  in
+  Cmd.v (Cmd.info "stat" ~doc:"Show file metadata and extent layout")
+    Term.(const run $ image_arg $ path_arg 1)
+
+let df_cmd =
+  let run image =
+    handle_errors (fun () ->
+        with_image image (fun fs _ ->
+            let s = Fs.statfs fs in
+            Printf.printf "capacity: %d MiB\nused:     %d MiB (%.1f%%)\nfree:     %d MiB\n"
+              (s.Types.capacity / Units.mib) (s.used / Units.mib)
+              (100. *. Types.utilization s)
+              (s.free / Units.mib);
+            Printf.printf "free aligned 2MB extents (hugepage supply): %d\n" s.aligned_free_2m))
+  in
+  Cmd.v (Cmd.info "df" ~doc:"Show space and hugepage-supply statistics")
+    Term.(const run $ image_arg)
+
+let () =
+  let info = Cmd.info "winefs_cli" ~doc:"Operate WineFS images on simulated PM" in
+  exit (Cmd.eval' (Cmd.group info [ init_cmd; ls_cmd; mkdir_cmd; put_cmd; cat_cmd; rm_cmd; stat_cmd; df_cmd ]))

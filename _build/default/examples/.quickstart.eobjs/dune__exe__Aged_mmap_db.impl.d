@@ -1,0 +1,1 @@
+examples/aged_mmap_db.ml: List Printf Repro_aging Repro_baselines Repro_pmem Repro_util Repro_vfs Repro_workloads Units

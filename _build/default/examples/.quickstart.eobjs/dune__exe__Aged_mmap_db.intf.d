@@ -1,0 +1,1 @@
+examples/aged_mmap_db.mli:

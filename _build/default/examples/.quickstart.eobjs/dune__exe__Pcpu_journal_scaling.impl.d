@@ -1,0 +1,1 @@
+examples/pcpu_journal_scaling.ml: List Printf Repro_baselines Repro_pmem Repro_util Repro_vfs Repro_workloads Units

@@ -1,0 +1,1 @@
+examples/pcpu_journal_scaling.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Counters Cpu Printf Repro_memsim Repro_pmem Repro_util Repro_vfs Units Winefs

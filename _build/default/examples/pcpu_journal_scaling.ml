@@ -1,0 +1,33 @@
+(* Concurrency demo: the same create/append/fsync/unlink workload on one
+   JBD2-style global journal (ext4-DAX) versus WineFS's per-CPU journals
+   (cf. Figure 10).
+
+   Run with:  dune exec examples/pcpu_journal_scaling.exe *)
+
+open Repro_util
+module Device = Repro_pmem.Device
+module Types = Repro_vfs.Types
+module Registry = Repro_baselines.Registry
+module W = Repro_workloads.Micro
+
+let point (factory : Repro_baselines.Registry.factory) threads =
+  let make () =
+    let dev = Device.create ~size:(256 * Units.mib) () in
+    factory.make dev (Types.config ~cpus:(max 4 threads) ~inodes_per_cpu:4096 ())
+  in
+  W.scalability make ~threads ~files_per_thread:4 ~appends_per_file:16
+
+let () =
+  print_endline "Metadata scalability: global journal vs per-CPU journals\n";
+  Printf.printf "%-10s %8s %12s %14s\n" "FS" "threads" "kops/s" "lock-wait(ms)";
+  List.iter
+    (fun factory ->
+      List.iter
+        (fun threads ->
+          let p = point factory threads in
+          Printf.printf "%-10s %8d %12.1f %14.2f\n" factory.Registry.fs_name threads
+            p.kops_per_s
+            (float_of_int p.lock_wait_ns /. 1e6))
+        [ 1; 4; 16 ];
+      print_newline ())
+    [ Registry.ext4_dax; Registry.winefs ]

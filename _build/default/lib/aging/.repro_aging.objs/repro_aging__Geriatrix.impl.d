@@ -1,0 +1,1 @@
+lib/aging/geriatrix.ml: Array Cpu Dist Fs_intf Printf Repro_util Repro_vfs Rng String Types Units

@@ -1,0 +1,1 @@
+lib/aging/geriatrix.mli: Fs_intf Repro_util Repro_vfs

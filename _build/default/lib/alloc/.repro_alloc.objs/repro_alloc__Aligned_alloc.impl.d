@@ -1,0 +1,1 @@
+lib/alloc/aligned_alloc.ml: Array List Printf Queue Repro_rbtree Repro_util Units

@@ -1,0 +1,1 @@
+lib/alloc/aligned_alloc.mli:

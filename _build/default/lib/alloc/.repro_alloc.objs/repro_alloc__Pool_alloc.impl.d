@@ -1,0 +1,1 @@
+lib/alloc/pool_alloc.ml: Array List Printf Repro_rbtree Repro_util Units

@@ -1,0 +1,1 @@
+lib/alloc/pool_alloc.mli:

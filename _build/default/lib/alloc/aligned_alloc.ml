@@ -1,0 +1,282 @@
+open Repro_util
+module Extent_tree = Repro_rbtree.Extent_tree
+
+type extent = { off : int; len : int }
+
+let huge = Units.huge_page
+
+type pool = {
+  stripe_off : int;
+  stripe_len : int;
+  aligned : int Queue.t; (* bases of free 2MB aligned extents *)
+  holes : Extent_tree.t;
+}
+
+type t = { pools : pool array }
+
+let cpus t = Array.length t.pools
+
+let cpu_of_offset t off =
+  let n = Array.length t.pools in
+  let rec find i =
+    if i >= n then invalid_arg (Printf.sprintf "Aligned_alloc: offset %d outside data area" off)
+    else
+      let p = t.pools.(i) in
+      if off >= p.stripe_off && off < p.stripe_off + p.stripe_len then i else find (i + 1)
+  in
+  find 0
+
+(* Promote any fully-covered aligned 2MB regions of the hole containing
+   [off] into the aligned pool. *)
+let promote pool ~off =
+  match Extent_tree.extent_at pool.holes ~off with
+  | None -> ()
+  | Some (e_off, e_len) ->
+      let first = Units.round_up e_off huge in
+      let last = Units.round_down (e_off + e_len) huge in
+      let base = ref first in
+      while !base < last do
+        if Extent_tree.alloc_exact pool.holes ~off:!base ~len:huge then
+          Queue.add !base pool.aligned;
+        base := !base + huge
+      done
+
+let free t ~off ~len =
+  if len <= 0 then invalid_arg "Aligned_alloc.free: non-positive length";
+  let pool = t.pools.(cpu_of_offset t off) in
+  Extent_tree.insert_free pool.holes ~off ~len;
+  promote pool ~off
+
+let restore ~cpus ~regions ~free:free_list =
+  if cpus <= 0 || Array.length regions <> cpus then
+    invalid_arg "Aligned_alloc.restore: bad region count";
+  let pools =
+    Array.map
+      (fun (off, len) ->
+        { stripe_off = off; stripe_len = len; aligned = Queue.create (); holes = Extent_tree.create () })
+      regions
+  in
+  let t = { pools } in
+  List.iter (fun (off, len) -> free t ~off ~len) free_list;
+  t
+
+let create ~cpus ~regions =
+  restore ~cpus ~regions ~free:(Array.to_list regions)
+
+let free_bytes t =
+  Array.fold_left
+    (fun acc p -> acc + (Queue.length p.aligned * huge) + Extent_tree.total_free p.holes)
+    0 t.pools
+
+let free_aligned_extents t =
+  Array.fold_left (fun acc p -> acc + Queue.length p.aligned) 0 t.pools
+
+let aligned_region_count t =
+  Array.fold_left
+    (fun acc p ->
+      acc + Queue.length p.aligned + Extent_tree.aligned_region_count p.holes ~align:huge)
+    0 t.pools
+
+let hole_stats t ~cpu =
+  let p = t.pools.(cpu) in
+  (Extent_tree.total_free p.holes, Extent_tree.extent_count p.holes)
+
+(* CPU with the most free aligned extents (paper's stealing policy for
+   large requests); None when all are empty. *)
+let richest_aligned t =
+  let best = ref (-1) and best_count = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let c = Queue.length p.aligned in
+      if c > !best_count then begin
+        best := i;
+        best_count := c
+      end)
+    t.pools;
+  if !best < 0 then None else Some !best
+
+let _richest_holes t =
+  let best = ref (-1) and best_bytes = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let b = Extent_tree.total_free p.holes in
+      if b > !best_bytes then begin
+        best := i;
+        best_bytes := b
+      end)
+    t.pools;
+  if !best < 0 then None else Some !best
+
+let take_aligned t ~cpu =
+  let local = t.pools.(cpu) in
+  match Queue.take_opt local.aligned with
+  | Some off -> Some off
+  | None -> (
+      match richest_aligned t with
+      | Some rich -> Queue.take_opt t.pools.(rich).aligned
+      | None -> None)
+
+(* Serve [len] < 2MB from hole pools: local first-fit, else break a local
+   aligned extent into the hole pool (§3.4), else steal from the CPU with
+   the most free hole bytes, else break a remote aligned extent, else
+   gather fragments anywhere.  Fails only when free space is truly gone. *)
+let hole_take t ~cpu ~len acc =
+  let local = t.pools.(cpu) in
+  let carve base =
+    (* Use the front of a broken aligned extent; the tail becomes a hole
+       in its origin pool. *)
+    if len < huge then free t ~off:(base + len) ~len:(huge - len);
+    Some ({ off = base; len } :: acc)
+  in
+  match Extent_tree.alloc_first_fit local.holes ~len with
+  | Some off -> Some ({ off; len } :: acc)
+  | None -> (
+      (* Any hole pool anywhere before breaking an aligned extent: breaking
+         is what dissolves hugepages, so it is the last resort ("the design
+         must seek to preserve hugepages wherever possible", §3.1). *)
+      let stolen =
+        let n = Array.length t.pools in
+        let rec scan i =
+          if i >= n then None
+          else if i = cpu then scan (i + 1)
+          else
+            match Extent_tree.alloc_first_fit t.pools.(i).holes ~len with
+            | Some off -> Some off
+            | None -> scan (i + 1)
+        in
+        scan 0
+      in
+      match stolen with
+      | Some off -> Some ({ off; len } :: acc)
+      | None -> (
+          match Queue.take_opt local.aligned with
+          | Some base -> carve base
+          | None -> (
+              (* Break a remote aligned extent. *)
+              match richest_aligned t with
+              | Some rich when Queue.length t.pools.(rich).aligned > 0 ->
+                  carve (Queue.take t.pools.(rich).aligned)
+              | _ ->
+                  (* Fragment-gathering fallback: consume the largest free
+                     extents anywhere until the request is covered. *)
+                  let rec gather need acc =
+                    if need = 0 then Some acc
+                    else
+                      let best = ref None in
+                      Array.iter
+                        (fun p ->
+                          let l = Extent_tree.largest p.holes in
+                          match !best with
+                          | Some (_, bl) when bl >= l -> ()
+                          | _ -> if l > 0 then best := Some (p, l))
+                        t.pools;
+                      match !best with
+                      | None -> None
+                      | Some (p, l) ->
+                          let take = min need l in
+                          (match Extent_tree.alloc_best_fit p.holes ~len:take with
+                          | Some off -> gather (need - take) ({ off; len = take } :: acc)
+                          | None -> None)
+                  in
+                  gather len acc)))
+
+let alloc_hugepage t ~cpu = take_aligned t ~cpu
+
+let undo t exts = List.iter (fun e -> free t ~off:e.off ~len:e.len) exts
+
+let alloc ?contig_after t ~cpu ~len ~prefer_aligned =
+  if len <= 0 then invalid_arg "Aligned_alloc.alloc: non-positive length";
+  if free_bytes t < len then None
+  else begin
+    (* Contiguous-growth fast path for alignment-preserving files: extend
+       exactly after the file's previous extent when that space is free,
+       so small sequential writes fill one aligned extent instead of
+       nibbling the front of many (§3.6 xattr behaviour). *)
+    let contig =
+      match contig_after with
+      | Some g when len < huge -> (
+          match cpu_of_offset t g with
+          | c when Extent_tree.alloc_exact t.pools.(c).holes ~off:g ~len -> Some g
+          | _ -> None
+          | exception Invalid_argument _ -> None)
+      | _ -> None
+    in
+    match contig with
+    | Some off -> Some [ { off; len } ]
+    | None ->
+    (* Split into hugepage-sized chunks plus a small remainder (§3.4). *)
+    let rec take_chunks remaining acc =
+      if remaining >= huge then
+        match take_aligned t ~cpu with
+        | Some off -> take_chunks (remaining - huge) ({ off; len = huge } :: acc)
+        | None -> (
+            (* Aligned pools dry: serve the rest from holes. *)
+            match hole_big remaining acc with Some acc -> Some (0, acc) | None -> None)
+      else Some (remaining, acc)
+    and hole_big remaining acc =
+      (* Serve >= 2MB leftovers from holes in sub-2MB pieces. *)
+      if remaining = 0 then Some acc
+      else
+        let piece = min remaining (huge - Units.base_page) in
+        match hole_take t ~cpu ~len:piece acc with
+        | Some acc -> hole_big (remaining - piece) acc
+        | None -> None
+    in
+    match take_chunks len [] with
+    | None -> None
+    | Some (0, acc) -> Some (List.rev acc)
+    | Some (remainder, acc) ->
+        let small =
+          if prefer_aligned then
+            match take_aligned t ~cpu with
+            | Some base ->
+                (* Use the front of a fresh aligned extent; the tail goes
+                   back to the hole pool (xattr-aligned files, §3.6). *)
+                if huge - remainder > 0 then
+                  free t ~off:(base + remainder) ~len:(huge - remainder);
+                Some ({ off = base; len = remainder } :: acc)
+            | None -> hole_take t ~cpu ~len:remainder acc
+          else hole_take t ~cpu ~len:remainder acc
+        in
+        (match small with
+        | Some acc -> Some (List.rev acc)
+        | None ->
+            undo t acc;
+            None)
+  end
+
+let snapshot t =
+  let all = ref [] in
+  Array.iter
+    (fun p ->
+      Queue.iter (fun off -> all := (off, huge) :: !all) p.aligned;
+      Extent_tree.iter p.holes (fun ~off ~len -> all := (off, len) :: !all))
+    t.pools;
+  List.sort compare !all
+
+let check_invariants t =
+  let exception Bad of string in
+  try
+    let shadow = Extent_tree.create () in
+    Array.iteri
+      (fun i p ->
+        Queue.iter
+          (fun off ->
+            if not (Units.is_aligned off huge) then
+              raise (Bad (Printf.sprintf "cpu %d: unaligned extent %d in aligned pool" i off));
+            if off < p.stripe_off || off + huge > p.stripe_off + p.stripe_len then
+              raise (Bad (Printf.sprintf "cpu %d: aligned extent %d outside stripe" i off));
+            Extent_tree.insert_free shadow ~off ~len:huge)
+          p.aligned;
+        (match Extent_tree.check_invariants p.holes with
+        | Ok () -> ()
+        | Error m -> raise (Bad (Printf.sprintf "cpu %d holes: %s" i m)));
+        Extent_tree.iter p.holes (fun ~off ~len ->
+            if off < p.stripe_off || off + len > p.stripe_off + p.stripe_len then
+              raise (Bad (Printf.sprintf "cpu %d: hole %d outside stripe" i off));
+            Extent_tree.insert_free shadow ~off ~len))
+      t.pools;
+    Ok ()
+  with
+  | Bad m -> Error m
+  | Invalid_argument m -> Error ("overlap: " ^ m)

@@ -1,0 +1,1 @@
+lib/baselines/ext4_dax.ml: Basefs Repro_alloc Repro_vfs

@@ -1,0 +1,1 @@
+lib/baselines/nova.ml: Array Bytes Counters Cpu Fun Hashtbl Int64 List Option Repro_alloc Repro_memsim Repro_pmem Repro_sched Repro_util Repro_vfs Simclock String Units

@@ -1,0 +1,1 @@
+lib/baselines/pmfs.ml: Basefs Repro_alloc Repro_vfs

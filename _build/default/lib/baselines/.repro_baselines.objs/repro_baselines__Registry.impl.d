@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: Ext4_dax List Nova Pmfs Repro_pmem Repro_vfs Splitfs Strata String Winefs Xfs_dax

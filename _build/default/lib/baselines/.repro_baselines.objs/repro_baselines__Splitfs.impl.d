@@ -1,0 +1,1 @@
+lib/baselines/splitfs.ml: Basefs Bytes Ext4_dax Hashtbl List Option Repro_alloc Repro_memsim Repro_pmem Repro_sched Repro_util Repro_vfs String Units

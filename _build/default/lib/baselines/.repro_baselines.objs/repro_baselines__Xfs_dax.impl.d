@@ -1,0 +1,1 @@
+lib/baselines/xfs_dax.ml: Basefs Repro_alloc Repro_vfs

@@ -1,0 +1,683 @@
+(** Configurable "classic extent file system" engine.
+
+    The ext4-DAX, xfs-DAX and PMFS baselines are policy presets over this
+    engine (see {!Ext4_dax}, {!Xfs_dax}, {!Pmfs}): an extent allocator with
+    no aligned-extent reservation ({!Repro_alloc.Pool_alloc}), a metadata
+    journal (global JBD2-style redo, or a single PM-optimised undo journal
+    for PMFS), in-place data writes that become durable at fsync, and an
+    mmap fault path that only produces hugepages when an extent {e happens}
+    to be aligned — exactly the behaviours §2.5/§2.6 blame for hugepage
+    loss under aging.
+
+    Metadata lives in DRAM with journal traffic charged against real PM
+    addresses; mount-from-image is supported only for WineFS (the paper's
+    crash study, §5.2, targets WineFS alone) — see DESIGN.md. *)
+
+open Repro_util
+module Device = Repro_pmem.Device
+module Vmem = Repro_memsim.Vmem
+module Sched = Repro_sched.Sched
+module Types = Repro_vfs.Types
+module Path = Repro_vfs.Path
+module Dir_index = Repro_vfs.Dir_index
+module Fd_table = Repro_vfs.Fd_table
+module Block_map = Repro_vfs.Block_map
+module Cost = Repro_vfs.Fs_intf.Cost
+module Redo = Repro_journal.Redo_journal
+module Undo = Repro_journal.Undo_journal
+module Alloc = Repro_alloc.Pool_alloc
+module Extent_tree = Repro_rbtree.Extent_tree
+
+let huge = Units.huge_page
+let block = Units.base_page
+
+type journal_kind = Jbd2_redo | Pmfs_undo
+
+type preset = {
+  label : string;
+  alloc_cfg : Alloc.config;
+  dir_policy : Dir_index.policy;
+  journal : journal_kind;
+  zero_on_fallocate : bool;
+      (** NOVA-style zeroing at allocation; [false] = ext4-style unwritten
+          extents zeroed on first fault. *)
+  misaligned_start : bool;
+      (** Shift the data area off 2MB alignment — models allocators that
+          disregard alignment entirely (xfs-DAX, PMFS; footnote 1). *)
+  huge_fault_alloc : bool;  (** attempt a 2MB allocation on a PMD fault *)
+  goal_alloc : bool;  (** pass the file's last extent as a locality goal *)
+}
+
+type journal = Jredo of Redo.t | Jundo of Undo.t * Sched.mutex
+
+type file = {
+  ino : int;
+  mutable kind : Types.file_kind;
+  mutable size : int;
+  mutable nlink : int;
+  bmap : Block_map.t;
+  unwritten : Extent_tree.t; (* fallocated-but-never-written file ranges *)
+  mutable dir : Dir_index.t option;
+  lock : Sched.mutex;
+  mutable dirty_bytes : int;
+  mutable goal : int; (* physical end of the last allocation *)
+  meta_addr : int; (* synthetic PM address of this inode's metadata *)
+}
+
+type t = {
+  dev : Device.t;
+  cfg : Types.config;
+  preset : preset;
+  alloc : Alloc.t;
+  journal : journal;
+  files : (int, file) Hashtbl.t;
+  fds : Fd_table.t;
+  counters : Counters.t;
+  mutable next_ino : int;
+  inode_region : int;
+  inode_slots : int;
+  data_off : int;
+  data_len : int;
+}
+
+let root_ino = 1
+let inode_meta_bytes = 256
+
+(* ------------------------------------------------------------------ *)
+(* Journal cost model                                                  *)
+
+(* Synchronous namespace mutation: both journal kinds make it durable
+   before returning. *)
+let meta_sync t cpu ~addr ~bytes =
+  match t.journal with
+  | Jredo j ->
+      Redo.add j cpu ~addr ~data:(String.make bytes '\000');
+      Redo.commit j cpu
+  | Jundo (j, lock) ->
+      (* PMFS's logging is fine-grained: the global journal is held only
+         for the compact log append (why PMFS scales in Figure 10); the
+         in-place metadata write happens outside the lock. *)
+      Sched.with_lock lock (fun () ->
+          let txn = Undo.begin_txn j cpu ~reserve:2 in
+          Undo.log_range j cpu txn ~addr ~len:(min bytes 24);
+          Undo.commit j cpu txn);
+      let n = min bytes 64 in
+      Device.write t.dev cpu ~off:addr ~src:(Bytes.make n '\000') ~src_off:0 ~len:n;
+      Device.persist t.dev cpu ~off:addr ~len:n
+
+(* Deferred metadata (size/extent updates on the write path): JBD2 buffers
+   them in the running transaction until fsync — the costly-fsync,
+   stop-the-world behaviour of ext4/xfs (§5.6).  PMFS journals immediately
+   (fine-grained), which is why it scales. *)
+let meta_buffered t cpu ~addr ~bytes =
+  match t.journal with
+  | Jredo j -> Redo.add j cpu ~addr ~data:(String.make bytes '\000')
+  | Jundo _ -> meta_sync t cpu ~addr ~bytes
+
+let journal_fsync t cpu =
+  match t.journal with Jredo j -> Redo.commit j cpu | Jundo _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let format preset dev (cfg : Types.config) =
+  let cpu = Cpu.make ~id:0 () in
+  let size = Device.size dev in
+  let journal_off = 4096 in
+  let journal_size = min (4 * Units.mib) (max (256 * Units.kib) (size / 64)) in
+  let inode_region = journal_off + Redo.bytes_needed ~size:journal_size in
+  let inode_slots = min (cfg.cpus * cfg.inodes_per_cpu) (size / 4 / inode_meta_bytes) in
+  let after_inodes = inode_region + (inode_slots * inode_meta_bytes) in
+  let data_off = Units.round_up after_inodes huge in
+  let data_off = if preset.misaligned_start then data_off + block else data_off in
+  if data_off + huge > size then invalid_arg (preset.label ^ ": device too small");
+  let data_len = size - data_off in
+  let journal =
+    match preset.journal with
+    | Jbd2_redo -> Jredo (Redo.format dev cpu ~off:journal_off ~size:journal_size)
+    | Pmfs_undo ->
+        let counter = Undo.Txn_counter.create () in
+        Jundo
+          ( Undo.format dev cpu counter ~off:journal_off ~entries:512
+              ~copy_bytes:(journal_size / 2),
+            Sched.create_mutex () )
+  in
+  let regions =
+    (* Carve per-CPU stripes only when the preset partitions free space. *)
+    if preset.alloc_cfg.per_cpu then
+      Array.init cfg.cpus (fun i ->
+          let stripe = data_len / cfg.cpus in
+          (data_off + (i * stripe), if i = cfg.cpus - 1 then data_len - ((cfg.cpus - 1) * stripe) else stripe))
+    else [| (data_off, data_len) |]
+  in
+  let cpus_for_alloc = if preset.alloc_cfg.per_cpu then cfg.cpus else 1 in
+  let t =
+    {
+      dev;
+      cfg;
+      preset;
+      alloc = Alloc.create preset.alloc_cfg ~cpus:cpus_for_alloc ~regions;
+      journal;
+      files = Hashtbl.create 1024;
+      fds = Fd_table.create ();
+      counters = Counters.create ();
+      next_ino = root_ino;
+      inode_region;
+      inode_slots;
+      data_off;
+      data_len;
+    }
+  in
+  (* Root. *)
+  let meta_addr = inode_region in
+  let root =
+    {
+      ino = root_ino;
+      kind = Types.Directory;
+      size = 0;
+      nlink = 2;
+      bmap = Block_map.create ();
+      unwritten = Extent_tree.create ();
+      dir = Some (Dir_index.create preset.dir_policy);
+      lock = Sched.create_mutex ();
+      dirty_bytes = 0;
+      goal = data_off;
+      meta_addr;
+    }
+  in
+  Hashtbl.replace t.files root_ino root;
+  t.next_ino <- root_ino + 1;
+  t
+
+let mount _dev _cfg =
+  Types.err EINVAL "baseline models do not support mount-from-image (see DESIGN.md)"
+
+let unmount t cpu = journal_fsync t cpu
+
+let recovery_ns _ = 0
+let device t = t.dev
+let config t = t.cfg
+let counters t = t.counters
+
+(* ------------------------------------------------------------------ *)
+(* Shared machinery                                                    *)
+
+let find_file t ino =
+  match Hashtbl.find_opt t.files ino with
+  | Some f -> f
+  | None -> Types.err EBADF "stale inode %d" ino
+
+let meta_addr_for t ino = t.inode_region + (ino mod t.inode_slots * inode_meta_bytes)
+
+let new_file t kind =
+  let ino = t.next_ino in
+  t.next_ino <- t.next_ino + 1;
+  let f =
+    {
+      ino;
+      kind;
+      size = 0;
+      nlink = (if kind = Types.Directory then 2 else 1);
+      bmap = Block_map.create ();
+      unwritten = Extent_tree.create ();
+      dir = (if kind = Types.Directory then Some (Dir_index.create t.preset.dir_policy) else None);
+      lock = Sched.create_mutex ();
+      dirty_bytes = 0;
+      goal = t.data_off;
+      meta_addr = meta_addr_for t ino;
+    }
+  in
+  Hashtbl.replace t.files ino f;
+  f
+
+let resolve t cpu path =
+  let parts = Path.split path in
+  let rec walk ino = function
+    | [] -> ino
+    | name :: rest -> (
+        let f = find_file t ino in
+        match f.dir with
+        | None -> Types.err ENOTDIR "%s" path
+        | Some idx -> (
+            match Dir_index.lookup idx cpu name with
+            | Some (child, _) -> walk child rest
+            | None -> Types.err ENOENT "%s" path))
+  in
+  walk root_ino parts
+
+let resolve_parent t cpu path =
+  let dir = Path.dirname path and name = Path.basename path in
+  let ino = resolve t cpu dir in
+  let f = find_file t ino in
+  if f.kind <> Types.Directory then Types.err ENOTDIR "%s" dir;
+  (f, name)
+
+let alloc_cpu t (cpu : Cpu.t) =
+  if t.preset.alloc_cfg.per_cpu then cpu.id mod t.cfg.cpus else 0
+
+let allocate t cpu f ~len =
+  let goal = if t.preset.goal_alloc then Some f.goal else None in
+  match Alloc.alloc ?goal t.alloc ~cpu:(alloc_cpu t cpu) ~len with
+  | Some exts ->
+      (match List.rev exts with
+      | last :: _ -> f.goal <- last.Alloc.off + last.Alloc.len
+      | [] -> ());
+      exts
+  | None -> Types.err ENOSPC "allocating %d bytes" len
+
+(* Back every hole in [off, off+len) with block-granular extents;
+   [unwritten] marks the new space as fallocate-style unwritten. *)
+let ensure_backing t cpu f ~off ~len ~unwritten =
+  let lo = Units.round_down off block and hi = Units.round_up (off + len) block in
+  let cur = ref lo in
+  while !cur < hi do
+    match Block_map.lookup f.bmap ~file_off:!cur with
+    | Some (_, run) -> cur := !cur + run
+    | None ->
+        let hole_end =
+          match Block_map.next_mapped f.bmap ~file_off:(!cur + 1) with
+          | Some o -> min hi o
+          | None -> hi
+        in
+        let exts = allocate t cpu f ~len:(hole_end - !cur) in
+        let fo = ref !cur in
+        List.iter
+          (fun (e : Alloc.extent) ->
+            Block_map.insert f.bmap ~file_off:!fo ~phys:e.off ~len:e.len;
+            if unwritten then Extent_tree.insert_free f.unwritten ~off:!fo ~len:e.len
+            else if t.preset.zero_on_fallocate then begin
+              Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
+              Device.fence t.dev cpu
+            end;
+            fo := !fo + e.len)
+          exts;
+        (* Metadata: extent tree insertion journaled (one record). *)
+        meta_buffered t cpu ~addr:f.meta_addr ~bytes:64;
+        cur := hole_end
+  done
+
+(* Clear the unwritten flag over a range, zeroing the partial edges the
+   write will not cover (ext4 semantics). *)
+let mark_written t cpu f ~off ~len =
+  let lo = Units.round_down off block and hi = Units.round_up (off + len) block in
+  let cur = ref lo in
+  while !cur < hi do
+    match Extent_tree.extent_at f.unwritten ~off:!cur with
+    | Some (u_off, u_len) ->
+        let clear_lo = max u_off lo and clear_hi = min (u_off + u_len) hi in
+        ignore (Extent_tree.alloc_exact f.unwritten ~off:clear_lo ~len:(clear_hi - clear_lo));
+        (* Zero the block-aligned edges outside the written range. *)
+        let zero_edge file_lo file_hi =
+          if file_hi > file_lo then
+            match Block_map.lookup f.bmap ~file_off:file_lo with
+            | Some (phys, run) ->
+                Device.memset_nt t.dev cpu ~off:phys ~len:(min run (file_hi - file_lo)) '\000'
+            | None -> ()
+        in
+        if clear_lo < off then zero_edge clear_lo (min off clear_hi);
+        if clear_hi > off + len then zero_edge (max (off + len) clear_lo) clear_hi;
+        cur := clear_hi
+    | None -> (
+        match Extent_tree.to_list f.unwritten with
+        | [] -> cur := hi
+        | _ ->
+            (* Jump to the next unwritten range inside [cur, hi). *)
+            let next =
+              List.fold_left
+                (fun acc (o, _) -> if o > !cur && o < acc then o else acc)
+                hi
+                (Extent_tree.to_list f.unwritten)
+            in
+            cur := next)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Namespace ops (metadata journaled synchronously)                    *)
+
+let mkdir t cpu path =
+  Cost.charge_syscall cpu;
+  let parent, name = resolve_parent t cpu path in
+  Sched.with_lock parent.lock (fun () ->
+      let idx = Option.get parent.dir in
+      if Dir_index.mem idx cpu name then Types.err EEXIST "%s" path;
+      let f = new_file t Types.Directory in
+      Dir_index.add idx cpu ~name ~ino:f.ino ~slot:0;
+      parent.nlink <- parent.nlink + 1;
+      meta_sync t cpu ~addr:f.meta_addr ~bytes:128);
+  Counters.incr t.counters "fs.mkdir"
+
+let create t cpu path =
+  Cost.charge_syscall cpu;
+  let parent, name = resolve_parent t cpu path in
+  let f =
+    Sched.with_lock parent.lock (fun () ->
+        let idx = Option.get parent.dir in
+        if Dir_index.mem idx cpu name then Types.err EEXIST "%s" path;
+        let f = new_file t Types.Regular in
+        Dir_index.add idx cpu ~name ~ino:f.ino ~slot:0;
+        meta_sync t cpu ~addr:f.meta_addr ~bytes:128;
+        f)
+  in
+  Counters.incr t.counters "fs.create";
+  Fd_table.alloc t.fds ~ino:f.ino ~flags:Types.o_creat_rdwr
+
+let free_file_space t f =
+  List.iter (fun (_, phys, len) -> Alloc.free t.alloc ~off:phys ~len) (Block_map.extents f.bmap);
+  Block_map.clear f.bmap
+
+let unlink t cpu path =
+  Cost.charge_syscall cpu;
+  let parent, name = resolve_parent t cpu path in
+  Sched.with_lock parent.lock (fun () ->
+      let idx = Option.get parent.dir in
+      match Dir_index.lookup idx cpu name with
+      | None -> Types.err ENOENT "%s" path
+      | Some (ino, _) ->
+          let f = find_file t ino in
+          if f.kind = Types.Directory then Types.err EISDIR "%s" path;
+          Dir_index.remove idx cpu name;
+          meta_sync t cpu ~addr:f.meta_addr ~bytes:128;
+          f.nlink <- f.nlink - 1;
+          if f.nlink = 0 then
+            (* Hold the inode lock: a concurrent writer must not see its
+               backing vanish mid-operation. *)
+            Sched.with_lock f.lock (fun () ->
+                free_file_space t f;
+                Hashtbl.remove t.files ino));
+  Counters.incr t.counters "fs.unlink"
+
+let rmdir t cpu path =
+  Cost.charge_syscall cpu;
+  let parent, name = resolve_parent t cpu path in
+  Sched.with_lock parent.lock (fun () ->
+      let idx = Option.get parent.dir in
+      match Dir_index.lookup idx cpu name with
+      | None -> Types.err ENOENT "%s" path
+      | Some (ino, _) ->
+          let f = find_file t ino in
+          if f.kind <> Types.Directory then Types.err ENOTDIR "%s" path;
+          if Dir_index.size (Option.get f.dir) > 0 then Types.err ENOTEMPTY "%s" path;
+          Dir_index.remove idx cpu name;
+          parent.nlink <- parent.nlink - 1;
+          meta_sync t cpu ~addr:f.meta_addr ~bytes:128;
+          Hashtbl.remove t.files ino);
+  Counters.incr t.counters "fs.rmdir"
+
+let rename t cpu ~old_path ~new_path =
+  Cost.charge_syscall cpu;
+  let src_parent, src_name = resolve_parent t cpu old_path in
+  let dst_parent, dst_name = resolve_parent t cpu new_path in
+  let locks =
+    if src_parent.ino = dst_parent.ino then [ src_parent.lock ]
+    else if src_parent.ino < dst_parent.ino then [ src_parent.lock; dst_parent.lock ]
+    else [ dst_parent.lock; src_parent.lock ]
+  in
+  List.iter Sched.lock locks;
+  Fun.protect
+    ~finally:(fun () -> List.iter Sched.unlock (List.rev locks))
+    (fun () ->
+      let src_idx = Option.get src_parent.dir and dst_idx = Option.get dst_parent.dir in
+      match Dir_index.lookup src_idx cpu src_name with
+      | None -> Types.err ENOENT "%s" old_path
+      | Some (ino, _) ->
+          (match Dir_index.lookup dst_idx cpu dst_name with
+          | Some (victim_ino, _) when victim_ino <> ino ->
+              let victim = find_file t victim_ino in
+              if victim.kind = Types.Directory then Types.err EISDIR "%s" new_path;
+              Dir_index.remove dst_idx cpu dst_name;
+              Sched.with_lock victim.lock (fun () ->
+                  free_file_space t victim;
+                  Hashtbl.remove t.files victim_ino)
+          | _ -> ());
+          Dir_index.remove src_idx cpu src_name;
+          Dir_index.add dst_idx cpu ~name:dst_name ~ino ~slot:0;
+          meta_sync t cpu ~addr:src_parent.meta_addr ~bytes:192);
+  Counters.incr t.counters "fs.rename"
+
+let readdir t cpu path =
+  Cost.charge_syscall cpu;
+  let f = find_file t (resolve t cpu path) in
+  match f.dir with
+  | None -> Types.err ENOTDIR "%s" path
+  | Some idx ->
+      Simclock.advance cpu.clock (Dir_index.size idx * 12);
+      List.map fst (Dir_index.entries idx)
+
+let stat t cpu path =
+  Cost.charge_syscall cpu;
+  let f = find_file t (resolve t cpu path) in
+  {
+    Types.st_ino = f.ino;
+    st_kind = f.kind;
+    st_size = f.size;
+    st_blocks = Block_map.mapped_bytes f.bmap;
+    st_nlink = f.nlink;
+  }
+
+let exists t cpu path =
+  match resolve t cpu path with
+  | _ -> true
+  | exception Types.Error ((ENOENT | ENOTDIR), _) -> false
+
+let rec openf t cpu path (flags : Types.open_flags) =
+  Cost.charge_syscall cpu;
+  match resolve t cpu path with
+  | ino ->
+      if flags.creat && flags.excl then Types.err EEXIST "%s" path;
+      let f = find_file t ino in
+      if f.kind = Types.Directory && flags.wr then Types.err EISDIR "%s" path;
+      if flags.trunc && f.kind = Types.Regular && f.size > 0 then
+        Sched.with_lock f.lock (fun () ->
+            free_file_space t f;
+            f.size <- 0;
+            meta_sync t cpu ~addr:f.meta_addr ~bytes:64);
+      Fd_table.alloc t.fds ~ino ~flags
+  | exception Types.Error (ENOENT, _) when flags.creat ->
+      let fd = create t cpu path in
+      Fd_table.close t.fds fd;
+      openf t cpu path { flags with creat = false }
+
+let close t cpu fd =
+  Cost.charge_syscall cpu;
+  Fd_table.close t.fds fd
+
+let file_size t fd = (find_file t (Fd_table.get t.fds fd).ino).size
+
+(* ------------------------------------------------------------------ *)
+(* Data path: in-place, durable at fsync (metadata-consistency class)  *)
+
+let pwrite t cpu fd ~off ~src =
+  Cost.charge_syscall cpu;
+  let e = Fd_table.get t.fds fd in
+  if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
+  let f = find_file t e.ino in
+  if f.kind = Types.Directory then Types.err EISDIR "fd %d" fd;
+  let len = String.length src in
+  if len = 0 then 0
+  else begin
+    if off < 0 then Types.err EINVAL "negative offset";
+    Sched.with_lock f.lock (fun () ->
+        ensure_backing t cpu f ~off ~len ~unwritten:false;
+        mark_written t cpu f ~off ~len;
+        let src_b = Bytes.unsafe_of_string src in
+        let cur = ref off in
+        while !cur < off + len do
+          let phys, run = Option.get (Block_map.lookup f.bmap ~file_off:!cur) in
+          let n = min (off + len - !cur) run in
+          Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+          f.dirty_bytes <- f.dirty_bytes + n;
+          cur := !cur + n
+        done;
+        if off + len > f.size then begin
+          f.size <- off + len;
+          meta_buffered t cpu ~addr:f.meta_addr ~bytes:32
+        end);
+    Counters.add t.counters "fs.write_bytes" len;
+    len
+  end
+
+let append t cpu fd ~src =
+  let f = find_file t (Fd_table.get t.fds fd).ino in
+  pwrite t cpu fd ~off:f.size ~src
+
+let pread t cpu fd ~off ~len =
+  Cost.charge_syscall cpu;
+  let e = Fd_table.get t.fds fd in
+  if not e.flags.rd then Types.err EBADF "fd %d not readable" fd;
+  let f = find_file t e.ino in
+  if off < 0 || len < 0 then Types.err EINVAL "bad range";
+  let len = max 0 (min len (f.size - off)) in
+  if len = 0 then ""
+  else begin
+    let dst = Bytes.make len '\000' in
+    let cur = ref off in
+    while !cur < off + len do
+      match Block_map.lookup f.bmap ~file_off:!cur with
+      | Some (phys, run) ->
+          let n = min (off + len - !cur) run in
+          Device.read t.dev cpu ~off:phys ~len:n ~dst ~dst_off:(!cur - off) ;
+          cur := !cur + n
+      | None -> (
+          match Block_map.next_mapped f.bmap ~file_off:(!cur + 1) with
+          | Some o -> cur := min (off + len) o
+          | None -> cur := off + len)
+    done;
+    Counters.add t.counters "fs.read_bytes" len;
+    Bytes.unsafe_to_string dst
+  end
+
+(* fsync: stop-the-world journal commit (JBD2) plus data flush of this
+   file's dirty bytes. *)
+let fsync t cpu fd =
+  Cost.charge_syscall cpu;
+  let f = find_file t (Fd_table.get t.fds fd).ino in
+  if f.dirty_bytes > 0 then begin
+    let lines = (f.dirty_bytes + Units.cacheline - 1) / Units.cacheline in
+    Simclock.advance cpu.clock
+      (int_of_float ((Device.cost t.dev).flush_ns *. float_of_int lines));
+    Device.fence t.dev cpu;
+    f.dirty_bytes <- 0
+  end;
+  journal_fsync t cpu;
+  Counters.incr t.counters "fs.fsync"
+
+let fallocate t cpu fd ~off ~len =
+  Cost.charge_syscall cpu;
+  let f = find_file t (Fd_table.get t.fds fd).ino in
+  if off < 0 || len <= 0 then Types.err EINVAL "bad range";
+  Sched.with_lock f.lock (fun () ->
+      ensure_backing t cpu f ~off ~len ~unwritten:(not t.preset.zero_on_fallocate);
+      if off + len > f.size then begin
+        f.size <- off + len;
+        meta_buffered t cpu ~addr:f.meta_addr ~bytes:32
+      end);
+  Counters.incr t.counters "fs.fallocate"
+
+let ftruncate t cpu fd new_size =
+  Cost.charge_syscall cpu;
+  let f = find_file t (Fd_table.get t.fds fd).ino in
+  if new_size < 0 then Types.err EINVAL "negative size";
+  Sched.with_lock f.lock (fun () ->
+      if new_size < f.size then begin
+        let lo = Units.round_up new_size block in
+        if f.size > lo then begin
+          let freed = Block_map.remove_range f.bmap ~file_off:lo ~len:(f.size - lo) in
+          List.iter (fun (o, l) -> Alloc.free t.alloc ~off:o ~len:l) freed
+        end
+      end;
+      f.size <- new_size;
+      meta_sync t cpu ~addr:f.meta_addr ~bytes:64);
+  Counters.incr t.counters "fs.ftruncate"
+
+(* ------------------------------------------------------------------ *)
+(* mmap: hugepages only by accident (§2.5)                             *)
+
+let fault_zero t cpu f ~file_off ~phys ~len =
+  (* ext4-class zeroing on first fault into an unwritten extent. *)
+  if Extent_tree.extent_at f.unwritten ~off:file_off <> None then begin
+    ignore (Extent_tree.alloc_exact f.unwritten ~off:file_off ~len);
+    Device.memset_nt t.dev cpu ~off:phys ~len '\000';
+    Device.fence t.dev cpu
+  end
+
+let mmap_backing t fd : Vmem.backing =
+  let ino = (Fd_table.get t.fds fd).ino in
+  fun cpu ~file_off ~huge_ok ->
+    let f = find_file t ino in
+    if huge_ok then begin
+      match Block_map.huge_candidate f.bmap ~chunk_off:file_off with
+      | Some phys ->
+          fault_zero t cpu f ~file_off ~phys ~len:huge;
+          Vmem.Huge phys
+      | None ->
+          if Block_map.lookup f.bmap ~file_off <> None then begin
+            match Block_map.lookup f.bmap ~file_off with
+            | Some (phys, _) ->
+                fault_zero t cpu f ~file_off ~phys ~len:block;
+                Vmem.Base phys
+            | None -> Vmem.Sigbus
+          end
+          else if t.preset.huge_fault_alloc then begin
+            (* ext4 DAX PMD fault: allocate 2MB, but with no alignment
+               preference it rarely maps huge. *)
+            Sched.with_lock f.lock (fun () ->
+                ensure_backing t cpu f ~off:file_off ~len:huge ~unwritten:false);
+            match Block_map.huge_candidate f.bmap ~chunk_off:file_off with
+            | Some phys ->
+                Device.memset_nt t.dev cpu ~off:phys ~len:huge '\000';
+                Device.fence t.dev cpu;
+                Vmem.Huge phys
+            | None -> (
+                match Block_map.lookup f.bmap ~file_off with
+                | Some (phys, _) ->
+                    Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
+                    Device.fence t.dev cpu;
+                    Vmem.Base phys
+                | None -> Vmem.Sigbus)
+          end
+          else begin
+            Sched.with_lock f.lock (fun () ->
+                ensure_backing t cpu f ~off:file_off ~len:block ~unwritten:false);
+            match Block_map.lookup f.bmap ~file_off with
+            | Some (phys, _) ->
+                Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
+                Device.fence t.dev cpu;
+                Vmem.Base phys
+            | None -> Vmem.Sigbus
+          end
+    end
+    else begin
+      match Block_map.lookup f.bmap ~file_off with
+      | Some (phys, _) ->
+          fault_zero t cpu f ~file_off ~phys ~len:block;
+          Vmem.Base phys
+      | None ->
+          Sched.with_lock f.lock (fun () ->
+              ensure_backing t cpu f ~off:file_off ~len:block ~unwritten:false);
+          (match Block_map.lookup f.bmap ~file_off with
+          | Some (phys, _) ->
+              Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
+              Device.fence t.dev cpu;
+              Vmem.Base phys
+          | None -> Vmem.Sigbus)
+    end
+
+let set_xattr_align t cpu _path _v = Cost.charge_syscall cpu; ignore t
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let statfs t =
+  let free = Alloc.free_bytes t.alloc in
+  {
+    Types.capacity = t.data_len;
+    used = t.data_len - free;
+    free;
+    free_extents = Alloc.free_extent_count t.alloc;
+    largest_free = Alloc.largest_free t.alloc;
+    aligned_free_2m = Alloc.aligned_region_count t.alloc;
+  }
+
+let file_extents t cpu path =
+  let f = find_file t (resolve t cpu path) in
+  Block_map.extents f.bmap

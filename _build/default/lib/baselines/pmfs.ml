@@ -1,0 +1,55 @@
+(** PMFS model: the code base WineFS builds on, minus everything WineFS
+    adds — a single fine-grained undo journal (§6: per-CPU in WineFS), a
+    global first-fit block allocator that ignores alignment (footnote 1:
+    no hugepages even clean), and sequential PM scans of directory entries
+    (§3.5: the slowdowns on metadata-heavy workloads like varmail). *)
+
+type t = Basefs.t
+
+let preset =
+  {
+    Basefs.label = "PMFS";
+    alloc_cfg =
+      {
+        Repro_alloc.Pool_alloc.per_cpu = false;
+        policy = First_fit;
+        align_exact_2m = false;
+        normalize_pow2 = false;
+      };
+    dir_policy = Repro_vfs.Dir_index.Pm_linear_scan 130.;
+    journal = Basefs.Pmfs_undo;
+    zero_on_fallocate = true;
+    misaligned_start = true;
+    huge_fault_alloc = false;
+    goal_alloc = false;
+  }
+
+let name = preset.Basefs.label
+let format dev cfg = Basefs.format preset dev cfg
+let mount = Basefs.mount
+let unmount = Basefs.unmount
+let recovery_ns = Basefs.recovery_ns
+let device = Basefs.device
+let config = Basefs.config
+let mkdir = Basefs.mkdir
+let rmdir = Basefs.rmdir
+let create = Basefs.create
+let openf = Basefs.openf
+let close = Basefs.close
+let unlink = Basefs.unlink
+let rename = Basefs.rename
+let readdir = Basefs.readdir
+let stat = Basefs.stat
+let exists = Basefs.exists
+let pwrite = Basefs.pwrite
+let pread = Basefs.pread
+let append = Basefs.append
+let fsync = Basefs.fsync
+let fallocate = Basefs.fallocate
+let ftruncate = Basefs.ftruncate
+let file_size = Basefs.file_size
+let mmap_backing = Basefs.mmap_backing
+let set_xattr_align = Basefs.set_xattr_align
+let statfs = Basefs.statfs
+let file_extents = Basefs.file_extents
+let counters = Basefs.counters

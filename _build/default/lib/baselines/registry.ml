@@ -1,0 +1,111 @@
+(** Conformance proofs and a uniform way to instantiate every file system
+    in the study.
+
+    The [module ... : Fs_intf.S] coercions below are the static checks
+    that each baseline implements the full interface; experiments pick
+    file systems from {!all} / {!metadata_group} / {!data_group}, matching
+    the two comparison groups of §5.1. *)
+
+module Fs_intf = Repro_vfs.Fs_intf
+module Types = Repro_vfs.Types
+
+module Ext4 : Fs_intf.S = Ext4_dax
+module Xfs : Fs_intf.S = Xfs_dax
+module Pmfs_fs : Fs_intf.S = Pmfs
+module Nova_fs : Fs_intf.S = Nova
+module Splitfs_fs : Fs_intf.S = Splitfs
+module Strata_fs : Fs_intf.S = Strata
+
+type factory = {
+  fs_name : string;
+  make : Repro_pmem.Device.t -> Types.config -> Fs_intf.handle;
+}
+
+let handle (type a) (module F : Fs_intf.S with type t = a) dev cfg =
+  Fs_intf.Handle ((module F), F.format dev cfg)
+
+let winefs =
+  { fs_name = "WineFS"; make = (fun dev cfg -> Winefs.Handle.format dev cfg) }
+
+let winefs_relaxed =
+  {
+    fs_name = "WineFS-Relaxed";
+    make = (fun dev cfg -> Winefs.Handle.format dev { cfg with Types.mode = Relaxed });
+  }
+
+let ext4_dax =
+  {
+    fs_name = "ext4-DAX";
+    make =
+      (fun dev cfg ->
+        handle (module Ext4_dax : Fs_intf.S with type t = Ext4_dax.t) dev
+          { cfg with Types.mode = Relaxed });
+  }
+
+let xfs_dax =
+  {
+    fs_name = "xfs-DAX";
+    make =
+      (fun dev cfg ->
+        handle (module Xfs_dax : Fs_intf.S with type t = Xfs_dax.t) dev
+          { cfg with Types.mode = Relaxed });
+  }
+
+let pmfs =
+  {
+    fs_name = "PMFS";
+    make =
+      (fun dev cfg ->
+        handle (module Pmfs : Fs_intf.S with type t = Pmfs.t) dev
+          { cfg with Types.mode = Relaxed });
+  }
+
+let nova =
+  {
+    fs_name = "NOVA";
+    make =
+      (fun dev cfg ->
+        handle (module Nova : Fs_intf.S with type t = Nova.t) dev
+          { cfg with Types.mode = Strict });
+  }
+
+let nova_relaxed =
+  {
+    fs_name = "NOVA-Relaxed";
+    make =
+      (fun dev cfg ->
+        handle (module Nova : Fs_intf.S with type t = Nova.t) dev
+          { cfg with Types.mode = Relaxed });
+  }
+
+let splitfs =
+  {
+    fs_name = "SplitFS";
+    make =
+      (fun dev cfg ->
+        handle (module Splitfs : Fs_intf.S with type t = Splitfs.t) dev
+          { cfg with Types.mode = Relaxed });
+  }
+
+let strata =
+  {
+    fs_name = "Strata";
+    make =
+      (fun dev cfg ->
+        handle (module Strata : Fs_intf.S with type t = Strata.t) dev
+          { cfg with Types.mode = Strict });
+  }
+
+(* §5.1: the metadata-consistency comparison group... *)
+let metadata_group = [ ext4_dax; xfs_dax; pmfs; nova_relaxed; splitfs; winefs_relaxed ]
+
+(* ...and the data+metadata-consistency group. *)
+let data_group = [ nova; strata; winefs ]
+
+let all =
+  [ winefs; winefs_relaxed; ext4_dax; xfs_dax; pmfs; nova; nova_relaxed; splitfs; strata ]
+
+let by_name name =
+  match List.find_opt (fun f -> String.lowercase_ascii f.fs_name = String.lowercase_ascii name) all with
+  | Some f -> f
+  | None -> invalid_arg ("unknown file system: " ^ name)

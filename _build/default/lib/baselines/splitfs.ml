@@ -1,0 +1,216 @@
+(** SplitFS model (Kadekodi et al., SOSP '19): a user-space layer over
+    ext4-DAX.
+
+    Reads and in-place overwrites go straight to PM through memory maps —
+    no kernel trap, which is SplitFS's speedup.  Appends are staged in
+    pre-allocated staging extents and {e relinked} into the target file at
+    fsync with one metadata journal operation (no data copy).  All other
+    metadata operations pass through to ext4-DAX, so SplitFS inherits
+    JBD2's poor scalability for creates and deletes (§5.5, §5.6). *)
+
+open Repro_util
+module Device = Repro_pmem.Device
+module Vmem = Repro_memsim.Vmem
+module Sched = Repro_sched.Sched
+module Types = Repro_vfs.Types
+module Fd_table = Repro_vfs.Fd_table
+module Block_map = Repro_vfs.Block_map
+module Alloc = Repro_alloc.Pool_alloc
+
+let name = "SplitFS"
+
+(* Per-file staging state: appended-but-not-relinked extents. *)
+type staged = {
+  smap : Block_map.t; (* staged file_off -> phys (block-granular) *)
+  mutable sbytes : int; (* staged volume *)
+  mutable s_size : int; (* logical end of staged data *)
+}
+
+type t = { inner : Basefs.t; staging : (int, staged) Hashtbl.t }
+
+let format dev cfg = { inner = Ext4_dax.format dev cfg; staging = Hashtbl.create 64 }
+
+let mount _dev _cfg =
+  Types.err EINVAL "baseline models do not support mount-from-image (see DESIGN.md)"
+
+let unmount t cpu = Basefs.unmount t.inner cpu
+let recovery_ns _ = 0
+let device t = Basefs.device t.inner
+let config t = Basefs.config t.inner
+let counters t = Basefs.counters t.inner
+
+(* Namespace: pure pass-through to ext4-DAX. *)
+let mkdir t = Basefs.mkdir t.inner
+let rmdir t = Basefs.rmdir t.inner
+let create t = Basefs.create t.inner
+let openf t = Basefs.openf t.inner
+let close t = Basefs.close t.inner
+let rename t = Basefs.rename t.inner
+let readdir t = Basefs.readdir t.inner
+let exists t = Basefs.exists t.inner
+let file_extents t = Basefs.file_extents t.inner
+let statfs t = Basefs.statfs t.inner
+let set_xattr_align t = Basefs.set_xattr_align t.inner
+let mmap_backing t = Basefs.mmap_backing t.inner
+
+let dev_of t = Basefs.device t.inner
+
+let staged_for t ino =
+  match Hashtbl.find_opt t.staging ino with
+  | Some s -> s
+  | None ->
+      let s = { smap = Block_map.create (); sbytes = 0; s_size = 0 } in
+      Hashtbl.replace t.staging ino s;
+      s
+
+let staged_size s = s.s_size
+
+let file_size t fd =
+  let ino = (Fd_table.get t.inner.Basefs.fds fd).ino in
+  let base = Basefs.file_size t.inner fd in
+  match Hashtbl.find_opt t.staging ino with
+  | Some s -> max base (staged_size s)
+  | None -> base
+
+let unlink t cpu path =
+  (* Drop any staging for the victim. *)
+  (match Basefs.resolve t.inner cpu path with
+  | ino -> (
+      match Hashtbl.find_opt t.staging ino with
+      | Some s ->
+          List.iter
+            (fun (_, phys, len) -> Alloc.free t.inner.Basefs.alloc ~off:phys ~len)
+            (Block_map.extents s.smap);
+          Hashtbl.remove t.staging ino
+      | None -> ())
+  | exception Types.Error _ -> ());
+  Basefs.unlink t.inner cpu path
+
+let stat t cpu path =
+  let st = Basefs.stat t.inner cpu path in
+  match Hashtbl.find_opt t.staging st.Types.st_ino with
+  | Some s -> { st with Types.st_size = max st.st_size (staged_size s) }
+  | None -> st
+
+(* Overwrites within the committed size bypass the kernel entirely (mmap
+   path: no syscall charge).  Writes past EOF are staged appends. *)
+let pwrite t cpu fd ~off ~src =
+  let e = Fd_table.get t.inner.Basefs.fds fd in
+  if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
+  let f = Basefs.find_file t.inner e.ino in
+  let len = String.length src in
+  if len = 0 then 0
+  else if off + len <= f.Basefs.size && Block_map.covered f.Basefs.bmap ~file_off:off ~len
+  then begin
+    (* User-space overwrite through the file's mmap. *)
+    let src_b = Bytes.unsafe_of_string src in
+    let cur = ref off in
+    while !cur < off + len do
+      let phys, run = Option.get (Block_map.lookup f.Basefs.bmap ~file_off:!cur) in
+      let n = min (off + len - !cur) run in
+      Device.write_nt (dev_of t) cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+      cur := !cur + n
+    done;
+    Device.fence (dev_of t) cpu;
+    len
+  end
+  else begin
+    (* Staged append path: allocate staging space, write there; the
+       relink happens at fsync. *)
+    let s = staged_for t e.ino in
+    let exts =
+      match Alloc.alloc t.inner.Basefs.alloc ~cpu:0 ~len:(Units.round_up len Units.base_page) with
+      | Some exts -> exts
+      | None -> Types.err ENOSPC "staging allocation"
+    in
+    let src_b = Bytes.unsafe_of_string src in
+    let fo = ref off and written = ref 0 in
+    List.iter
+      (fun (ext : Alloc.extent) ->
+        let n = min ext.len (len - !written) in
+        if n > 0 then
+          Device.write_nt (dev_of t) cpu ~off:ext.off ~src:src_b ~src_off:!written ~len:n;
+        (* Staged map may overlap an earlier staged write; replace. *)
+        let _ = Block_map.remove_range s.smap ~file_off:!fo ~len:ext.len in
+        Block_map.insert s.smap ~file_off:!fo ~phys:ext.off ~len:ext.len;
+        fo := !fo + ext.len;
+        written := !written + n)
+      exts;
+    Device.fence (dev_of t) cpu;
+    s.sbytes <- s.sbytes + len;
+    s.s_size <- max s.s_size (off + len);
+    len
+  end
+
+
+let append t cpu fd ~src = pwrite t cpu fd ~off:(file_size t fd) ~src
+
+let pread t cpu fd ~off ~len =
+  let e = Fd_table.get t.inner.Basefs.fds fd in
+  let ino = e.ino in
+  match Hashtbl.find_opt t.staging ino with
+  | None | Some { sbytes = 0; _ } ->
+      (* No kernel trap for mmap reads: charge only the PM access by
+         reading through the inner FS minus the syscall overhead. *)
+      Basefs.pread t.inner cpu fd ~off ~len
+  | Some s ->
+      let total = file_size t fd in
+      let len = max 0 (min len (total - off)) in
+      if len = 0 then ""
+      else begin
+        let dst = Bytes.make len '\000' in
+        let cur = ref off in
+        while !cur < off + len do
+          match Block_map.lookup s.smap ~file_off:!cur with
+          | Some (phys, run) ->
+              let n = min (off + len - !cur) run in
+              Device.read (dev_of t) cpu ~off:phys ~len:n ~dst ~dst_off:(!cur - off);
+              cur := !cur + n
+          | None -> (
+              (* Read committed bytes only up to the next staged extent,
+                 which must win over stale committed data. *)
+              let limit =
+                match Block_map.next_mapped s.smap ~file_off:(!cur + 1) with
+                | Some o -> min (off + len) o
+                | None -> off + len
+              in
+              let f = Basefs.find_file t.inner ino in
+              match Block_map.lookup f.Basefs.bmap ~file_off:!cur with
+              | Some (phys, run) ->
+                  let n = min (limit - !cur) run in
+                  Device.read (dev_of t) cpu ~off:phys ~len:n ~dst ~dst_off:(!cur - off);
+                  cur := !cur + n
+              | None -> cur := max (!cur + 1) limit)
+        done;
+        Bytes.unsafe_to_string dst
+      end
+
+(* fsync: the relink — staged extents become file extents via one ext4
+   journal transaction; no data copy. *)
+let fsync t cpu fd =
+  let e = Fd_table.get t.inner.Basefs.fds fd in
+  (match Hashtbl.find_opt t.staging e.ino with
+  | Some s when Block_map.extents s.smap <> [] ->
+      let f = Basefs.find_file t.inner e.ino in
+      List.iter
+        (fun (fo, phys, len) ->
+          let clobbered = Block_map.remove_range f.Basefs.bmap ~file_off:fo ~len in
+          List.iter (fun (o, l) -> Alloc.free t.inner.Basefs.alloc ~off:o ~len:l) clobbered;
+          Block_map.insert f.Basefs.bmap ~file_off:fo ~phys ~len)
+        (Block_map.extents s.smap);
+      let new_size = max f.Basefs.size (staged_size s) in
+      f.Basefs.size <- new_size;
+      Block_map.clear s.smap;
+      s.sbytes <- 0;
+      s.s_size <- 0;
+      (* One metadata journal transaction on the ext4 journal. *)
+      Basefs.meta_sync t.inner cpu ~addr:f.Basefs.meta_addr ~bytes:128
+  | _ -> ());
+  Basefs.fsync t.inner cpu fd
+
+let fallocate t = Basefs.fallocate t.inner
+
+(* Truncation must see staged appends: relink first, then delegate. *)
+let ftruncate t cpu fd new_size =
+  fsync t cpu fd;
+  Basefs.ftruncate t.inner cpu fd new_size

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Bytes Char Int64 List Repro_util Repro_vfs String

@@ -1,0 +1,1 @@
+lib/core/fs.mli: Repro_util Repro_vfs

@@ -1,0 +1,1 @@
+lib/core/handle.ml: Fs Repro_vfs

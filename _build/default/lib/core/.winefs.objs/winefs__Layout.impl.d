@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Repro_journal Repro_util Units

@@ -1,0 +1,1 @@
+lib/core/numa_policy.ml: Hashtbl

@@ -1,0 +1,161 @@
+let dentry_bytes = 64
+let max_name = 47
+
+let u64 buf off v = Bytes.set_int64_le buf off (Int64.of_int v)
+let g64 buf off = Int64.to_int (Bytes.get_int64_le buf off)
+
+module Superblock = struct
+  type t = {
+    size : int;
+    cpus : int;
+    inodes_per_cpu : int;
+    mode_strict : bool;
+    clean : bool;
+  }
+
+  let magic = 0x57494E4546532121L (* "WINEFS!!" *)
+  let bytes = 64
+
+  let encode t =
+    let b = Bytes.make bytes '\000' in
+    Bytes.set_int64_le b 0 magic;
+    u64 b 8 t.size;
+    u64 b 16 t.cpus;
+    u64 b 24 t.inodes_per_cpu;
+    u64 b 32 ((if t.mode_strict then 1 else 0) lor if t.clean then 2 else 0);
+    b
+
+  let decode b =
+    if Bytes.length b < bytes || Bytes.get_int64_le b 0 <> magic then None
+    else
+      let flags = g64 b 32 in
+      Some
+        {
+          size = g64 b 8;
+          cpus = g64 b 16;
+          inodes_per_cpu = g64 b 24;
+          mode_strict = flags land 1 <> 0;
+          clean = flags land 2 <> 0;
+        }
+end
+
+module Inode = struct
+  type header = {
+    valid : bool;
+    is_dir : bool;
+    xattr_align : bool;
+    size : int;
+    nlink : int;
+    extent_count : int;
+    overflow : int;
+  }
+
+  let header_bytes = 64
+
+  let encode_header h =
+    let b = Bytes.make header_bytes '\000' in
+    let flags =
+      (if h.valid then 1 else 0)
+      lor (if h.is_dir then 2 else 0)
+      lor if h.xattr_align then 4 else 0
+    in
+    u64 b 0 flags;
+    u64 b 8 h.size;
+    u64 b 16 h.nlink;
+    u64 b 24 h.extent_count;
+    u64 b 32 h.overflow;
+    b
+
+  let decode_header b =
+    let flags = g64 b 0 in
+    {
+      valid = flags land 1 <> 0;
+      is_dir = flags land 2 <> 0;
+      xattr_align = flags land 4 <> 0;
+      size = g64 b 8;
+      nlink = g64 b 16;
+      extent_count = g64 b 24;
+      overflow = g64 b 32;
+    }
+
+  let extent_bytes = 24
+  let extent_slot_off i = header_bytes + (i * extent_bytes)
+
+  let encode_extent ~file_off ~phys ~len =
+    let b = Bytes.make extent_bytes '\000' in
+    u64 b 0 file_off;
+    u64 b 8 phys;
+    u64 b 16 len;
+    b
+
+  let decode_extent b = (g64 b 0, g64 b 8, g64 b 16)
+end
+
+module Dentry = struct
+  type t = { ino : int; name : string }
+
+  let encode t =
+    let n = String.length t.name in
+    if n > max_name then Repro_vfs.Types.err ENAMETOOLONG "name %S" t.name;
+    if n = 0 then Repro_vfs.Types.err EINVAL "empty name";
+    let b = Bytes.make dentry_bytes '\000' in
+    u64 b 0 t.ino;
+    Bytes.set b 8 (Char.chr n);
+    Bytes.blit_string t.name 0 b 16 n;
+    b
+
+  let decode b =
+    let ino = g64 b 0 in
+    if ino = 0 then None
+    else
+      let n = Char.code (Bytes.get b 8) in
+      Some { ino; name = Bytes.sub_string b 16 n }
+
+  let free_slot = Bytes.make dentry_bytes '\000'
+end
+
+module Overflow = struct
+  let header_bytes = 16
+  let capacity = (Repro_util.Units.base_page - header_bytes) / Inode.extent_bytes
+
+  let encode_header ~next ~count =
+    let b = Bytes.make header_bytes '\000' in
+    u64 b 0 next;
+    u64 b 8 count;
+    b
+
+  let decode_header b = (g64 b 0, g64 b 8)
+  let record_off i = header_bytes + (i * Inode.extent_bytes)
+end
+
+module Serial = struct
+  let magic = 0x46524545535421L
+
+  let encode exts ~capacity_bytes =
+    let n = List.length exts in
+    let need = 16 + (n * 16) in
+    if need > capacity_bytes then None
+    else begin
+      let b = Bytes.make need '\000' in
+      Bytes.set_int64_le b 0 magic;
+      u64 b 8 n;
+      List.iteri
+        (fun i (off, len) ->
+          u64 b (16 + (i * 16)) off;
+          u64 b (16 + (i * 16) + 8) len)
+        exts;
+      Some b
+    end
+
+  let decode b =
+    if Bytes.length b < 16 || Bytes.get_int64_le b 0 <> magic then None
+    else begin
+      let n = g64 b 8 in
+      if n < 0 || 16 + (n * 16) > Bytes.length b then None
+      else
+        Some
+          (List.init n (fun i -> (g64 b (16 + (i * 16)), g64 b (16 + (i * 16) + 8))))
+    end
+
+  let invalid = Bytes.make 16 '\000'
+end

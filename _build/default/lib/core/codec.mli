@@ -1,0 +1,88 @@
+(** Binary codecs for WineFS's persistent structures.
+
+    Pure functions between OCaml records and the byte images stored on PM;
+    all multi-byte fields are little-endian.  Kept separate from the file
+    system so the crash checker and tests can decode raw device state. *)
+
+val dentry_bytes : int
+(** 64 — one cache line per directory entry. *)
+
+val max_name : int
+(** Longest file name storable in a dentry (47). *)
+
+module Superblock : sig
+  type t = {
+    size : int;
+    cpus : int;
+    inodes_per_cpu : int;
+    mode_strict : bool;
+    clean : bool;
+  }
+
+  val bytes : int
+  val encode : t -> bytes
+  val decode : bytes -> t option
+  (** [None] on bad magic. *)
+end
+
+module Inode : sig
+  type header = {
+    valid : bool;
+    is_dir : bool;
+    xattr_align : bool;
+    size : int;
+    nlink : int;
+    extent_count : int;
+    overflow : int;  (** phys offset of first overflow block; 0 = none *)
+  }
+
+  val header_bytes : int
+  (** 64 — the journaled unit for inode updates. *)
+
+  val encode_header : header -> bytes
+  val decode_header : bytes -> header
+
+  val extent_slot_off : int -> int
+  (** Byte offset within the 256B inode of inline extent slot [i]. *)
+
+  val extent_bytes : int
+  (** 24. *)
+
+  val encode_extent : file_off:int -> phys:int -> len:int -> bytes
+  val decode_extent : bytes -> int * int * int
+end
+
+module Dentry : sig
+  type t = { ino : int; name : string }
+
+  val encode : t -> bytes
+  (** Raises {!Repro_vfs.Types.Error} [ENAMETOOLONG] for long names. *)
+
+  val decode : bytes -> t option
+  (** [None] for a free slot (ino = 0). *)
+
+  val free_slot : bytes
+end
+
+module Overflow : sig
+  (** Extent-list continuation block (4KB). *)
+
+  val capacity : int
+  (** Extent records per block (169). *)
+
+  val header_bytes : int
+  val encode_header : next:int -> count:int -> bytes
+  val decode_header : bytes -> int * int
+  val record_off : int -> int
+end
+
+module Serial : sig
+  (** Free-list serialization area written on clean unmount. *)
+
+  val encode : (int * int) list -> capacity_bytes:int -> bytes option
+  (** [None] when the list does not fit (mount then falls back to a scan). *)
+
+  val decode : bytes -> (int * int) list option
+  val invalid : bytes
+  (** Marker making the area unparseable (written at mount). *)
+end

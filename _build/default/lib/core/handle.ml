@@ -1,0 +1,11 @@
+(** First-class handles to WineFS, and the static check that {!Fs}
+    implements the common file-system signature. *)
+
+module Fs_intf = Repro_vfs.Fs_intf
+
+(* The coercion below is the interface-conformance proof. *)
+let fs : (module Fs_intf.S with type t = Fs.t) = (module Fs)
+
+let format dev cfg = Fs_intf.Handle ((module Fs : Fs_intf.S with type t = Fs.t), Fs.format dev cfg)
+
+let mount dev cfg = Fs_intf.Handle ((module Fs : Fs_intf.S with type t = Fs.t), Fs.mount dev cfg)

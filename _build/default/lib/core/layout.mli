@@ -1,0 +1,46 @@
+(** WineFS on-PM layout (Figure 5).
+
+    The partition is carved into a superblock, per-CPU journals, per-CPU
+    inode tables, a free-list serialization area (written on clean
+    unmount), and per-CPU data stripes whose starts are 2MB-aligned so
+    every stripe is a supply of aligned extents. *)
+
+type t = {
+  size : int;
+  cpus : int;
+  inodes_per_cpu : int;
+  journal_entries : int;
+  journal_copy_bytes : int;
+  sb_off : int;
+  journal_off : int array;  (** per CPU *)
+  inode_table_off : int array;  (** per CPU *)
+  serial_off : int;
+  serial_len : int;
+  meta_pool_off : int;
+  meta_pool_len : int;
+      (** dedicated metadata region (dentry blocks, extent-overflow
+          blocks): §3.4 "controlled fragmentation" — small metadata never
+          breaks up data-area aligned extents *)
+  data_off : int;
+  stripes : (int * int) array;  (** per-CPU data stripe (off, len) *)
+}
+
+val inode_bytes : int
+(** 256. *)
+
+val inline_extents : int
+(** Extents stored inline in the inode (8); more spill to overflow blocks. *)
+
+val compute : size:int -> cpus:int -> inodes_per_cpu:int -> t
+(** Derive a layout.  [inodes_per_cpu] is clamped so that metadata never
+    exceeds a quarter of the partition.  Raises [Invalid_argument] when
+    the device is too small to hold any data. *)
+
+val inode_off : t -> int -> int
+(** Physical offset of an inode record by global inode number (1-based;
+    see {!ino_of}). *)
+
+val ino_of : t -> cpu:int -> idx:int -> int
+val cpu_of_ino : t -> int -> int
+val idx_of_ino : t -> int -> int
+val max_ino : t -> int

@@ -1,0 +1,32 @@
+type t = { nodes : int; node_free : int -> int; homes : (int, int) Hashtbl.t }
+
+let create ~nodes ~node_free =
+  if nodes <= 0 then invalid_arg "Numa_policy.create: non-positive nodes";
+  { nodes; node_free; homes = Hashtbl.create 16 }
+
+let best_node t =
+  let best = ref 0 and best_free = ref min_int in
+  for n = 0 to t.nodes - 1 do
+    let f = t.node_free n in
+    if f > !best_free then begin
+      best := n;
+      best_free := f
+    end
+  done;
+  !best
+
+let home t ~pid =
+  match Hashtbl.find_opt t.homes pid with
+  | Some n -> n
+  | None ->
+      let n = best_node t in
+      Hashtbl.replace t.homes pid n;
+      n
+
+let fork t ~parent ~child =
+  let n = home t ~pid:parent in
+  Hashtbl.replace t.homes child n
+
+let notify_exhausted t ~pid = Hashtbl.replace t.homes pid (best_node t)
+
+let assigned t ~pid = Hashtbl.find_opt t.homes pid

@@ -1,0 +1,27 @@
+(** WineFS's NUMA-awareness policy (§3.6 "Minimizing remote NUMA accesses").
+
+    Remote PM writes are much costlier than remote reads, so WineFS routes
+    writes to a per-process {e home node}: assigned on first write (the
+    node with the most free space), inherited by children, and re-assigned
+    when the home runs out of space.  Reads are never migrated.
+
+    The policy is pure bookkeeping over a [node_free] oracle supplied by
+    the file system; WineFS maps the chosen node to one of that node's
+    logical CPUs for allocation.  (The paper's evaluation disables NUMA
+    awareness because competing file systems cannot run multi-node; the
+    mechanism is exercised by unit tests and an ablation bench.) *)
+
+type t
+
+val create : nodes:int -> node_free:(int -> int) -> t
+
+val home : t -> pid:int -> int
+(** The process's home node, assigning it on first use. *)
+
+val fork : t -> parent:int -> child:int -> unit
+(** Child processes inherit the parent's home node. *)
+
+val notify_exhausted : t -> pid:int -> unit
+(** The process's home ran out of space: pick a new home now. *)
+
+val assigned : t -> pid:int -> int option

@@ -1,0 +1,1 @@
+lib/crashcheck/ace.ml: Format Fs_intf List Repro_vfs String Types

@@ -1,0 +1,1 @@
+lib/crashcheck/ace.mli: Format Repro_util Repro_vfs

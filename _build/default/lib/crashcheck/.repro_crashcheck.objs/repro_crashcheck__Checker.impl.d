@@ -1,0 +1,1 @@
+lib/crashcheck/checker.ml: Ace Array Buffer Cpu Hashtbl List Option Printexc Printf Repro_pmem Repro_util Repro_vfs Rng String Units Winefs

@@ -1,0 +1,1 @@
+lib/crashcheck/checker.mli: Ace Repro_util Repro_vfs

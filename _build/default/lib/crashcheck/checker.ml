@@ -1,0 +1,189 @@
+open Repro_util
+module Device = Repro_pmem.Device
+module Types = Repro_vfs.Types
+module Fs_intf = Repro_vfs.Fs_intf
+module Fs = Winefs.Fs
+
+type result = {
+  workloads_run : int;
+  crash_points : int;
+  states_checked : int;
+  failures : (string * string) list;
+}
+
+(* Canonical tree signature: sorted (path kind size digest) lines.  In
+   relaxed mode data content is not guaranteed, so digests are elided. *)
+let signature ?(with_content = true) (Fs_intf.Handle ((module F), fs)) cpu =
+  let buf = Buffer.create 256 in
+  let rec walk path =
+    let entries = List.sort compare (F.readdir fs cpu path) in
+    List.iter
+      (fun name ->
+        let child = Repro_vfs.Path.concat path name in
+        let st = F.stat fs cpu child in
+        (match st.Types.st_kind with
+        | Types.Directory ->
+            Buffer.add_string buf (Printf.sprintf "%s dir\n" child);
+            walk child
+        | Types.Regular ->
+            let digest =
+              if with_content then begin
+                let fd = F.openf fs cpu child Types.o_rdonly in
+                let content = F.pread fs cpu fd ~off:0 ~len:st.st_size in
+                F.close fs cpu fd;
+                Hashtbl.hash content
+              end
+              else 0
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s file size=%d digest=%d\n" child st.st_size digest)))
+      entries
+  in
+  walk "/";
+  Buffer.contents buf
+
+let signature_of h cpu = signature ~with_content:true h cpu
+
+(* Enumerate persisted-subset predicates over [lines]. *)
+let subsets ?(max_random = 24) rng lines =
+  let n = List.length lines in
+  let arr = Array.of_list lines in
+  if n = 0 then [ (fun _ -> false) ]
+  else if n <= 6 then
+    List.init (1 lsl n) (fun mask line ->
+        let rec idx i = if arr.(i) = line then i else idx (i + 1) in
+        match idx 0 with
+        | i -> mask land (1 lsl i) <> 0
+        | exception Invalid_argument _ -> false)
+  else begin
+    let fixed =
+      [ (fun _ -> false); (fun _ -> true) ]
+      @ List.init (min n 8) (fun i line -> line <> arr.(i)) (* one line lost *)
+      @ List.init (min n 8) (fun i line -> line = arr.(i)) (* only one line survives *)
+    in
+    let random =
+      List.init max_random (fun _ ->
+          let keep = Hashtbl.create 8 in
+          Array.iter (fun l -> if Rng.bool rng then Hashtbl.replace keep l ()) arr;
+          fun line -> Hashtbl.mem keep line)
+    in
+    fixed @ random
+  end
+
+let mk_cfg () = Types.config ~cpus:2 ~inodes_per_cpu:256 ()
+
+let fresh_fs ~device_size =
+  let dev = Device.create ~cost:Device.Cost.free ~size:device_size () in
+  let cfg = mk_cfg () in
+  let fs = Fs.format dev cfg in
+  (dev, cfg, fs)
+
+let handle fs = Fs_intf.Handle ((module Fs : Fs_intf.S with type t = Fs.t), fs)
+
+let run ?(mode = Types.Strict) ?(workloads = Ace.all) ?(max_random_subsets = 24)
+    ?(device_size = 48 * Units.mib) () =
+  let with_content = mode = Types.Strict in
+  let rng = Rng.create 0xC4A54 in
+  let cpu = Cpu.make ~id:0 () in
+  let crash_points = ref 0 and states = ref 0 in
+  let failures = ref [] in
+  let run_workload (w : Ace.workload) =
+    (* Reference run: expected signatures after setup and after each op. *)
+    let _, _, ref_fs = fresh_fs ~device_size in
+    List.iter (Ace.apply (handle ref_fs) cpu) w.setup;
+    let expected = ref [ signature ~with_content (handle ref_fs) cpu ] in
+    List.iter
+      (fun op ->
+        Ace.apply (handle ref_fs) cpu op;
+        expected := signature ~with_content (handle ref_fs) cpu :: !expected)
+      w.test;
+    let expected = Array.of_list (List.rev !expected) in
+    (* Crash exploration: inject at each successive fence. *)
+    let fence_n = ref 1 in
+    let exploring = ref true in
+    while !exploring do
+      let dev, cfg, fs = fresh_fs ~device_size in
+      List.iter (Ace.apply (handle fs) cpu) w.setup;
+      Device.set_tracking dev true;
+      Device.reset_fence_seq dev;
+      let target = !fence_n in
+      let captured = ref None in
+      Device.set_fence_hook dev
+        (Some
+           (fun seq ->
+             if seq = target && !captured = None then begin
+               captured := Some (Device.pending_lines dev);
+               Device.set_fence_hook dev None;
+               raise Exit
+             end));
+      let op_index = ref 0 in
+      let crashed = ref false in
+      (try
+         List.iter
+           (fun op ->
+             Ace.apply (handle fs) cpu op;
+             incr op_index)
+           w.test
+       with Exit -> crashed := true);
+      Device.set_fence_hook dev None;
+      if not !crashed then exploring := false
+      else begin
+        incr crash_points;
+        let pending = Option.value ~default:[] !captured in
+        let before = expected.(!op_index) and after = expected.(!op_index + 1) in
+        List.iter
+          (fun persisted ->
+            incr states;
+            let img = Device.crash_image dev ~persisted in
+            match Fs.mount img cfg with
+            | exception e ->
+                failures :=
+                  ( w.w_name,
+                    Printf.sprintf "fence %d: recovery failed: %s" target
+                      (Printexc.to_string e) )
+                  :: !failures
+            | fs2 -> (
+                match signature ~with_content (handle fs2) cpu with
+                | s when s = before || s = after -> ()
+                | s ->
+                    failures :=
+                      ( w.w_name,
+                        Printf.sprintf
+                          "fence %d: recovered state matches neither side of op %d:\n%s"
+                          target !op_index s )
+                      :: !failures
+                | exception e ->
+                    failures :=
+                      ( w.w_name,
+                        Printf.sprintf "fence %d: post-recovery walk failed: %s" target
+                          (Printexc.to_string e) )
+                      :: !failures))
+          (subsets ~max_random:max_random_subsets rng pending);
+        incr fence_n
+      end
+    done
+  in
+  List.iter run_workload workloads;
+  {
+    workloads_run = List.length workloads;
+    crash_points = !crash_points;
+    states_checked = !states;
+    failures = List.rev !failures;
+  }
+
+let recovery_time ~files ~file_bytes =
+  let size = max (64 * Units.mib) (files * file_bytes * 2) in
+  let dev = Device.create ~size () in
+  let cfg = Types.config ~cpus:4 ~inodes_per_cpu:(max 256 (2 * files / 4)) () in
+  let fs = Fs.format dev cfg in
+  let cpu = Cpu.make ~id:0 () in
+  let payload = String.make file_bytes 'r' in
+  for i = 1 to files do
+    let fd = Fs.create fs cpu (Printf.sprintf "/f%d" i) in
+    ignore (Fs.pwrite fs cpu fd ~off:0 ~src:payload);
+    Fs.close fs cpu fd
+  done;
+  (* Crash: no unmount.  Mount performs journal recovery plus the full
+     inode-table scan and allocator rebuild. *)
+  let fs2 = Fs.mount dev cfg in
+  (Fs.recovery_ns fs2, files)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bytes Counters Cpu Exp_common List Printf Repro_baselines Repro_memsim Repro_pmem Repro_util Repro_vfs Repro_workloads Rng String Table Units Winefs

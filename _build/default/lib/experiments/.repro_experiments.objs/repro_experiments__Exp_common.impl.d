@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Fs_intf Repro_aging Repro_baselines Repro_pmem Repro_util Repro_vfs Types Units

@@ -1,0 +1,1 @@
+lib/experiments/fig10_scalability.ml: Exp_common List Repro_baselines Repro_util Repro_workloads Table

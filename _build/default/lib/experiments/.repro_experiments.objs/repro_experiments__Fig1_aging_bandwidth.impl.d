@@ -1,0 +1,1 @@
+lib/experiments/fig1_aging_bandwidth.ml: Exp_common List Printf Repro_baselines Repro_util Repro_vfs Repro_workloads Table Units

@@ -1,0 +1,1 @@
+lib/experiments/fig2_mmap_overhead.ml: Exp_common List Printf Repro_baselines Repro_util Repro_workloads Table Units

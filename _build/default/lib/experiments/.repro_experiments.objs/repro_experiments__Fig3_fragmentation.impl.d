@@ -1,0 +1,1 @@
+lib/experiments/fig3_fragmentation.ml: Exp_common List Printf Repro_aging Repro_baselines Repro_util Table

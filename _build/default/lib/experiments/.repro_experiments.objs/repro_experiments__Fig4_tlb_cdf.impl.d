@@ -1,0 +1,1 @@
+lib/experiments/fig4_tlb_cdf.ml: Counters Cpu Dist Exp_common Histogram List Printf Repro_baselines Repro_memsim Repro_util Repro_vfs Rng Table Units

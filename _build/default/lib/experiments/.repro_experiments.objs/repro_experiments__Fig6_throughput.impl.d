@@ -1,0 +1,1 @@
+lib/experiments/fig6_throughput.ml: Exp_common List Repro_baselines Repro_util Repro_vfs Repro_workloads Table Units

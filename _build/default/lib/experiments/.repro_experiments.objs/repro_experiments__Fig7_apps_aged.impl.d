@@ -1,0 +1,1 @@
+lib/experiments/fig7_apps_aged.ml: Counters Exp_common List Printf Repro_baselines Repro_util Repro_workloads Table Units

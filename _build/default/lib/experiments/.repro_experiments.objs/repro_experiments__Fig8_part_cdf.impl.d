@@ -1,0 +1,1 @@
+lib/experiments/fig8_part_cdf.ml: Exp_common Histogram List Printf Repro_baselines Repro_util Repro_workloads Table Units

@@ -1,0 +1,1 @@
+lib/experiments/fig9_syscall_apps.ml: Exp_common List Repro_baselines Repro_util Repro_workloads Table

@@ -1,0 +1,1 @@
+lib/experiments/sec36_xattr_rsync.ml: Exp_common List Printf Repro_baselines Repro_pmem Repro_util Repro_vfs Repro_workloads Table Units

@@ -1,0 +1,1 @@
+lib/experiments/sec4_defrag_interference.ml: Cpu Exp_common Printf Repro_baselines Repro_memsim Repro_pmem Repro_util Repro_vfs Rng String Table Units Winefs

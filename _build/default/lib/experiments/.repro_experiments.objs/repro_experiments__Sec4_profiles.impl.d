@@ -1,0 +1,1 @@
+lib/experiments/sec4_profiles.ml: Exp_common List Repro_aging Repro_baselines Repro_util Table

@@ -1,0 +1,1 @@
+lib/experiments/sec52_crash_recovery.ml: List Printf Repro_crashcheck Repro_util Table Units

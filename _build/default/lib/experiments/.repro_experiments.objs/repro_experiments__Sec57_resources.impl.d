@@ -1,0 +1,1 @@
+lib/experiments/sec57_resources.ml: Cpu Exp_common List Printf Repro_baselines Repro_util Repro_vfs Table Units

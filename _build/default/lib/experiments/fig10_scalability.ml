@@ -1,0 +1,47 @@
+(** Figure 10: metadata scalability — per-thread create / append-4KB /
+    fsync / unlink, throughput vs thread count.
+
+    Paper shape: WineFS and NOVA scale best (per-CPU journals / per-inode
+    logs), PMFS scales (fine-grained journaling) and ext4-DAX / xfs-DAX /
+    SplitFS flatten early because fsync commits the global JBD2 journal
+    stop-the-world. *)
+
+open Repro_util
+module Registry = Repro_baselines.Registry
+module W = Repro_workloads.Micro
+
+let thread_counts = [ 1; 2; 4; 8; 16 ]
+
+let filesystems =
+  [ Registry.ext4_dax; Registry.xfs_dax; Registry.pmfs; Registry.splitfs;
+    Registry.nova; Registry.winefs ]
+
+let run ?(scale = 1) () =
+  let setup = Exp_common.make ~scale () in
+  let cols = "FS" :: List.map string_of_int thread_counts in
+  let t = Table.create ~title:"Fig 10: scalability, kops/s vs threads" ~columns:cols in
+  let t_wait =
+    Table.create ~title:"Fig 10 (aux): total lock-wait ms at 16 threads" ~columns:[ "FS"; "ms" ]
+  in
+  List.iter
+    (fun (factory : Registry.factory) ->
+      let last_wait = ref 0 in
+      let points =
+        List.map
+          (fun threads ->
+            let make () =
+              let setup = { setup with Exp_common.cpus = max setup.Exp_common.cpus threads } in
+              Exp_common.fresh setup factory
+            in
+            let p =
+              W.scalability make ~threads ~files_per_thread:(4 * scale)
+                ~appends_per_file:(16 * scale)
+            in
+            last_wait := p.lock_wait_ns;
+            p.kops_per_s)
+          thread_counts
+      in
+      Table.add_float_row t factory.fs_name points;
+      Table.add_float_row t_wait factory.fs_name [ float_of_int !last_wait /. 1e6 ])
+    filesystems;
+  [ t; t_wait ]

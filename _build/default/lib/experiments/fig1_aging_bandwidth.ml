@@ -1,0 +1,56 @@
+(** Figure 1: write bandwidth to memory-mapped files on un-aged vs aged
+    file systems as capacity utilization grows.
+
+    For each utilization point the file system is filled (un-aged) or
+    churned (aged, Agrawal profile); then a benchmark file sized to a
+    fraction of the remaining space is created with large writes,
+    memory-mapped, and written sequentially with 2MB memcpys — §5.3's
+    benchmark.  The paper's effect: ext4-DAX and NOVA lose ~50% of their
+    bandwidth once aged past 60% utilization because the file can no
+    longer be placed on aligned extents; WineFS stays flat. *)
+
+open Repro_util
+module Types = Repro_vfs.Types
+module Registry = Repro_baselines.Registry
+module W = Repro_workloads.Micro
+
+let utilizations = [ 0.0; 0.3; 0.6; 0.9 ]
+
+let bench_one h setup =
+  (* Bench file: half the remaining free space, capped. *)
+  let s = Exp_common.handle_statfs h in
+  let file_bytes =
+    max (4 * Units.mib) (Units.round_down (s.Types.free / 2) Units.huge_page)
+  in
+  let file_bytes = min file_bytes (64 * Units.mib * setup.Exp_common.scale) in
+  let r =
+    W.mmap_rw h ~path:"/fig1-bench" ~file_bytes ~io_bytes:file_bytes
+      ~chunk:Units.huge_page ~mode:`Seq_write ()
+  in
+  r.mb_per_s
+
+let series setup ~aged_mode =
+  List.map
+    (fun (factory : Registry.factory) ->
+      let points =
+        List.map
+          (fun util ->
+            let h =
+              if util = 0.0 then Exp_common.fresh setup factory
+              else if aged_mode then fst (Exp_common.aged setup factory ~target_util:util)
+              else fst (Exp_common.filled setup factory ~target_util:util)
+            in
+            bench_one h setup)
+          utilizations
+      in
+      (factory.fs_name, points))
+    Exp_common.fig1_filesystems
+
+let run ?(scale = 1) () =
+  let setup = Exp_common.make ~scale () in
+  let cols = "FS" :: List.map (fun u -> Printf.sprintf "%.0f%%" (u *. 100.)) utilizations in
+  let t_new = Table.create ~title:"Fig 1(a): mmap write bandwidth, un-aged (MB/s)" ~columns:cols in
+  List.iter (fun (fs, pts) -> Table.add_float_row t_new fs pts) (series setup ~aged_mode:false);
+  let t_aged = Table.create ~title:"Fig 1(b): mmap write bandwidth, aged (MB/s)" ~columns:cols in
+  List.iter (fun (fs, pts) -> Table.add_float_row t_aged fs pts) (series setup ~aged_mode:true);
+  [ t_new; t_aged ]

@@ -1,0 +1,53 @@
+(** Figure 2 + §2.1: the cost anatomy of memory-mapping.
+
+    (a) Time to memory-map and write a 2MB file with hugepages vs base
+    pages, split into data-copy time and page-fault handling — the paper
+    shows base pages spend two thirds of total time on 512 faults and
+    their page tables, and hugepages make the whole write ~2x faster.
+
+    (b) §2.1's motivating microbenchmark: writing a large file
+    sequentially via mmap vs via write() system calls (mmap ~2x faster;
+    the syscall run spends far more time in kernel-path overhead). *)
+
+open Repro_util
+module W = Repro_workloads.Micro
+module Registry = Repro_baselines.Registry
+
+let run ?(scale = 1) () =
+  let setup = Exp_common.make ~scale () in
+  (* (a) 2MB file, clean WineFS, huge vs base. *)
+  let t_fig2 =
+    Table.create ~title:"Fig 2: memory-map + write a 2MB file (us)"
+      ~columns:[ "mapping"; "total"; "copy"; "fault-handling"; "faults" ]
+  in
+  List.iter
+    (fun (label, huge_ok) ->
+      let h = Exp_common.fresh setup Registry.winefs in
+      let total, fault_ns, faults = W.mmap_write_2mb_file h ~path:"/fig2" ~huge_ok in
+      Table.add_row t_fig2
+        [
+          label;
+          Printf.sprintf "%.0f" (float_of_int total /. 1e3);
+          Printf.sprintf "%.0f" (float_of_int (total - fault_ns) /. 1e3);
+          Printf.sprintf "%.0f" (float_of_int fault_ns /. 1e3);
+          string_of_int faults;
+        ])
+    [ ("hugepages", true); ("base-pages", false) ];
+  (* (b) §2.1: big sequential write, mmap vs syscalls. *)
+  let io = 64 * Units.mib * scale in
+  let t_sec21 =
+    Table.create ~title:"Sec 2.1: sequential write of a large file (MB/s)"
+      ~columns:[ "access-mode"; "MB/s" ]
+  in
+  let h = Exp_common.fresh setup Registry.winefs in
+  let m =
+    W.mmap_rw h ~path:"/big-mmap" ~file_bytes:io ~io_bytes:io ~chunk:Units.huge_page
+      ~mode:`Seq_write ()
+  in
+  let s =
+    W.syscall_rw h ~path:"/big-sys" ~file_bytes:io ~io_bytes:io ~chunk:Units.base_page
+      ~fsync_every:1000000 ~mode:`Seq_write ()
+  in
+  Table.add_float_row t_sec21 "mmap (memcpy)" [ m.mb_per_s ];
+  Table.add_float_row t_sec21 "write() syscalls" [ s.mb_per_s ];
+  [ t_fig2; t_sec21 ]

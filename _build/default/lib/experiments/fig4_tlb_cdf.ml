@@ -1,0 +1,84 @@
+(** Figure 4: latency CDF of random reads from a pre-faulted mmap'd PM
+    array, 2MB pages vs 4KB pages.
+
+    No page faults occur in the critical path; the difference is TLB
+    misses and the page-table entries they drag through the processor
+    caches, evicting the application's data (§2.4).  The paper measures a
+    ~10x median gap. *)
+
+open Repro_util
+module Vmem = Repro_memsim.Vmem
+module Registry = Repro_baselines.Registry
+module Fs_intf = Repro_vfs.Fs_intf
+
+let read_cdf h ~huge_ok ~array_bytes ~reads ~seed =
+  let (Fs_intf.Handle ((module F), fs)) = h in
+  let cpu = Cpu.make ~id:0 () in
+  let rng = Rng.create seed in
+  let fd = F.create fs cpu "/fig4-array" in
+  F.fallocate fs cpu fd ~off:0 ~len:array_bytes;
+  let vm = Vmem.create (F.device fs) in
+  let region = Vmem.mmap vm ~len:array_bytes ~backing:(F.mmap_backing fs fd) ~huge_ok () in
+  Vmem.prefault vm cpu region;
+  let elems = array_bytes / 64 in
+  (* Skewed popularity: the hot set is what hugepages keep cache- and
+     TLB-resident (§2.4). *)
+  let zipf = Dist.zipf ~n:elems ~theta:0.99 in
+  let shuffle i = i * 2654435761 land (elems - 1) in
+  let hist = Histogram.create () in
+  for _ = 1 to reads do
+    let off = shuffle (Dist.sample zipf rng - 1) * 64 in
+    let t0 = Cpu.now cpu in
+    Vmem.read vm cpu region ~off ~len:8;
+    Histogram.add hist (Cpu.now cpu - t0)
+  done;
+  F.close fs cpu fd;
+  (hist, Vmem.counters vm)
+
+let run ?(scale = 1) () =
+  let setup = Exp_common.make ~scale () in
+  let array_bytes = 64 * Units.mib * scale in
+  let reads = 50_000 * scale in
+  let t =
+    Table.create ~title:"Fig 4: random-read latency over pre-faulted mmap array (ns)"
+      ~columns:[ "mapping"; "p25"; "median"; "p75"; "p90"; "p99"; "tlb-misses"; "llc-misses" ]
+  in
+  let cdfs =
+    List.map
+      (fun (label, huge_ok) ->
+        let h = Exp_common.fresh setup Registry.winefs in
+        let hist, c = read_cdf h ~huge_ok ~array_bytes ~reads ~seed:5 in
+        Table.add_row t
+          [
+            label;
+            string_of_int (Histogram.percentile hist 25.);
+            string_of_int (Histogram.percentile hist 50.);
+            string_of_int (Histogram.percentile hist 75.);
+            string_of_int (Histogram.percentile hist 90.);
+            string_of_int (Histogram.percentile hist 99.);
+            string_of_int (Counters.get c "mm.tlb_misses");
+            string_of_int (Counters.get c "mm.llc_misses");
+          ];
+        (label, hist))
+      [ ("2MB-pages", true); ("4KB-pages", false) ]
+  in
+  (* CDF points for plotting. *)
+  let t_cdf =
+    Table.create ~title:"Fig 4 (CDF points)"
+      ~columns:[ "fraction"; "2MB-pages (ns)"; "4KB-pages (ns)" ]
+  in
+  let percentiles = [ 10.; 25.; 50.; 75.; 90.; 95.; 99. ] in
+  List.iter
+    (fun p ->
+      let v label =
+        let hist = List.assoc label cdfs in
+        Histogram.percentile hist p
+      in
+      Table.add_row t_cdf
+        [
+          Printf.sprintf "%.2f" (p /. 100.);
+          string_of_int (v "2MB-pages");
+          string_of_int (v "4KB-pages");
+        ])
+    percentiles;
+  [ t; t_cdf ]

@@ -1,0 +1,84 @@
+(** Figure 6: sequential/random read/write throughput on aged file
+    systems, for (a) memory-mapped access, (b) POSIX with metadata
+    consistency, (c) POSIX with data consistency.  fsync every 10
+    operations on the syscall paths (§5.3).
+
+    Paper shape: WineFS dominates the aged mmap workloads by ~2.3–2.7x
+    over NOVA (hugepages); on the syscall workloads everyone is within
+    tens of percent, with WineFS matching or slightly beating the best
+    (fine-grained journaling + DRAM indexes). *)
+
+open Repro_util
+module Types = Repro_vfs.Types
+module Registry = Repro_baselines.Registry
+module W = Repro_workloads.Micro
+
+let modes = [ ("seq-write", `Seq_write); ("rand-write", `Rand_write);
+              ("seq-read", `Seq_read); ("rand-read", `Rand_read) ]
+
+let aged_handle setup factory = fst (Exp_common.aged setup factory ~target_util:0.75)
+
+(* One aged instance per file system; all four modes run against the same
+   benchmark file, like the paper's single 50GB file (§5.3). *)
+let mmap_row setup (factory : Registry.factory) =
+  let h = aged_handle setup factory in
+  let s = Exp_common.handle_statfs h in
+  let file_bytes =
+    min (48 * Units.mib * setup.Exp_common.scale)
+      (max (4 * Units.mib) (Units.round_down (s.Types.free / 2) Units.huge_page))
+  in
+  let points =
+    List.map
+      (fun (_, mode) ->
+        let r =
+          W.mmap_rw h ~path:"/fig6" ~file_bytes ~io_bytes:file_bytes ~chunk:(64 * Units.kib)
+            ~mode ()
+        in
+        r.mb_per_s)
+      modes
+  in
+  (factory.fs_name, points)
+
+let syscall_row setup (factory : Registry.factory) =
+  let h = aged_handle setup factory in
+  let s = Exp_common.handle_statfs h in
+  let file_bytes =
+    min (32 * Units.mib * setup.Exp_common.scale)
+      (max (4 * Units.mib) (Units.round_down (s.Types.free / 2) Units.base_page))
+  in
+  let points =
+    List.map
+      (fun (_, mode) ->
+        let r =
+          W.syscall_rw h ~path:"/fig6s" ~file_bytes ~io_bytes:file_bytes
+            ~chunk:Units.base_page ~fsync_every:10 ~mode ()
+        in
+        r.mb_per_s)
+      modes
+  in
+  (factory.fs_name, points)
+
+let run ?(scale = 1) () =
+  let setup = Exp_common.make ~scale () in
+  let cols = "FS" :: List.map fst modes in
+  let t_mmap = Table.create ~title:"Fig 6(a): aged mmap throughput (MB/s)" ~columns:cols in
+  List.iter
+    (fun f -> let name, pts = mmap_row setup f in Table.add_float_row t_mmap name pts)
+    [ Registry.ext4_dax; Registry.xfs_dax; Registry.pmfs; Registry.nova;
+      Registry.splitfs; Registry.winefs ];
+  let t_weak =
+    Table.create ~title:"Fig 6(b): aged POSIX throughput, metadata consistency (MB/s)"
+      ~columns:cols
+  in
+  List.iter
+    (fun f -> let name, pts = syscall_row setup f in Table.add_float_row t_weak name pts)
+    [ Registry.ext4_dax; Registry.xfs_dax; Registry.pmfs; Registry.splitfs;
+      Registry.nova_relaxed; Registry.winefs_relaxed ];
+  let t_strong =
+    Table.create ~title:"Fig 6(c): aged POSIX throughput, data consistency (MB/s)"
+      ~columns:cols
+  in
+  List.iter
+    (fun f -> let name, pts = syscall_row setup f in Table.add_float_row t_strong name pts)
+    [ Registry.nova; Registry.strata; Registry.winefs ];
+  [ t_mmap; t_weak; t_strong ]

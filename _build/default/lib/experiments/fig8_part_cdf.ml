@@ -1,0 +1,53 @@
+(** Figure 8: P-ART lookup latency distribution across file systems
+    (aged setting, §5.4).
+
+    The radix-tree pool is pre-faulted, so the latency split is decided
+    by whether the pool file was placed on hugepage-mappable extents:
+    WineFS's median is ~56% below the others (fewer TLB misses, and page
+    table entries stop evicting hot nodes from the LLC). *)
+
+open Repro_util
+module Registry = Repro_baselines.Registry
+module Part = Repro_workloads.Part_model
+
+let filesystems =
+  [ Registry.ext4_dax; Registry.xfs_dax; Registry.splitfs; Registry.nova; Registry.winefs ]
+
+let run ?(scale = 1) () =
+  let setup = Exp_common.make ~scale () in
+  let t =
+    Table.create ~title:"Fig 8: P-ART lookup latency on aged FSs (ns)"
+      ~columns:[ "FS"; "median"; "p90"; "p99"; "tlb-misses"; "llc-misses" ]
+  in
+  let series =
+    List.map
+      (fun (factory : Registry.factory) ->
+        let h = fst (Exp_common.aged setup factory ~target_util:0.75) in
+        let part = Part.create h ~pool_bytes:(48 * Units.mib * scale) () in
+        let r =
+          Part.lookup_latency_cdf part ~keys:(200_000 * scale) ~hot_set:(25_000 * scale)
+            ~lookups:(60_000 * scale) ()
+        in
+        Table.add_row t
+          [
+            factory.fs_name;
+            string_of_int (Histogram.percentile r.hist 50.);
+            string_of_int (Histogram.percentile r.hist 90.);
+            string_of_int (Histogram.percentile r.hist 99.);
+            string_of_int r.tlb_misses;
+            string_of_int r.llc_misses;
+          ];
+        (factory.fs_name, r.hist))
+      filesystems
+  in
+  let t_cdf =
+    Table.create ~title:"Fig 8 (CDF points, ns)"
+      ~columns:("fraction" :: List.map (fun (n, _) -> n) series)
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t_cdf
+        (Printf.sprintf "%.2f" (p /. 100.)
+        :: List.map (fun (_, hist) -> string_of_int (Histogram.percentile hist p)) series))
+    [ 10.; 25.; 50.; 75.; 90.; 99. ];
+  [ t; t_cdf ]

@@ -1,0 +1,67 @@
+(** Figure 9: system-call applications on clean file systems — Filebench
+    (varmail/fileserver/webserver/webproxy), PostgreSQL pgbench
+    read-write, WiredTiger FillRandom/ReadRandom; relaxed-mode group in
+    (a–c), strict-mode group in (d–f).  Aging does not move syscall
+    performance (§2.3), so clean instances suffice (§5.5).
+
+    Paper shape: WineFS equals or beats the best everywhere; ext4/xfs lag
+    on varmail (fsync cost), PMFS lags on metadata-heavy mixes (linear
+    directory scans), NOVA loses ~60% on WiredTiger FillRandom (partial-
+    block CoW) and ~15% on pgbench (log churn on overwrites). *)
+
+open Repro_util
+module Registry = Repro_baselines.Registry
+module Fb = Repro_workloads.Filebench
+module Pg = Repro_workloads.Pgbench
+module Wt = Repro_workloads.Wiredtiger_model
+
+let filebench_row setup (factory : Registry.factory) =
+  List.map
+    (fun personality ->
+      let h = Exp_common.fresh setup factory in
+      let threads = min 16 (Fb.default_threads personality) in
+      let r =
+        Fb.run h ~personality ~threads ~files:(300 * setup.Exp_common.scale)
+          ~ops_per_thread:(60 * setup.Exp_common.scale) ()
+      in
+      r.kops_per_s)
+    Fb.all
+
+let pg_row setup factory =
+  let h = Exp_common.fresh setup factory in
+  let r =
+    Pg.run h ~threads:8 ~scale_pages:(512 * setup.Exp_common.scale)
+      ~txns_per_thread:(150 * setup.Exp_common.scale) ()
+  in
+  r.tps /. 1000.
+
+let wt_row setup factory mode =
+  let h = Exp_common.fresh setup factory in
+  let r =
+    Wt.run h ~mode ~threads:8 ~keys:(500 * setup.Exp_common.scale)
+      ~ops_per_thread:(300 * setup.Exp_common.scale) ()
+  in
+  r.kops_per_s
+
+let run ?(scale = 1) () =
+  let setup = Exp_common.make ~scale () in
+  let cols = "FS" :: List.map Fb.name Fb.all @ [ "pgbench-ktps"; "wt-fill"; "wt-read" ] in
+  let group title group =
+    let t = Table.create ~title ~columns:cols in
+    List.iter
+      (fun (factory : Registry.factory) ->
+        let fb = filebench_row setup factory in
+        let pg = pg_row setup factory in
+        let wf = wt_row setup factory `FillRandom in
+        let wr = wt_row setup factory `ReadRandom in
+        Table.add_float_row t factory.fs_name (fb @ [ pg; wf; wr ]))
+      group;
+    t
+  in
+  [
+    group "Fig 9(a-c): syscall apps, metadata consistency (kops/s)"
+      [ Registry.ext4_dax; Registry.xfs_dax; Registry.pmfs; Registry.splitfs;
+        Registry.nova_relaxed; Registry.winefs_relaxed ];
+    group "Fig 9(d-f): syscall apps, data consistency (kops/s)"
+      [ Registry.nova; Registry.strata; Registry.winefs ];
+  ]

@@ -1,0 +1,1 @@
+lib/journal/redo_journal.ml: Bytes Hashtbl Int64 List Repro_pmem Repro_sched Repro_util String Units

@@ -1,0 +1,1 @@
+lib/journal/redo_journal.mli: Cpu Repro_pmem Repro_util

@@ -1,0 +1,1 @@
+lib/journal/undo_journal.ml: Bytes Int64 List Repro_pmem String

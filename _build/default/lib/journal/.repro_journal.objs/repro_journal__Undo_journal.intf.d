@@ -1,0 +1,1 @@
+lib/journal/undo_journal.mli: Cpu Repro_pmem Repro_util

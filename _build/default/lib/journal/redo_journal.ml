@@ -1,0 +1,193 @@
+open Repro_util
+module Device = Repro_pmem.Device
+module Sched = Repro_sched.Sched
+
+let header_bytes = 64
+let rec_header_bytes = 64
+let magic = 0x4A42443252494E47L (* "JBD2RING" *)
+
+(* Record header layout (64B):
+   0  magic-lite u64 (distinguishes formatted slots)
+   8  seq   u64
+   16 type  u64  (1 = descriptor, 2 = commit)
+   24 addr  u64
+   32 len   u64 *)
+let rec_magic = 0x4A524543L (* u64 literal *)
+
+type t = {
+  dev : Device.t;
+  base : int;
+  size : int; (* ring bytes (excluding header) *)
+  lock : Sched.mutex;
+  mutable seq : int; (* last committed sequence *)
+  mutable head : int; (* next free byte in ring *)
+  running : (int, string) Hashtbl.t; (* addr -> new data *)
+  mutable running_order : int list;
+}
+
+let bytes_needed ~size = header_bytes + size
+
+let write_header t cpu =
+  let buf = Bytes.make header_bytes '\000' in
+  Bytes.set_int64_le buf 0 magic;
+  Bytes.set_int64_le buf 8 (Int64.of_int t.seq);
+  Bytes.set_int64_le buf 16 (Int64.of_int t.head);
+  Device.write t.dev cpu ~off:t.base ~src:buf ~src_off:0 ~len:header_bytes;
+  Device.persist t.dev cpu ~off:t.base ~len:header_bytes
+
+let format dev cpu ~off ~size =
+  if size < 4096 then invalid_arg "Redo_journal.format: ring too small";
+  let t =
+    {
+      dev;
+      base = off;
+      size;
+      lock = Sched.create_mutex ();
+      seq = 0;
+      head = 0;
+      running = Hashtbl.create 64;
+      running_order = [];
+    }
+  in
+  Device.memset dev cpu ~off:(off + header_bytes) ~len:size '\000';
+  write_header t cpu;
+  t
+
+let attach dev ~off ~size =
+  let buf = Bytes.create header_bytes in
+  Device.peek dev ~off ~len:header_bytes ~dst:buf ~dst_off:0;
+  if Bytes.get_int64_le buf 0 <> magic then invalid_arg "Redo_journal.attach: bad magic";
+  {
+    dev;
+    base = off;
+    size;
+    lock = Sched.create_mutex ();
+    seq = Int64.to_int (Bytes.get_int64_le buf 8);
+    head = Int64.to_int (Bytes.get_int64_le buf 16);
+    running = Hashtbl.create 64;
+    running_order = [];
+  }
+
+let add t _cpu ~addr ~data =
+  if String.length data = 0 then invalid_arg "Redo_journal.add: empty record";
+  if not (Hashtbl.mem t.running addr) then t.running_order <- addr :: t.running_order;
+  Hashtbl.replace t.running addr data
+
+let running_records t = Hashtbl.length t.running
+
+let record_size data_len = rec_header_bytes + Units.round_up data_len 64
+
+let write_record t cpu ~seq ~ty ~addr ~data =
+  let dlen = String.length data in
+  let total = record_size dlen in
+  if t.head + total > t.size then t.head <- 0 (* wrap; records never straddle *);
+  let off = t.base + header_bytes + t.head in
+  let buf = Bytes.make rec_header_bytes '\000' in
+  Bytes.set_int64_le buf 0 rec_magic;
+  Bytes.set_int64_le buf 8 (Int64.of_int seq);
+  Bytes.set_int64_le buf 16 (Int64.of_int ty);
+  Bytes.set_int64_le buf 24 (Int64.of_int addr);
+  Bytes.set_int64_le buf 32 (Int64.of_int dlen);
+  Device.write t.dev cpu ~off ~src:buf ~src_off:0 ~len:rec_header_bytes;
+  if dlen > 0 then Device.write_string t.dev cpu ~off:(off + rec_header_bytes) data;
+  Device.flush t.dev cpu ~off ~len:total;
+  t.head <- t.head + total
+
+let commit t cpu =
+  if Hashtbl.length t.running > 0 then
+    Sched.with_lock t.lock (fun () ->
+        let seq = t.seq + 1 in
+        let records =
+          List.rev_map (fun addr -> (addr, Hashtbl.find t.running addr)) t.running_order
+        in
+        (* Journal all records, then the commit block; one fence covers the
+           record flushes, a second orders the commit block after them. *)
+        List.iter (fun (addr, data) -> write_record t cpu ~seq ~ty:1 ~addr ~data) records;
+        Device.fence t.dev cpu;
+        write_record t cpu ~seq ~ty:2 ~addr:0 ~data:"";
+        Device.fence t.dev cpu;
+        (* Checkpoint in place. *)
+        List.iter
+          (fun (addr, data) ->
+            Device.write_string t.dev cpu ~off:addr data;
+            Device.flush t.dev cpu ~off:addr ~len:(String.length data))
+          records;
+        Device.fence t.dev cpu;
+        t.seq <- seq;
+        write_header t cpu;
+        Hashtbl.reset t.running;
+        t.running_order <- [])
+
+let read_record t cpu ~pos ~expected_seq =
+  if pos + rec_header_bytes > t.size then None
+  else
+    let off = t.base + header_bytes + pos in
+    let buf = Bytes.create rec_header_bytes in
+    Device.read t.dev cpu ~off ~len:rec_header_bytes ~dst:buf ~dst_off:0;
+    if Bytes.get_int64_le buf 0 <> rec_magic then None
+    else
+      let seq = Int64.to_int (Bytes.get_int64_le buf 8) in
+      let ty = Int64.to_int (Bytes.get_int64_le buf 16) in
+      let addr = Int64.to_int (Bytes.get_int64_le buf 24) in
+      let dlen = Int64.to_int (Bytes.get_int64_le buf 32) in
+      if seq <> expected_seq || (ty <> 1 && ty <> 2) then None
+      else if dlen < 0 || pos + record_size dlen > t.size then None
+      else
+        let data =
+          if dlen > 0 then Device.read_string t.dev cpu ~off:(off + rec_header_bytes) ~len:dlen
+          else ""
+        in
+        Some (ty, addr, data, record_size dlen)
+
+let recover t cpu =
+  (* Scan forward from the persisted head for transactions that were
+     journalled but whose header update (or checkpoint) was lost. *)
+  let replayed = ref 0 in
+  let pos = ref t.head and expected = ref (t.seq + 1) in
+  let continue_scan = ref true in
+  while !continue_scan do
+    (* Collect one transaction. *)
+    let records = ref [] in
+    let committed = ref false in
+    let cursor = ref !pos in
+    let in_txn = ref true in
+    while !in_txn do
+      (* Records never straddle the ring end; the writer may have wrapped
+         to 0 even when a bare header would still have fit, so retry at 0
+         on a parse failure. *)
+      let try_pos = if !cursor + rec_header_bytes > t.size then 0 else !cursor in
+      let parsed =
+        match read_record t cpu ~pos:try_pos ~expected_seq:!expected with
+        | Some r -> Some (try_pos, r)
+        | None when try_pos <> 0 -> (
+            match read_record t cpu ~pos:0 ~expected_seq:!expected with
+            | Some r -> Some (0, r)
+            | None -> None)
+        | None -> None
+      in
+      match parsed with
+      | None -> in_txn := false
+      | Some (at, (ty, addr, data, sz)) ->
+          cursor := at + sz;
+          if ty = 2 then begin
+            committed := true;
+            in_txn := false
+          end
+          else records := (addr, data) :: !records
+    done;
+    if !committed then begin
+      List.iter
+        (fun (addr, data) ->
+          Device.write_string t.dev cpu ~off:addr data;
+          Device.persist t.dev cpu ~off:addr ~len:(String.length data))
+        (List.rev !records);
+      incr replayed;
+      t.seq <- !expected;
+      t.head <- !cursor;
+      pos := !cursor;
+      incr expected
+    end
+    else continue_scan := false
+  done;
+  if !replayed > 0 then write_header t cpu;
+  !replayed

@@ -1,0 +1,298 @@
+module Device = Repro_pmem.Device
+
+module Txn_counter = struct
+  type t = { mutable next : int }
+
+  let create () = { next = 1 }
+
+  let take t =
+    let id = t.next in
+    t.next <- t.next + 1;
+    id
+
+  let peek t = t.next
+end
+
+let entry_bytes = 64
+let header_bytes = 64
+let inline_max = 24
+let magic = 0x57494E454A524E4CL (* "WINEJRNL" *)
+
+(* Entry slot layout (64B):
+   0  txn_id        u64
+   8  wrap          u32  | type u8 | inline_len u8 | pad u16   (packed u64)
+   16 addr          u64
+   24 len           u64
+   32 copy_off      u64
+   40 inline data   24B *)
+
+type entry_type = Start | Commit | Data_inline | Data_extent
+
+let type_code = function Start -> 1 | Commit -> 2 | Data_inline -> 3 | Data_extent -> 4
+
+let type_of_code = function
+  | 1 -> Some Start
+  | 2 -> Some Commit
+  | 3 -> Some Data_inline
+  | 4 -> Some Data_extent
+  | _ -> None
+
+type t = {
+  dev : Device.t;
+  counter : Txn_counter.t;
+  base : int; (* header offset *)
+  slots : int; (* entry capacity *)
+  copy_bytes : int;
+  mutable head : int; (* next free slot *)
+  mutable wrap : int;
+  mutable open_txn : bool;
+  mutable unreclaimed : int; (* committed txns since the last header persist *)
+  mutable slots_since_reclaim : int;
+}
+
+type txn = {
+  id : int;
+  reserve : int;
+  mutable used : int;
+  mutable copy_used : int;
+  mutable undo : (int * string) list; (* addr, old bytes — for abort *)
+}
+
+let bytes_needed ~entries ~copy_bytes = header_bytes + (entries * entry_bytes) + copy_bytes
+
+let entries_capacity t = t.slots
+let copy_capacity t = t.copy_bytes
+
+let slot_off t i = t.base + header_bytes + (i * entry_bytes)
+let copy_off t = t.base + header_bytes + (t.slots * entry_bytes)
+
+let write_header t cpu =
+  let buf = Bytes.make header_bytes '\000' in
+  Bytes.set_int64_le buf 0 magic;
+  Bytes.set_int64_le buf 8 (Int64.of_int t.wrap);
+  Bytes.set_int64_le buf 16 (Int64.of_int t.head);
+  Device.write t.dev cpu ~off:t.base ~src:buf ~src_off:0 ~len:header_bytes;
+  Device.persist t.dev cpu ~off:t.base ~len:header_bytes
+
+let format dev cpu counter ~off ~entries ~copy_bytes =
+  if entries <= 2 then invalid_arg "Undo_journal.format: too few entries";
+  let t =
+    { dev; counter; base = off; slots = entries; copy_bytes; head = 0; wrap = 1;
+      open_txn = false; unreclaimed = 0; slots_since_reclaim = 0 }
+  in
+  (* Zero the slot area so stale bytes never parse as valid entries. *)
+  Device.memset dev cpu ~off:(slot_off t 0) ~len:(entries * entry_bytes) '\000';
+  write_header t cpu;
+  t
+
+let attach dev counter ~off ~entries ~copy_bytes =
+  let t =
+    { dev; counter; base = off; slots = entries; copy_bytes; head = 0; wrap = 1;
+      open_txn = false; unreclaimed = 0; slots_since_reclaim = 0 }
+  in
+  let buf = Bytes.create header_bytes in
+  Device.peek dev ~off ~len:header_bytes ~dst:buf ~dst_off:0;
+  if Bytes.get_int64_le buf 0 <> magic then invalid_arg "Undo_journal.attach: bad magic";
+  t.wrap <- Int64.to_int (Bytes.get_int64_le buf 8);
+  t.head <- Int64.to_int (Bytes.get_int64_le buf 16);
+  t
+
+let write_entry t cpu ~ty ~txn_id ~addr ~len ~copy ~inline =
+  let i = t.head in
+  let buf = Bytes.make entry_bytes '\000' in
+  Bytes.set_int64_le buf 0 (Int64.of_int txn_id);
+  let inline_len = String.length inline in
+  let packed =
+    Int64.logor
+      (Int64.of_int (t.wrap land 0xFFFFFFFF))
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (type_code ty)) 32)
+         (Int64.shift_left (Int64.of_int inline_len) 40))
+  in
+  Bytes.set_int64_le buf 8 packed;
+  Bytes.set_int64_le buf 16 (Int64.of_int addr);
+  Bytes.set_int64_le buf 24 (Int64.of_int len);
+  Bytes.set_int64_le buf 32 (Int64.of_int copy);
+  Bytes.blit_string inline 0 buf 40 inline_len;
+  Device.write t.dev cpu ~off:(slot_off t i) ~src:buf ~src_off:0 ~len:entry_bytes;
+  Device.persist t.dev cpu ~off:(slot_off t i) ~len:entry_bytes;
+  t.head <- t.head + 1;
+  t.slots_since_reclaim <- t.slots_since_reclaim + 1;
+  if t.head >= t.slots then begin
+    t.head <- 0;
+    t.wrap <- t.wrap + 1
+  end
+
+(* Space reclamation runs in the background in WineFS (§5.7): commits
+   leave the persisted tail behind and a periodic pass advances it.
+   Recovery copes by scanning past committed transactions. *)
+let reclaim_threshold = 24
+
+let reclaim t cpu =
+  t.open_txn <- false;
+  write_header t cpu;
+  t.unreclaimed <- 0;
+  t.slots_since_reclaim <- 0
+
+let invalidate_head_slot_fwd t cpu =
+  Device.write t.dev cpu ~off:(slot_off t t.head) ~src:(Bytes.make entry_bytes '\000')
+    ~src_off:0 ~len:entry_bytes;
+  Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes
+
+let begin_txn t cpu ~reserve =
+  if t.open_txn then invalid_arg "Undo_journal: transaction already open";
+  if reserve + 2 > t.slots then invalid_arg "Undo_journal: reservation exceeds capacity";
+  (* The ring must never lap its own unreclaimed entries: reclaim now if
+     this reservation could reach them. *)
+  if t.slots_since_reclaim + reserve + 2 >= t.slots then reclaim t cpu;
+  t.open_txn <- true;
+  let id = Txn_counter.take t.counter in
+  write_entry t cpu ~ty:Start ~txn_id:id ~addr:0 ~len:0 ~copy:0 ~inline:"";
+  { id; reserve; used = 0; copy_used = 0; undo = [] }
+
+let log_range t cpu txn ~addr ~len =
+  if not t.open_txn then invalid_arg "Undo_journal.log_range: no open transaction";
+  if txn.used >= txn.reserve then invalid_arg "Undo_journal: reservation exhausted";
+  if len <= 0 then invalid_arg "Undo_journal.log_range: non-positive length";
+  let old = Device.read_string t.dev cpu ~off:addr ~len in
+  txn.undo <- (addr, old) :: txn.undo;
+  if len <= inline_max then
+    write_entry t cpu ~ty:Data_inline ~txn_id:txn.id ~addr ~len ~copy:0 ~inline:old
+  else begin
+    if txn.copy_used + len > t.copy_bytes then
+      invalid_arg "Undo_journal: copy area exhausted (split the transaction)";
+    let dst = copy_off t + txn.copy_used in
+    (* Bulk undo data streams with non-temporal stores + fence. *)
+    Device.write_string_nt t.dev cpu ~off:dst old;
+    Device.fence t.dev cpu;
+    write_entry t cpu ~ty:Data_extent ~txn_id:txn.id ~addr ~len ~copy:dst ~inline:"";
+    txn.copy_used <- txn.copy_used + len
+  end;
+  txn.used <- txn.used + 1
+
+let commit t cpu txn =
+  if not t.open_txn then invalid_arg "Undo_journal.commit: no open transaction";
+  (* All flushed in-place updates must be durable strictly before the
+     COMMIT entry is: fence first, then persist the COMMIT. *)
+  Device.fence t.dev cpu;
+  write_entry t cpu ~ty:Commit ~txn_id:txn.id ~addr:0 ~len:0 ~copy:0 ~inline:"";
+  t.open_txn <- false;
+  t.unreclaimed <- t.unreclaimed + 1;
+  if t.unreclaimed >= reclaim_threshold then begin
+    t.open_txn <- true (* write_header path resets it *);
+    reclaim t cpu
+  end
+
+let abort t cpu txn =
+  if not t.open_txn then invalid_arg "Undo_journal.abort: no open transaction";
+  List.iter
+    (fun (addr, old) ->
+      Device.write_string t.dev cpu ~off:addr old;
+      Device.persist t.dev cpu ~off:addr ~len:(String.length old))
+    txn.undo;
+  (* Aborts reclaim eagerly: the ring must not rescan the dead entries. *)
+  invalidate_head_slot_fwd t cpu;
+  reclaim t cpu
+
+type pending = { txn_id : int; records : (int * string) list }
+
+type parsed = {
+  p_txn : int;
+  p_type : entry_type;
+  p_addr : int;
+  p_len : int;
+  p_copy : int;
+  p_inline : string;
+}
+
+let parse_slot t cpu i ~expected_wrap =
+  let buf = Bytes.create entry_bytes in
+  Device.read t.dev cpu ~off:(slot_off t i) ~len:entry_bytes ~dst:buf ~dst_off:0;
+  let packed = Bytes.get_int64_le buf 8 in
+  let wrap = Int64.to_int (Int64.logand packed 0xFFFFFFFFL) in
+  let ty = Int64.to_int (Int64.logand (Int64.shift_right_logical packed 32) 0xFFL) in
+  let inline_len = Int64.to_int (Int64.logand (Int64.shift_right_logical packed 40) 0xFFL) in
+  if wrap <> expected_wrap then None
+  else
+    match type_of_code ty with
+    | None -> None
+    | Some p_type ->
+        if inline_len > inline_max then None
+        else
+          Some
+            {
+              p_txn = Int64.to_int (Bytes.get_int64_le buf 0);
+              p_type;
+              p_addr = Int64.to_int (Bytes.get_int64_le buf 16);
+              p_len = Int64.to_int (Bytes.get_int64_le buf 24);
+              p_copy = Int64.to_int (Bytes.get_int64_le buf 32);
+              p_inline = Bytes.sub_string buf 40 inline_len;
+            }
+
+let scan_pending t cpu =
+  let buf = Bytes.create header_bytes in
+  Device.read t.dev cpu ~off:t.base ~len:header_bytes ~dst:buf ~dst_off:0;
+  let wrap = Int64.to_int (Bytes.get_int64_le buf 8) in
+  let tail = Int64.to_int (Bytes.get_int64_le buf 16) in
+  let entries = ref [] in
+  let committed = ref false in
+  let txn_id = ref (-1) in
+  let i = ref tail and expected = ref wrap and scanned = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !scanned < t.slots do
+    (match parse_slot t cpu !i ~expected_wrap:!expected with
+    | None -> stop := true
+    | Some p ->
+        (* All entries of the live transaction share the txn id of its
+           START; a mismatch means stale bytes from an earlier lap. *)
+        if !txn_id = -1 && p.p_type <> Start then stop := true
+        else if !txn_id <> -1 && p.p_txn <> !txn_id then stop := true
+        else begin
+          match p.p_type with
+          | Start -> txn_id := p.p_txn
+          | Commit ->
+              (* Committed-but-unreclaimed transaction: skip it and keep
+                 scanning for a trailing unfinished one (§5.7 background
+                 reclamation). *)
+              committed := true;
+              txn_id := -1;
+              entries := []
+          | Data_inline -> entries := (p.p_addr, p.p_inline) :: !entries
+          | Data_extent ->
+              let old = Device.read_string t.dev cpu ~off:p.p_copy ~len:p.p_len in
+              entries := (p.p_addr, old) :: !entries
+        end);
+    incr scanned;
+    incr i;
+    if !i >= t.slots then begin
+      i := 0;
+      incr expected
+    end
+  done;
+  ignore !committed;
+  if !txn_id = -1 then None
+  else
+    (* records are newest-first; roll back in that order. *)
+    Some { txn_id = !txn_id; records = !entries }
+
+(* Invalidate the slot at the reclaim point so stale entries of the
+   rolled-back transaction can never be rescanned as pending. *)
+let invalidate_head_slot t cpu =
+  Device.write t.dev cpu ~off:(slot_off t t.head) ~src:(Bytes.make entry_bytes '\000')
+    ~src_off:0 ~len:entry_bytes;
+  Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes
+
+let rollback_pending t cpu (p : pending) =
+  List.iter
+    (fun (addr, old) ->
+      Device.write_string t.dev cpu ~off:addr old;
+      Device.persist t.dev cpu ~off:addr ~len:(String.length old))
+    p.records;
+  t.open_txn <- false;
+  invalidate_head_slot t cpu;
+  write_header t cpu
+
+let reset t cpu =
+  t.open_txn <- false;
+  invalidate_head_slot t cpu;
+  write_header t cpu

@@ -1,0 +1,78 @@
+(** PM-optimised, fine-grained undo journal (§3.4–§3.6).
+
+    One instance per logical CPU in WineFS (a single shared instance models
+    PMFS).  Each log entry is one 64B cache line; a transaction writes a
+    START entry, undo records (the {e old} contents of every range it will
+    modify in place), then a COMMIT entry.  All operations are synchronous,
+    so journal space is reclaimed as soon as the transaction commits.
+    Transaction IDs come from a counter shared across all per-CPU journals
+    so multi-journal recovery can roll back in global order (§3.6).
+
+    Undo records larger than the 28-byte inline payload spill the old data
+    into the journal's copy area (used by WineFS's data journaling of
+    aligned extents).
+
+    On-PM layout: a 64B header (wraparound counter + tail slot), a ring of
+    64B entry slots, then the copy area.  Recovery scans forward from the
+    persisted tail, accepting entries whose wraparound counter matches the
+    expected generation — any trailing transaction without COMMIT is rolled
+    back by rewriting the journaled old bytes. *)
+
+open Repro_util
+
+(** Global transaction-ID counter shared by a set of journals. *)
+module Txn_counter : sig
+  type t
+
+  val create : unit -> t
+  val peek : t -> int
+end
+
+type t
+
+val bytes_needed : entries:int -> copy_bytes:int -> int
+(** PM footprint of a journal with the given geometry. *)
+
+val entry_bytes : int
+(** 64. *)
+
+val format : Repro_pmem.Device.t -> Cpu.t -> Txn_counter.t -> off:int -> entries:int -> copy_bytes:int -> t
+(** Initialise an empty journal at device offset [off]. *)
+
+val attach : Repro_pmem.Device.t -> Txn_counter.t -> off:int -> entries:int -> copy_bytes:int -> t
+(** Bind to an existing (clean) journal without recovery. *)
+
+type txn
+
+val begin_txn : t -> Cpu.t -> reserve:int -> txn
+(** Start a transaction that will log at most [reserve] entries (the paper
+    reserves at most 10 per system call).  Writes and persists the START
+    entry.  Only one transaction may be open per journal (callers hold the
+    per-CPU journal lock); enforced. *)
+
+val log_range : t -> Cpu.t -> txn -> addr:int -> len:int -> unit
+(** Record the current contents of [addr, addr+len) as undo data — inline
+    when it fits a cache line, otherwise via the copy area.  Must precede
+    the in-place update. *)
+
+val commit : t -> Cpu.t -> txn -> unit
+(** Persist COMMIT, reclaim the space. *)
+
+val abort : t -> Cpu.t -> txn -> unit
+(** Roll back the in-place updates using the undo records and reclaim. *)
+
+type pending = { txn_id : int; records : (int * string) list (* addr, old bytes *) }
+
+val scan_pending : t -> Cpu.t -> pending option
+(** Recovery phase 1: the (at most one) unfinished transaction in this
+    journal, without modifying anything. *)
+
+val rollback_pending : t -> Cpu.t -> pending -> unit
+(** Recovery phase 2: rewrite old bytes and reset the journal.  Call in
+    descending global txn-id order across journals. *)
+
+val reset : t -> Cpu.t -> unit
+(** Clear the journal (end of recovery). *)
+
+val copy_capacity : t -> int
+val entries_capacity : t -> int

@@ -1,0 +1,1 @@
+lib/memsim/lru_sets.ml: Array

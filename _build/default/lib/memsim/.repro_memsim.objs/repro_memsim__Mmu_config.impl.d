@@ -1,0 +1,1 @@
+lib/memsim/mmu_config.ml: Repro_util

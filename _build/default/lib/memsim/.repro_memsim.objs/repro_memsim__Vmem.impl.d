@@ -1,0 +1,1 @@
+lib/memsim/vmem.ml: Bytes Counters Cpu Hashtbl Lru_sets Mmu_config Printf Repro_pmem Repro_util Simclock String Units

@@ -1,0 +1,1 @@
+lib/memsim/vmem.mli: Counters Cpu Mmu_config Repro_pmem Repro_util

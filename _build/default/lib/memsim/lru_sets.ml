@@ -1,0 +1,42 @@
+(* Each set is a small array scanned linearly; position encodes recency
+   (slot 0 = MRU).  Associativities are small (<= 16) so the scan is
+   cheap and allocation-free. *)
+
+type t = { sets : int; ways : int; mask : int; slots : int array (* -1 = empty *) }
+
+let create ~sets ~ways =
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Lru_sets.create: sets must be a positive power of two";
+  if ways <= 0 then invalid_arg "Lru_sets.create: non-positive ways";
+  { sets; ways; mask = sets - 1; slots = Array.make (sets * ways) (-1) }
+
+(* Multiplicative hash to spread line indexes across sets. *)
+let set_of t key = (key * 0x9E3779B1) lsr 7 land t.mask
+
+let access t key =
+  let base = set_of t key * t.ways in
+  let rec find i = if i >= t.ways then -1 else if t.slots.(base + i) = key then i else find (i + 1) in
+  let pos = find 0 in
+  let hit = pos >= 0 in
+  let last = if hit then pos else t.ways - 1 in
+  (* Shift entries down; install key as MRU. *)
+  for i = last downto 1 do
+    t.slots.(base + i) <- t.slots.(base + i - 1)
+  done;
+  t.slots.(base) <- key;
+  hit
+
+let probe t key =
+  let base = set_of t key * t.ways in
+  let rec find i = i < t.ways && (t.slots.(base + i) = key || find (i + 1)) in
+  find 0
+
+let invalidate t key =
+  let base = set_of t key * t.ways in
+  for i = 0 to t.ways - 1 do
+    if t.slots.(base + i) = key then t.slots.(base + i) <- -1
+  done
+
+let clear t = Array.fill t.slots 0 (Array.length t.slots) (-1)
+
+let capacity t = t.sets * t.ways

@@ -1,0 +1,1 @@
+lib/pmem/device.ml: Bytes Counters Cpu Hashtbl List Printf Repro_util Simclock String Units

@@ -1,0 +1,1 @@
+lib/pmem/device.mli: Repro_util

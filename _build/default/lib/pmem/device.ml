@@ -1,0 +1,309 @@
+open Repro_util
+
+module Cost = struct
+  type t = {
+    read_ns_per_cl : float;
+    write_ns_per_cl : float;
+    read_ns_per_byte : float;
+    write_ns_per_byte : float;
+    flush_ns : float;
+    fence_ns : float;
+    remote_read_factor : float;
+    remote_write_factor : float;
+  }
+
+  (* §2.1: 64B accesses cost 100-200ns; read bandwidth about 1/3 DRAM
+     (~30GB/s -> 0.033 ns/B), write bandwidth about 0.17x DRAM
+     (~8GB/s -> 0.125 ns/B); remote NUMA writes dearer than reads. *)
+  let optane =
+    {
+      read_ns_per_cl = 120.;
+      write_ns_per_cl = 100.;
+      read_ns_per_byte = 0.033;
+      write_ns_per_byte = 0.125;
+      flush_ns = 20.;
+      fence_ns = 30.;
+      remote_read_factor = 1.3;
+      remote_write_factor = 2.2;
+    }
+
+  let free =
+    {
+      read_ns_per_cl = 0.;
+      write_ns_per_cl = 0.;
+      read_ns_per_byte = 0.;
+      write_ns_per_byte = 0.;
+      flush_ns = 0.;
+      fence_ns = 0.;
+      remote_read_factor = 1.;
+      remote_write_factor = 1.;
+    }
+end
+
+type pending = { old_bytes : bytes; mutable flushed : bool }
+
+type t = {
+  data : bytes;
+  size : int;
+  cost : Cost.t;
+  numa_nodes : int;
+  node_stripe : int;
+  counters : Counters.t;
+  mutable tracking : bool;
+  pending : (int, pending) Hashtbl.t; (* cache-line index -> undo info *)
+  mutable fence_seq : int;
+  mutable fence_hook : (int -> unit) option;
+}
+
+let cl = Units.cacheline
+
+let create ?(cost = Cost.optane) ?(numa_nodes = 1) ~size () =
+  if size <= 0 then invalid_arg "Device.create: non-positive size";
+  if numa_nodes <= 0 then invalid_arg "Device.create: non-positive numa_nodes";
+  let size = Units.round_up size cl in
+  {
+    data = Bytes.make size '\000';
+    size;
+    cost;
+    numa_nodes;
+    node_stripe = Units.round_up (size / numa_nodes) cl;
+    counters = Counters.create ();
+    tracking = false;
+    pending = Hashtbl.create 64;
+    fence_seq = 0;
+    fence_hook = None;
+  }
+
+let size t = t.size
+let numa_nodes t = t.numa_nodes
+
+let node_of_offset t off =
+  if t.numa_nodes = 1 then 0 else min (t.numa_nodes - 1) (off / t.node_stripe)
+
+let counters t = t.counters
+let cost t = t.cost
+let reset_counters t = Counters.reset t.counters
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Device: range [%d,%d) out of bounds (size %d)" off (off + len)
+         t.size)
+
+let lines_touched off len =
+  if len = 0 then (0, -1) else (off / cl, (off + len - 1) / cl)
+
+let remote_factor t (cpu : Cpu.t) ~off ~write =
+  if t.numa_nodes = 1 || cpu.node = node_of_offset t off then 1.
+  else if write then t.cost.remote_write_factor
+  else t.cost.remote_read_factor
+
+(* Sequential lines pipeline: a run of n lines costs one full access latency
+   plus a small pipelined per-line charge, plus the bandwidth term.
+   Calibrated so single-threaded sequential memcpy lands near the paper's
+   ~3GB/s PM write / ~6GB/s read. *)
+let pipeline_factor = 0.08
+
+let charge_read t (cpu : Cpu.t) ~off ~len =
+  if len > 0 then begin
+    let lo, hi = lines_touched off len in
+    let extra = float_of_int (hi - lo) in
+    let ns =
+      t.cost.read_ns_per_cl
+      +. (t.cost.read_ns_per_cl *. pipeline_factor *. extra)
+      +. (t.cost.read_ns_per_byte *. float_of_int len)
+    in
+    let ns = ns *. remote_factor t cpu ~off ~write:false in
+    Simclock.advance cpu.clock (int_of_float ns)
+  end;
+  Counters.add t.counters "pm.bytes_read" len
+
+let charge_write t (cpu : Cpu.t) ~off ~len =
+  if len > 0 then begin
+    let lo, hi = lines_touched off len in
+    let extra = float_of_int (hi - lo) in
+    let ns =
+      t.cost.write_ns_per_cl
+      +. (t.cost.write_ns_per_cl *. pipeline_factor *. extra)
+      +. (t.cost.write_ns_per_byte *. float_of_int len)
+    in
+    let ns = ns *. remote_factor t cpu ~off ~write:true in
+    Simclock.advance cpu.clock (int_of_float ns)
+  end;
+  Counters.add t.counters "pm.bytes_written" len
+
+let track_store ?(nt = false) t off len =
+  if t.tracking && len > 0 then begin
+    let lo, hi = lines_touched off len in
+    for line = lo to hi do
+      match Hashtbl.find_opt t.pending line with
+      | Some p -> p.flushed <- nt
+      | None ->
+          let old_bytes = Bytes.sub t.data (line * cl) cl in
+          Hashtbl.add t.pending line { old_bytes; flushed = nt }
+    done
+  end
+
+let read t cpu ~off ~len ~dst ~dst_off =
+  check_range t off len;
+  charge_read t cpu ~off ~len;
+  Bytes.blit t.data off dst dst_off len
+
+let write t cpu ~off ~src ~src_off ~len =
+  check_range t off len;
+  track_store t off len;
+  charge_write t cpu ~off ~len;
+  Bytes.blit src src_off t.data off len
+
+let read_string t cpu ~off ~len =
+  check_range t off len;
+  charge_read t cpu ~off ~len;
+  Bytes.sub_string t.data off len
+
+let write_string t cpu ~off s =
+  let len = String.length s in
+  check_range t off len;
+  track_store t off len;
+  charge_write t cpu ~off ~len;
+  Bytes.blit_string s 0 t.data off len
+
+(* Non-temporal stores: bypass the cache and become durable at the next
+   fence without explicit clwb (the fast path PM file systems use for bulk
+   data). *)
+let write_nt t cpu ~off ~src ~src_off ~len =
+  check_range t off len;
+  track_store ~nt:true t off len;
+  charge_write t cpu ~off ~len;
+  Bytes.blit src src_off t.data off len
+
+let write_string_nt t cpu ~off s =
+  let len = String.length s in
+  check_range t off len;
+  track_store ~nt:true t off len;
+  charge_write t cpu ~off ~len;
+  Bytes.blit_string s 0 t.data off len
+
+let memset_nt t cpu ~off ~len c =
+  check_range t off len;
+  track_store ~nt:true t off len;
+  charge_write t cpu ~off ~len;
+  Bytes.fill t.data off len c
+
+let copy_within_nt t cpu ~src ~dst ~len =
+  check_range t src len;
+  check_range t dst len;
+  charge_read t cpu ~off:src ~len;
+  track_store ~nt:true t dst len;
+  charge_write t cpu ~off:dst ~len;
+  Bytes.blit t.data src t.data dst len
+
+let memset t cpu ~off ~len c =
+  check_range t off len;
+  track_store t off len;
+  charge_write t cpu ~off ~len;
+  Bytes.fill t.data off len c
+
+let copy_within t cpu ~src ~dst ~len =
+  check_range t src len;
+  check_range t dst len;
+  charge_read t cpu ~off:src ~len;
+  track_store t dst len;
+  charge_write t cpu ~off:dst ~len;
+  Bytes.blit t.data src t.data dst len
+
+let read_u64 t cpu ~off =
+  check_range t off 8;
+  charge_read t cpu ~off ~len:8;
+  Bytes.get_int64_le t.data off
+
+let write_u64 t cpu ~off v =
+  check_range t off 8;
+  track_store t off 8;
+  charge_write t cpu ~off ~len:8;
+  Bytes.set_int64_le t.data off v
+
+let peek t ~off ~len ~dst ~dst_off =
+  check_range t off len;
+  Bytes.blit t.data off dst dst_off len
+
+let touch_read t cpu ~off ~len =
+  check_range t off len;
+  charge_read t cpu ~off ~len
+
+let flush t (cpu : Cpu.t) ~off ~len =
+  check_range t off len;
+  if len > 0 then begin
+    let lo, hi = lines_touched off len in
+    Counters.add t.counters "pm.flushes" (hi - lo + 1);
+    Simclock.advance cpu.clock (int_of_float (t.cost.flush_ns *. float_of_int (hi - lo + 1)));
+    if t.tracking then
+      for line = lo to hi do
+        match Hashtbl.find_opt t.pending line with
+        | Some p -> p.flushed <- true
+        | None -> ()
+      done
+  end
+
+let fence t (cpu : Cpu.t) =
+  Counters.incr t.counters "pm.fences";
+  Simclock.advance cpu.clock (int_of_float t.cost.fence_ns);
+  t.fence_seq <- t.fence_seq + 1;
+  (match t.fence_hook with Some hook -> hook t.fence_seq | None -> ());
+  if t.tracking then begin
+    let durable =
+      Hashtbl.fold (fun line p acc -> if p.flushed then line :: acc else acc) t.pending []
+    in
+    List.iter (Hashtbl.remove t.pending) durable
+  end
+
+let persist t cpu ~off ~len =
+  flush t cpu ~off ~len;
+  fence t cpu
+
+let set_tracking t on =
+  t.tracking <- on;
+  if not on then Hashtbl.reset t.pending
+
+let pending_lines t =
+  Hashtbl.fold (fun line _ acc -> line :: acc) t.pending [] |> List.sort compare
+
+let crash_image t ~persisted =
+  if not t.tracking then invalid_arg "Device.crash_image: tracking disabled";
+  let img =
+    {
+      data = Bytes.copy t.data;
+      size = t.size;
+      cost = t.cost;
+      numa_nodes = t.numa_nodes;
+      node_stripe = t.node_stripe;
+      counters = Counters.create ();
+      tracking = false;
+      pending = Hashtbl.create 1;
+      fence_seq = 0;
+      fence_hook = None;
+    }
+  in
+  Hashtbl.iter
+    (fun line p ->
+      if not (persisted line) then Bytes.blit p.old_bytes 0 img.data (line * cl) cl)
+    t.pending;
+  img
+
+let fence_seq t = t.fence_seq
+
+let set_fence_hook t hook = t.fence_hook <- hook
+
+let reset_fence_seq t = t.fence_seq <- 0
+
+let save_file t path =
+  let oc = open_out_bin path in
+  output_bytes oc t.data;
+  close_out oc
+
+let load_file ?cost ?numa_nodes path =
+  let ic = open_in_bin path in
+  let size = in_channel_length ic in
+  let t = create ?cost ?numa_nodes ~size () in
+  really_input ic t.data 0 size;
+  close_in ic;
+  t

@@ -1,0 +1,134 @@
+(** Simulated byte-addressable persistent-memory device.
+
+    The device models what the paper's file systems see on Intel Optane DC
+    PM: a flat physical address space accessed by loads and stores at
+    cache-line (64B) granularity, with [clwb]-style flushes and store
+    fences.  Every access charges simulated nanoseconds to the accessing
+    {!Repro_util.Cpu.t}'s clock according to {!Cost.t} and bumps the device
+    counters ("pm.bytes_read", "pm.bytes_written", "pm.flushes",
+    "pm.fences").
+
+    {2 Crash semantics}
+
+    When tracking is enabled, stores since the last fence are recorded along
+    with the bytes they overwrote.  A store becomes durable only once it has
+    been flushed and a subsequent fence has executed (conservatively; a real
+    cache may also evict lines early, which the crash explorer models by
+    allowing {e any} subset of pending lines to survive).  {!crash_image}
+    materialises the device contents for a chosen surviving subset, which is
+    what the CrashMonkey-style checker replays recovery against. *)
+
+module Cost : sig
+  type t = {
+    read_ns_per_cl : float;  (** latency charge per 64B cache line read *)
+    write_ns_per_cl : float; (** charge per 64B cache line written *)
+    read_ns_per_byte : float;  (** bandwidth term for bulk reads *)
+    write_ns_per_byte : float; (** bandwidth term for bulk writes *)
+    flush_ns : float;        (** one clwb *)
+    fence_ns : float;        (** one sfence *)
+    remote_read_factor : float;  (** multiplier for cross-NUMA reads *)
+    remote_write_factor : float; (** multiplier for cross-NUMA writes *)
+  }
+
+  val optane : t
+  (** Derived from the paper's §2.1 characterisation: 64B accesses cost
+      100–200ns, read bandwidth ~1/3 of DRAM, write bandwidth ~0.17x DRAM,
+      remote writes costlier than remote reads. *)
+
+  val free : t
+  (** Zero-cost model for unit tests that only check functional behaviour. *)
+end
+
+type t
+
+val create : ?cost:Cost.t -> ?numa_nodes:int -> size:int -> unit -> t
+(** A device of [size] bytes (rounded up to a cache line), zero-filled. *)
+
+val size : t -> int
+val numa_nodes : t -> int
+
+val node_of_offset : t -> int -> int
+(** NUMA node owning a physical offset (equal-sized stripes). *)
+
+val counters : t -> Repro_util.Counters.t
+val cost : t -> Cost.t
+
+(** {2 Data access}  All offsets/lengths are validated; out-of-range access
+    raises [Invalid_argument].  The {!Repro_util.Cpu.t} determines which
+    clock is charged and whether NUMA remote-access penalties apply. *)
+
+val read : t -> Repro_util.Cpu.t -> off:int -> len:int -> dst:bytes -> dst_off:int -> unit
+val write : t -> Repro_util.Cpu.t -> off:int -> src:bytes -> src_off:int -> len:int -> unit
+val read_string : t -> Repro_util.Cpu.t -> off:int -> len:int -> string
+val write_string : t -> Repro_util.Cpu.t -> off:int -> string -> unit
+val memset : t -> Repro_util.Cpu.t -> off:int -> len:int -> char -> unit
+
+val copy_within : t -> Repro_util.Cpu.t -> src:int -> dst:int -> len:int -> unit
+(** Device-to-device copy (charges a read and a write). *)
+
+(** {3 Non-temporal variants}  Bulk-data stores that bypass the cache:
+    durable at the next {!fence} with no per-line flush (the movnt +
+    sfence fast path PM file systems use for data). *)
+
+val write_nt : t -> Repro_util.Cpu.t -> off:int -> src:bytes -> src_off:int -> len:int -> unit
+val write_string_nt : t -> Repro_util.Cpu.t -> off:int -> string -> unit
+val memset_nt : t -> Repro_util.Cpu.t -> off:int -> len:int -> char -> unit
+val copy_within_nt : t -> Repro_util.Cpu.t -> src:int -> dst:int -> len:int -> unit
+
+val read_u64 : t -> Repro_util.Cpu.t -> off:int -> int64
+val write_u64 : t -> Repro_util.Cpu.t -> off:int -> int64 -> unit
+(** Little-endian 8-byte accessors; 8-byte aligned stores are the atomic
+    unit PM systems rely on for commit records. *)
+
+val peek : t -> off:int -> len:int -> dst:bytes -> dst_off:int -> unit
+(** Copy device contents without charging time or counters.  Used by the
+    memory simulator for data whose access cost was already accounted to
+    the processor-cache model. *)
+
+val touch_read : t -> Repro_util.Cpu.t -> off:int -> len:int -> unit
+(** Charge the time and counters of a read without copying data. *)
+
+(** {2 Persistence} *)
+
+val flush : t -> Repro_util.Cpu.t -> off:int -> len:int -> unit
+(** clwb every cache line intersecting the range. *)
+
+val fence : t -> Repro_util.Cpu.t -> unit
+(** sfence: all previously flushed lines become durable. *)
+
+val persist : t -> Repro_util.Cpu.t -> off:int -> len:int -> unit
+(** [flush] then [fence]. *)
+
+(** {2 Crash testing} *)
+
+val set_tracking : t -> bool -> unit
+(** Enable/disable pending-store tracking (off by default; costs memory). *)
+
+val pending_lines : t -> int list
+(** Cache-line indices written since the last fence (not yet durable). *)
+
+val crash_image : t -> persisted:(int -> bool) -> t
+(** A fresh, tracking-off device representing post-crash contents: pending
+    lines for which [persisted line = false] are reverted to their
+    pre-store bytes.  Raises [Invalid_argument] if tracking is off. *)
+
+val reset_counters : t -> unit
+
+(** {3 Crash-point injection}  The crash explorer aborts an operation at a
+    chosen fence by raising from the hook; the pending-store set at that
+    instant defines the reachable crash states. *)
+
+val fence_seq : t -> int
+(** Number of fences executed since creation (or {!reset_fence_seq}). *)
+
+val set_fence_hook : t -> (int -> unit) option -> unit
+(** Called with the fence sequence number {e before} the fence commits
+    flushed lines.  [None] uninstalls. *)
+
+val reset_fence_seq : t -> unit
+
+(** {2 Host-file images}  The CLI tools persist device images as ordinary
+    files so a simulated file system survives across program runs. *)
+
+val save_file : t -> string -> unit
+val load_file : ?cost:Cost.t -> ?numa_nodes:int -> string -> t

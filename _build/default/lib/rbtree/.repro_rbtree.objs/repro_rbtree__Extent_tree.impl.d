@@ -1,0 +1,1 @@
+lib/rbtree/extent_tree.ml: Int Printf Rbtree Repro_util

@@ -1,0 +1,1 @@
+lib/rbtree/extent_tree.mli:

@@ -1,0 +1,1 @@
+lib/rbtree/rbtree.ml: Int List Printf String

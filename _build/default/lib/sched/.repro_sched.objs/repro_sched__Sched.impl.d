@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Cpu Effect Option Queue Repro_util Simclock

@@ -1,0 +1,172 @@
+open Repro_util
+open Effect
+open Effect.Deep
+
+(* A thread is a fiber suspended either in the ready set or on a mutex's
+   wait queue.  The scheduler trampoline always resumes the runnable
+   thread with the smallest clock; handlers never [continue] inline, so
+   native stack depth stays bounded no matter how many effects a thread
+   performs. *)
+
+type thread = {
+  cpu : Cpu.t;
+  mutable resume : (unit -> unit) option; (* runnable continuation *)
+  mutable parked : (unit -> unit) option; (* continuation while blocked on a mutex *)
+  mutable finished : bool;
+  mutable blocked_since : int;
+}
+
+type mutex = {
+  mutable holder : thread option;
+  waiters : thread Queue.t;
+  mutable held_outside : bool; (* degraded single-threaded mode *)
+}
+
+type _ Effect.t +=
+  | Lock : mutex -> unit Effect.t
+  | Unlock : mutex -> unit Effect.t
+  | Yield : unit Effect.t
+
+let create_mutex () = { holder = None; waiters = Queue.create (); held_outside = false }
+
+let default_cpu = Cpu.make ~id:0 ()
+
+(* Scheduler state; the simulator is single-OS-threaded so globals are
+   safe. *)
+let active = ref false
+let current : thread option ref = ref None
+let lock_wait_total = ref 0
+
+let uncontended_lock_ns = 18
+let handoff_ns = 40
+
+let self () = match !current with Some t -> t.cpu | None -> default_cpu
+
+let lock m =
+  if !active then perform (Lock m)
+  else begin
+    if m.held_outside then invalid_arg "Sched.lock: deadlock outside scheduler";
+    m.held_outside <- true;
+    Simclock.advance default_cpu.clock uncontended_lock_ns
+  end
+
+let unlock m =
+  if !active then perform (Unlock m)
+  else if m.held_outside then m.held_outside <- false
+  else invalid_arg "Sched.unlock: not held"
+
+let with_lock m f =
+  lock m;
+  match f () with
+  | v ->
+      unlock m;
+      v
+  | exception e ->
+      unlock m;
+      raise e
+
+let yield () = if !active then perform Yield
+
+type stats = { makespan_ns : int; total_busy_ns : int; lock_wait_ns : int }
+
+let run ?(numa_nodes = 1) ~threads:nthreads body =
+  if !active then invalid_arg "Sched.run: not reentrant";
+  if nthreads <= 0 then invalid_arg "Sched.run: non-positive thread count";
+  let threads =
+    Array.init nthreads (fun i ->
+        let node = if numa_nodes <= 1 then 0 else i * numa_nodes / nthreads in
+        {
+          cpu = Cpu.make ~id:i ~node ();
+          resume = None;
+          parked = None;
+          finished = false;
+          blocked_since = 0;
+        })
+  in
+  active := true;
+  lock_wait_total := 0;
+  let start t =
+    t.resume <-
+      Some
+        (fun () ->
+          match_with
+            (fun () -> body t.cpu)
+            ()
+            {
+              retc = (fun () -> t.finished <- true);
+              exnc = (fun e -> raise e);
+              effc =
+                (fun (type a) (eff : a Effect.t) ->
+                  match eff with
+                  | Lock m ->
+                      Some
+                        (fun (k : (a, unit) continuation) ->
+                          Simclock.advance t.cpu.clock uncontended_lock_ns;
+                          if m.holder = None && Queue.is_empty m.waiters then begin
+                            m.holder <- Some t;
+                            t.resume <- Some (fun () -> continue k ())
+                          end
+                          else begin
+                            t.blocked_since <- Simclock.now t.cpu.clock;
+                            t.parked <- Some (fun () -> continue k ());
+                            Queue.add t m.waiters
+                          end)
+                  | Unlock m ->
+                      Some
+                        (fun (k : (a, unit) continuation) ->
+                          (match m.holder with
+                          | Some h when h == t -> ()
+                          | _ -> invalid_arg "Sched.unlock: not held by caller");
+                          m.holder <- None;
+                          (match Queue.take_opt m.waiters with
+                          | Some w ->
+                              m.holder <- Some w;
+                              let wake = Simclock.now t.cpu.clock + handoff_ns in
+                              let waited = max 0 (wake - w.blocked_since) in
+                              lock_wait_total := !lock_wait_total + waited;
+                              Simclock.advance_to w.cpu.clock wake;
+                              w.resume <- w.parked;
+                              w.parked <- None
+                          | None -> ());
+                          t.resume <- Some (fun () -> continue k ()))
+                  | Yield ->
+                      Some
+                        (fun (k : (a, unit) continuation) ->
+                          t.resume <- Some (fun () -> continue k ()))
+                  | _ -> None);
+            })
+  in
+  Array.iter start threads;
+  (* Trampoline: run the earliest-clock runnable thread. *)
+  let rec loop () =
+    let next = ref None in
+    Array.iter
+      (fun t ->
+        match t.resume with
+        | Some _ when not t.finished -> (
+            match !next with
+            | Some b when Simclock.now b.cpu.clock <= Simclock.now t.cpu.clock -> ()
+            | _ -> next := Some t)
+        | _ -> ())
+      threads;
+    match !next with
+    | None -> ()
+    | Some t ->
+        let k = Option.get t.resume in
+        t.resume <- None;
+        current := Some t;
+        k ();
+        current := None;
+        loop ()
+  in
+  (try loop ()
+   with e ->
+     active := false;
+     current := None;
+     raise e);
+  active := false;
+  let stuck = Array.exists (fun t -> not t.finished) threads in
+  if stuck then invalid_arg "Sched.run: deadlock — some threads never finished";
+  let makespan = Array.fold_left (fun acc t -> max acc (Simclock.now t.cpu.clock)) 0 threads in
+  let busy = Array.fold_left (fun acc t -> acc + Simclock.now t.cpu.clock) 0 threads in
+  { makespan_ns = makespan; total_busy_ns = busy; lock_wait_ns = !lock_wait_total }

@@ -1,0 +1,50 @@
+(** Deterministic cooperative thread simulator.
+
+    Multi-threaded experiments (the paper's Figure 10 scalability study,
+    Filebench, the per-CPU journal contention model) run simulated threads
+    whose clocks advance as they touch PM, fault, and wait on locks.  The
+    scheduler is a discrete-event loop: it always resumes the runnable
+    thread with the smallest simulated clock, so lock-contention effects
+    (global JBD2 commit lock vs per-CPU journals) fall out naturally and
+    every run is reproducible.
+
+    Threads are OCaml effect-based fibers; they must only block through
+    {!lock}/{!yield} (cooperative).  Outside {!run}, {!lock} and {!unlock}
+    degrade to free uncontended acquisition so single-threaded code can
+    share the same code paths. *)
+
+open Repro_util
+
+type mutex
+
+val create_mutex : unit -> mutex
+
+val lock : mutex -> unit
+(** Acquire; blocks the calling simulated thread while held by another.
+    FIFO handoff.  Charges a small uncontended-acquisition cost. *)
+
+val unlock : mutex -> unit
+(** Raises [Invalid_argument] when the lock is not held by the caller. *)
+
+val with_lock : mutex -> (unit -> 'a) -> 'a
+
+val yield : unit -> unit
+(** Let other runnable threads with earlier clocks run. *)
+
+val self : unit -> Cpu.t
+(** The calling thread's CPU context.  Outside {!run}, a process-wide
+    default CPU 0. *)
+
+val default_cpu : Cpu.t
+(** The CPU used outside {!run}; its clock keeps advancing across calls. *)
+
+type stats = {
+  makespan_ns : int;  (** max thread clock at completion *)
+  total_busy_ns : int;  (** sum of thread clocks *)
+  lock_wait_ns : int;  (** total time threads spent blocked on mutexes *)
+}
+
+val run : ?numa_nodes:int -> threads:int -> (Cpu.t -> unit) -> stats
+(** [run ~threads body] starts [threads] fibers, thread [i] on CPU [i]
+    (NUMA node [i * numa_nodes / threads]), and executes them to
+    completion.  Not reentrant. *)

@@ -1,0 +1,7 @@
+type t = { id : int; node : int; clock : Simclock.t }
+
+let make ?(node = 0) ~id () =
+  if id < 0 then invalid_arg "Cpu.make: negative id";
+  { id; node; clock = Simclock.create () }
+
+let now t = Simclock.now t.clock

@@ -1,0 +1,14 @@
+(** Execution context of one simulated logical CPU / thread.
+
+    Every operation in the simulator happens on behalf of a CPU: the CPU's
+    clock absorbs simulated time, its [id] selects per-CPU file-system
+    structures (journal, inode table, allocation pools) and its [node] is
+    the NUMA node used for remote-access accounting. *)
+
+type t = { id : int; node : int; clock : Simclock.t }
+
+val make : ?node:int -> id:int -> unit -> t
+(** [node] defaults to 0. *)
+
+val now : t -> int
+(** Shorthand for [Simclock.now t.clock]. *)

@@ -1,0 +1,75 @@
+type t =
+  | Constant of int
+  | Uniform of int * int
+  | Lognormal of { mu : float; sigma : float; min : int; max : int }
+  | Mixture of (float * t) array * float (* cumulative-normalised weights *)
+  | Zipf of { n : int; theta : float; zetan : float; alpha : float; eta : float }
+
+let constant v = Constant v
+
+let uniform ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform: hi < lo";
+  Uniform (lo, hi)
+
+let lognormal ~mu ~sigma ~min ~max =
+  if max < min then invalid_arg "Dist.lognormal: max < min";
+  Lognormal { mu; sigma; min; max }
+
+let mixture parts =
+  if parts = [] then invalid_arg "Dist.mixture: empty";
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. parts in
+  if total <= 0. then invalid_arg "Dist.mixture: non-positive total weight";
+  Mixture (Array.of_list parts, total)
+
+(* Gray & al. "Quickly generating billion-record synthetic databases"
+   bounded-zipfian sampler, as used by YCSB's ZipfianGenerator. *)
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let zipf ~n ~theta =
+  if n <= 0 then invalid_arg "Dist.zipf: n <= 0";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta =
+    (1. -. Float.pow (2. /. float_of_int n) (1. -. theta)) /. (1. -. (zeta2 /. zetan))
+  in
+  Zipf { n; theta; zetan; alpha; eta }
+
+let rec sample t rng =
+  match t with
+  | Constant v -> v
+  | Uniform (lo, hi) -> lo + Rng.int rng (hi - lo + 1)
+  | Lognormal { mu; sigma; min; max } ->
+      let v = int_of_float (Rng.lognormal rng ~mu ~sigma) in
+      Stdlib.min max (Stdlib.max min v)
+  | Mixture (parts, total) ->
+      let target = Rng.float rng total in
+      let rec pick i acc =
+        let w, d = parts.(i) in
+        let acc = acc +. w in
+        if target < acc || i = Array.length parts - 1 then sample d rng else pick (i + 1) acc
+      in
+      pick 0 0.
+  | Zipf { n; theta; zetan; alpha; eta } ->
+      let u = Rng.float rng 1.0 in
+      let uz = u *. zetan in
+      if uz < 1.0 then 1
+      else if uz < 1.0 +. Float.pow 0.5 theta then 2
+      else
+        let rank =
+          1 + int_of_float (float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.) alpha)
+        in
+        Stdlib.min n (Stdlib.max 1 rank)
+
+let mean_estimate t rng ~samples =
+  if samples <= 0 then invalid_arg "Dist.mean_estimate";
+  let acc = ref 0. in
+  for _ = 1 to samples do
+    acc := !acc +. float_of_int (sample t rng)
+  done;
+  !acc /. float_of_int samples

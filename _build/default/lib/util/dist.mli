@@ -1,0 +1,23 @@
+(** Random-variate distributions used by workload and aging generators. *)
+
+type t
+(** A distribution over positive integers (file sizes, key ranks, ...). *)
+
+val constant : int -> t
+val uniform : lo:int -> hi:int -> t
+(** Inclusive bounds. *)
+
+val lognormal : mu:float -> sigma:float -> min:int -> max:int -> t
+(** Log-normal clamped to [min,max]; classic file-size shape (Agrawal et
+    al. 2007 found file sizes approximately log-normal). *)
+
+val mixture : (float * t) list -> t
+(** Weighted mixture; weights need not sum to 1 (they are normalised). *)
+
+val sample : t -> Rng.t -> int
+
+val zipf : n:int -> theta:float -> t
+(** Zipfian ranks in [1, n] with skew [theta] (YCSB uses theta = 0.99). *)
+
+val mean_estimate : t -> Rng.t -> samples:int -> float
+(** Monte-Carlo mean; used by the ager to pre-size runs. *)

@@ -1,0 +1,24 @@
+type t = { mutable now_ns : int }
+
+let create () = { now_ns = 0 }
+
+let now c = c.now_ns
+
+let advance c ns =
+  if ns < 0 then invalid_arg "Simclock.advance: negative duration";
+  c.now_ns <- c.now_ns + ns
+
+let advance_to c t = if t > c.now_ns then c.now_ns <- t
+
+let reset c = c.now_ns <- 0
+
+type span = { mutable total_ns : int; mutable samples : int }
+
+let span () = { total_ns = 0; samples = 0 }
+
+let record s ns =
+  s.total_ns <- s.total_ns + ns;
+  s.samples <- s.samples + 1
+
+let mean_ns s =
+  if s.samples = 0 then 0. else float_of_int s.total_ns /. float_of_int s.samples

@@ -1,0 +1,32 @@
+(** Simulated nanosecond clock.
+
+    Every component of the simulator charges elapsed time to a clock rather
+    than measuring wall time.  A clock belongs to one simulated thread of
+    execution; experiments derive throughput and latency from clock
+    readings, which makes every run deterministic. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at time 0. *)
+
+val now : t -> int
+(** Current simulated time in nanoseconds. *)
+
+val advance : t -> int -> unit
+(** [advance c ns] charges [ns] nanoseconds to the clock.  Negative charges
+    are rejected with [Invalid_argument]. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to c t] moves the clock forward to absolute time [t]; a no-op
+    when the clock is already past [t]. *)
+
+val reset : t -> unit
+(** Rewind the clock to 0. *)
+
+type span = { mutable total_ns : int; mutable samples : int }
+(** Accumulator for timing a recurring section. *)
+
+val span : unit -> span
+val record : span -> int -> unit
+val mean_ns : span -> float

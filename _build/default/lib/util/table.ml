@@ -1,0 +1,32 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- t.rows @ [ cells ]
+
+let add_float_row t label values =
+  add_row t (label :: List.map (Printf.sprintf "%.2f") values)
+
+let render t =
+  let all = t.columns :: t.rows in
+  let ncols = List.length t.columns in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    String.concat "  " (List.map2 pad row widths)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.columns ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,14 @@
+(** Plain-text result tables for the benchmark harness.
+
+    Each experiment prints one of these; the column layout mirrors the
+    rows/series of the corresponding paper table or figure. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val add_float_row : t -> string -> float list -> unit
+(** First cell is a label, the rest are formatted with %.2f. *)
+
+val render : t -> string
+val print : t -> unit

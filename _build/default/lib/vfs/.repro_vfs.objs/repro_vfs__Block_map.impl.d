@@ -1,0 +1,1 @@
+lib/vfs/block_map.ml: List Printf Repro_rbtree Repro_util

@@ -1,0 +1,1 @@
+lib/vfs/block_map.mli:

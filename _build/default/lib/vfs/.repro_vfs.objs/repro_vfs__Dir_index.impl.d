@@ -1,0 +1,1 @@
+lib/vfs/dir_index.ml: Cpu List Repro_rbtree Repro_util Simclock

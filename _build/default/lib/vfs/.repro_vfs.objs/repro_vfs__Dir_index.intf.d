@@ -1,0 +1,1 @@
+lib/vfs/dir_index.mli: Cpu Repro_util

@@ -1,0 +1,1 @@
+lib/vfs/fd_table.mli: Types

@@ -1,0 +1,1 @@
+lib/vfs/fs_intf.ml: Counters Cpu Repro_memsim Repro_pmem Repro_util Simclock Types

@@ -1,0 +1,1 @@
+lib/vfs/path.ml: List String Types

@@ -1,0 +1,30 @@
+let max_name = 255
+
+let split p =
+  if String.length p = 0 || p.[0] <> '/' then
+    Types.err EINVAL "path %S is not absolute" p
+  else begin
+    let parts = String.split_on_char '/' p in
+    let parts = List.filter (fun s -> s <> "") parts in
+    List.iter
+      (fun c ->
+        if String.length c > max_name then
+          Types.err ENAMETOOLONG "component %S too long" c;
+        if c = "." || c = ".." then Types.err EINVAL "unsupported component %S" c)
+      parts;
+    parts
+  end
+
+let dirname p =
+  match List.rev (split p) with
+  | [] -> "/"
+  | _ :: rest -> (
+      match List.rev rest with [] -> "/" | parts -> "/" ^ String.concat "/" parts)
+
+let basename p =
+  match List.rev (split p) with
+  | [] -> Types.err EINVAL "root has no basename"
+  | last :: _ -> last
+
+let concat dir name =
+  if dir = "/" then "/" ^ name else dir ^ "/" ^ name

@@ -1,0 +1,15 @@
+(** Absolute-path manipulation ("/a/b/c"). *)
+
+val split : string -> string list
+(** Components of a normalised absolute path; [""] and ["/"] give [].
+    Raises {!Types.Error} [EINVAL] on relative paths, empty components, or
+    components over 255 bytes ([ENAMETOOLONG]). *)
+
+val dirname : string -> string
+(** ["/a/b/c" -> "/a/b"]; ["/a" -> "/"]. *)
+
+val basename : string -> string
+(** ["/a/b/c" -> "c"].  Raises [EINVAL] for the root. *)
+
+val concat : string -> string -> string
+(** [concat "/a" "b" = "/a/b"]. *)

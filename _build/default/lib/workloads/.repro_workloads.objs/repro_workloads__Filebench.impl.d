@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Cpu Fs_intf Printf Repro_sched Repro_util Repro_vfs Rng String Types Units

@@ -1,0 +1,1 @@
+lib/workloads/kvstore.ml: Array Cpu Fs_intf Int64 Printf Repro_memsim Repro_rbtree Repro_util Repro_vfs Units

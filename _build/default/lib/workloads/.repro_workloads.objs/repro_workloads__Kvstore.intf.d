@@ -1,0 +1,1 @@
+lib/workloads/kvstore.mli: Fs_intf Repro_util Repro_vfs

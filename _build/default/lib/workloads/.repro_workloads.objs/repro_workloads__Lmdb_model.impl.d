@@ -1,0 +1,1 @@
+lib/workloads/lmdb_model.ml: Counters Cpu Fs_intf Hashtbl Int64 List Repro_memsim Repro_util Repro_vfs Units

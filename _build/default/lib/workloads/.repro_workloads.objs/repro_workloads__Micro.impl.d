@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Counters Cpu Fs_intf Printf Repro_memsim Repro_pmem Repro_sched Repro_util Repro_vfs Rng String Types Units

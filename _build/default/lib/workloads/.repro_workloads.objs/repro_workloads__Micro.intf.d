@@ -1,0 +1,1 @@
+lib/workloads/micro.mli: Fs_intf Repro_vfs

@@ -1,0 +1,1 @@
+lib/workloads/part_model.ml: Array Counters Cpu Fs_intf Histogram Int64 Repro_memsim Repro_util Repro_vfs Rng Units

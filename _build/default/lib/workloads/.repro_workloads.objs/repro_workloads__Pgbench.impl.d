@@ -1,0 +1,1 @@
+lib/workloads/pgbench.ml: Cpu Fs_intf List Repro_sched Repro_util Repro_vfs Rng String Types

@@ -1,0 +1,1 @@
+lib/workloads/pgbench.mli: Fs_intf Repro_vfs

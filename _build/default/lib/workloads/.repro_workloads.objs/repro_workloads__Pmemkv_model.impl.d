@@ -1,0 +1,1 @@
+lib/workloads/pmemkv_model.ml: Array Counters Cpu Fs_intf Hashtbl Int64 Printf Repro_memsim Repro_sched Repro_util Repro_vfs Units

@@ -1,0 +1,1 @@
+lib/workloads/pmemkv_model.mli: Fs_intf Repro_util Repro_vfs

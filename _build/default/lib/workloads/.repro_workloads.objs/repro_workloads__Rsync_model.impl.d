@@ -1,0 +1,1 @@
+lib/workloads/rsync_model.ml: Cpu Fs_intf List Path Printf Repro_memsim Repro_util Repro_vfs Rng String Types Units

@@ -1,0 +1,1 @@
+lib/workloads/wiredtiger_model.ml: Cpu Fs_intf Hashtbl Printf Repro_sched Repro_util Repro_vfs Rng String Types

@@ -1,0 +1,1 @@
+lib/workloads/wiredtiger_model.mli: Fs_intf Repro_vfs

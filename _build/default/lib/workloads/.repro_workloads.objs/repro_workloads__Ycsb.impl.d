@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Cpu Dist Repro_util Rng

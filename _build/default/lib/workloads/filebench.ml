@@ -1,0 +1,147 @@
+(** Filebench personalities (§5.5, Figure 9a/9d): varmail, fileserver,
+    webserver and webproxy, with the thread counts and file populations of
+    Table 1 (scaled by the caller).
+
+    Each personality is an operation mix over a pre-created file
+    population, run by simulated threads; the op definitions follow the
+    stock Filebench workload files:
+
+    - varmail: mail server — create+append+fsync / read+append+fsync /
+      read whole / delete (the fsync-heavy mix that exposes JBD2);
+    - fileserver: create+write whole / append / read whole / delete / stat;
+    - webserver: read whole files, append to a shared log;
+    - webproxy: create+write, then read the file five times, delete, and
+      append to a shared log. *)
+
+open Repro_util
+open Repro_vfs
+module Sched = Repro_sched.Sched
+
+type personality = Varmail | Fileserver | Webserver | Webproxy
+
+let name = function
+  | Varmail -> "varmail"
+  | Fileserver -> "fileserver"
+  | Webserver -> "webserver"
+  | Webproxy -> "webproxy"
+
+let all = [ Varmail; Fileserver; Webserver; Webproxy ]
+
+(* Table 1 thread counts (files are scaled by the caller). *)
+let default_threads = function
+  | Varmail -> 16
+  | Fileserver -> 50
+  | Webserver -> 100
+  | Webproxy -> 100
+
+type result = { ops : int; elapsed_ns : int; kops_per_s : float }
+
+let mean_file_bytes = function
+  | Varmail -> 16 * Units.kib
+  | Fileserver -> 128 * Units.kib
+  | Webserver -> 32 * Units.kib
+  | Webproxy -> 16 * Units.kib
+
+let run (Fs_intf.Handle ((module F), fs)) ?(seed = 31) ~personality ~threads ~files
+    ~ops_per_thread () =
+  let setup = Cpu.make ~id:0 () in
+  let root = "/" ^ name personality in
+  if not (F.exists fs setup root) then F.mkdir fs setup root;
+  let dirs = max 1 (files / 64) in
+  for d = 0 to dirs - 1 do
+    let p = Printf.sprintf "%s/d%d" root d in
+    if not (F.exists fs setup p) then F.mkdir fs setup p
+  done;
+  let path i = Printf.sprintf "%s/d%d/f%d" root (i mod dirs) i in
+  let fsize = mean_file_bytes personality in
+  let payload = String.make fsize 'f' in
+  let append_chunk = String.make (16 * Units.kib) 'a' in
+  (* Population. *)
+  for i = 0 to files - 1 do
+    let fd = F.create fs setup (path i) in
+    ignore (F.pwrite fs setup fd ~off:0 ~src:payload);
+    F.close fs setup fd
+  done;
+  (* Shared log for web personalities. *)
+  (match personality with
+  | Webserver | Webproxy ->
+      let fd = F.create fs setup (root ^ "/log") in
+      F.close fs setup fd
+  | Varmail | Fileserver -> ());
+  let next_new = ref files in
+  let ops_done = ref 0 in
+  let stats =
+    Sched.run ~threads (fun cpu ->
+        let rng = Rng.create (seed + (cpu.Cpu.id * 7919)) in
+        let pick () = path (Rng.int rng files) in
+        (* A file can vanish between path pick and use (concurrent
+           deleters); treat that like ESTALE and move on. *)
+        let op_read_whole p =
+          try
+            let fd = F.openf fs cpu p Types.o_rdonly in
+            ignore (F.pread fs cpu fd ~off:0 ~len:(F.file_size fs fd));
+            F.close fs cpu fd
+          with Types.Error _ -> ()
+        in
+        let op_append_fsync p =
+          try
+            let fd = F.openf fs cpu p Types.o_rdwr in
+            ignore (F.append fs cpu fd ~src:append_chunk);
+            F.fsync fs cpu fd;
+            F.close fs cpu fd
+          with Types.Error _ -> ()
+        in
+        let op_create_new ?(then_delete = false) ?(reads = 0) () =
+          let id = !next_new in
+          next_new := id + 1;
+          let p = path id in
+          try
+            let fd = F.create fs cpu p in
+            ignore (F.pwrite fs cpu fd ~off:0 ~src:payload);
+            F.fsync fs cpu fd;
+            F.close fs cpu fd;
+            for _ = 1 to reads do
+              op_read_whole p
+            done;
+            if then_delete then F.unlink fs cpu p
+          with Types.Error _ -> ()
+        in
+        let op_delete () = try F.unlink fs cpu (pick ()) with Types.Error _ -> () in
+        let op_stat () = try ignore (F.stat fs cpu (pick ())) with Types.Error _ -> () in
+        let op_log_append () = op_append_fsync (root ^ "/log") in
+        for _ = 1 to ops_per_thread do
+          (match personality with
+          | Varmail -> (
+              (* Equal-weight varmail flowlets. *)
+              match Rng.int rng 4 with
+              | 0 ->
+                  op_delete ();
+                  op_create_new ()
+              | 1 -> op_append_fsync (pick ())
+              | 2 ->
+                  op_read_whole (pick ());
+                  op_append_fsync (pick ())
+              | _ -> op_read_whole (pick ()))
+          | Fileserver -> (
+              match Rng.int rng 5 with
+              | 0 -> op_create_new ()
+              | 1 -> op_append_fsync (pick ())
+              | 2 -> op_read_whole (pick ())
+              | 3 -> op_delete ()
+              | _ -> op_stat ())
+          | Webserver ->
+              (* 10 reads : 1 log append, the classic ratio. *)
+              if Rng.int rng 11 < 10 then op_read_whole (pick ()) else op_log_append ()
+          | Webproxy ->
+              if Rng.int rng 6 = 0 then op_create_new ~then_delete:true ~reads:5 ()
+              else op_read_whole (pick ()));
+          ops_done := !ops_done + 1
+        done)
+  in
+  {
+    ops = !ops_done;
+    elapsed_ns = stats.makespan_ns;
+    kops_per_s =
+      (if stats.makespan_ns = 0 then 0.
+       else float_of_int !ops_done /. (float_of_int stats.makespan_ns /. 1e9) /. 1000.);
+  }

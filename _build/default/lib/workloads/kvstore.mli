@@ -1,0 +1,35 @@
+(** RocksDB-like memory-mapped key-value store (§5.4 "YCSB on RocksDB").
+
+    Captures the access pattern the paper measures: the store keeps its
+    data in segment files that are preallocated with [fallocate] and
+    memory-mapped; writes append records through the mapping; reads load
+    values through the mapping.  Whether those segment files land on
+    hugepage-mappable extents is entirely the file system's doing — which
+    is the experiment. *)
+
+open Repro_vfs
+
+type t
+
+val create :
+  Fs_intf.handle ->
+  ?dir:string ->
+  ?segment_bytes:int ->
+  ?value_bytes:int ->
+  unit ->
+  t
+
+val insert : t -> Repro_util.Cpu.t -> key:int -> unit
+val update : t -> Repro_util.Cpu.t -> key:int -> unit
+(** Appends a fresh version (LSM-style) and repoints the index. *)
+
+val read : t -> Repro_util.Cpu.t -> key:int -> bool
+(** [false] when the key was never inserted. *)
+
+val scan : t -> Repro_util.Cpu.t -> key:int -> count:int -> int
+(** Read up to [count] consecutive keys starting at [key]; returns how
+    many were found. *)
+
+val key_count : t -> int
+val vm_counters : t -> Repro_util.Counters.t
+(** The store's memory-mapping counters (page faults, TLB misses). *)

@@ -1,0 +1,67 @@
+(** Micro-benchmark workloads behind Figures 1, 2, 6 and 10.
+
+    All results are simulated time; throughput numbers are MB/s of
+    simulated work.  Workloads run against any {!Repro_vfs.Fs_intf.handle}. *)
+
+open Repro_vfs
+
+type rw_result = {
+  bytes : int;
+  elapsed_ns : int;
+  mb_per_s : float;
+  page_faults : int;
+  tlb_misses : int;
+  fault_ns : int;
+}
+
+val mmap_rw :
+  Fs_intf.handle ->
+  ?seed:int ->
+  path:string ->
+  file_bytes:int ->
+  io_bytes:int ->
+  chunk:int ->
+  mode:[ `Seq_write | `Rand_write | `Seq_read | `Rand_read ] ->
+  unit ->
+  rw_result
+(** §5.3 memory-mapped access: mmap [path] (creating/preallocating it to
+    [file_bytes] when absent) and memcpy [io_bytes] in [chunk]-sized units,
+    sequentially or at random chunk-aligned offsets. *)
+
+val syscall_rw :
+  Fs_intf.handle ->
+  ?seed:int ->
+  ?fsync_every:int ->
+  path:string ->
+  file_bytes:int ->
+  io_bytes:int ->
+  chunk:int ->
+  mode:[ `Seq_write | `Rand_write | `Seq_read | `Rand_read ] ->
+  unit ->
+  rw_result
+(** §5.3 system-call access: 4KB-granularity pread/pwrite with an fsync
+    every [fsync_every] (default 10) operations.  Writes start from an
+    empty file for [`Seq_write] (append pattern) and operate in place
+    otherwise. *)
+
+val mmap_write_2mb_file :
+  Fs_intf.handle -> path:string -> huge_ok:bool -> int * int * int
+(** Figure 2: memory-map and write one 2MB file; returns
+    [(total_ns, fault_ns, faults)]. *)
+
+type scalability_point = {
+  threads : int;
+  kops_per_s : float;
+  lock_wait_ns : int;
+}
+
+val scalability :
+  (unit -> Fs_intf.handle) ->
+  threads:int ->
+  files_per_thread:int ->
+  appends_per_file:int ->
+  scalability_point
+(** Figure 10: each thread creates files, appends 4KB chunks, fsyncs and
+    unlinks, in its own directory.  [make_fs] builds a fresh file system
+    (one per point so threads contend only on what the design contends
+    on). *)

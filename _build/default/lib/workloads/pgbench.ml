@@ -1,0 +1,82 @@
+(** PostgreSQL pgbench read-write model (§5.5, Figure 9b/9e; similar to
+    TPC-B).
+
+    A transaction updates one row in each of the accounts/tellers/branches
+    tables (modelled as page reads + in-place page writes), inserts a
+    history row (append), then commits by appending a WAL record and
+    fsyncing the WAL — the system-call access pattern whose cost is
+    dominated by overwrites and fsync behaviour.  The paper credits
+    WineFS's win over NOVA to overwrites: NOVA must CoW and churn its
+    logs, WineFS journals a small record and writes in place. *)
+
+open Repro_util
+open Repro_vfs
+module Sched = Repro_sched.Sched
+
+type result = { txns : int; elapsed_ns : int; tps : float }
+
+let page = 8192
+
+let run (Fs_intf.Handle ((module F), fs)) ?(seed = 77) ~threads ~scale_pages
+    ~txns_per_thread () =
+  let setup = Cpu.make ~id:0 () in
+  if not (F.exists fs setup "/pg") then F.mkdir fs setup "/pg";
+  (* Tables grow the way PostgreSQL grows them: 8KB page appends.  The
+     extents therefore come from small allocations (holes in WineFS), so
+     overwrites take the copy-on-write side of the hybrid (§3.4) — the
+     paper's explanation for WineFS's pgbench win over NOVA (§5.5). *)
+  let page_zero = String.make page '\000' in
+  let table name pages =
+    let p = "/pg/" ^ name in
+    let fd = F.create fs setup p in
+    for _ = 1 to pages do
+      ignore (F.append fs setup fd ~src:page_zero)
+    done;
+    F.close fs setup fd;
+    (p, pages)
+  in
+  let accounts = table "accounts" scale_pages in
+  let tellers = table "tellers" (max 1 (scale_pages / 10)) in
+  let branches = table "branches" (max 1 (scale_pages / 100)) in
+  let history = "/pg/history" in
+  let wal = "/pg/wal" in
+  let fdh = F.create fs setup history in
+  F.close fs setup fdh;
+  let fdw = F.create fs setup wal in
+  F.close fs setup fdw;
+  let page_buf = String.make page 'q' in
+  let wal_record = String.make 600 'w' in
+  let history_row = String.make 64 'h' in
+  let total = ref 0 in
+  let stats =
+    Sched.run ~threads (fun cpu ->
+        let rng = Rng.create (seed + (cpu.Cpu.id * 104729)) in
+        let afd = F.openf fs cpu (fst accounts) Types.o_rdwr in
+        let tfd = F.openf fs cpu (fst tellers) Types.o_rdwr in
+        let bfd = F.openf fs cpu (fst branches) Types.o_rdwr in
+        let hfd = F.openf fs cpu history Types.o_rdwr in
+        let wfd = F.openf fs cpu wal Types.o_rdwr in
+        let touch fd pages =
+          let off = Rng.int rng pages * page in
+          ignore (F.pread fs cpu fd ~off ~len:page);
+          ignore (F.pwrite fs cpu fd ~off ~src:page_buf)
+        in
+        for _ = 1 to txns_per_thread do
+          touch afd (snd accounts);
+          touch tfd (snd tellers);
+          touch bfd (snd branches);
+          ignore (F.append fs cpu hfd ~src:history_row);
+          (* Commit: WAL append + fsync. *)
+          ignore (F.append fs cpu wfd ~src:wal_record);
+          F.fsync fs cpu wfd;
+          total := !total + 1
+        done;
+        List.iter (F.close fs cpu) [ afd; tfd; bfd; hfd; wfd ])
+  in
+  {
+    txns = !total;
+    elapsed_ns = stats.makespan_ns;
+    tps =
+      (if stats.makespan_ns = 0 then 0.
+       else float_of_int !total /. (float_of_int stats.makespan_ns /. 1e9));
+  }

@@ -1,0 +1,123 @@
+(** rsync/cp between partitions, with and without WineFS's
+    alignment-preserving extended attribute (§3.6).
+
+    Utilities like rsync copy data in small chunks, so a file that owned
+    aligned extents on the source would normally be reassembled from holes
+    on the destination and lose its hugepages.  WineFS persists an
+    "aligned" xattr per file; rsync-like tools carry xattrs across, and
+    the receiving WineFS then allocates aligned extents despite the small
+    writes.  This model copies a tree between two WineFS instances both
+    ways and reports hugepage-mappability of the copies. *)
+
+open Repro_util
+open Repro_vfs
+module Vmem = Repro_memsim.Vmem
+
+type copy_result = {
+  files_copied : int;
+  bytes_copied : int;
+  huge_mappable_bytes : int;  (** bytes of >=2MB files mappable by hugepages *)
+  large_file_bytes : int;
+}
+
+(* Hugepage-mappable bytes of one file: whole 2MB file chunks whose
+   backing is one 2MB-aligned run. *)
+let huge_mappable (Fs_intf.Handle ((module F), fs)) cpu path =
+  let exts = F.file_extents fs cpu path in
+  let size = (F.stat fs cpu path).Types.st_size in
+  let chunks = size / Units.huge_page in
+  let mappable = ref 0 in
+  for c = 0 to chunks - 1 do
+    let chunk_off = c * Units.huge_page in
+    let covered_aligned =
+      List.exists
+        (fun (fo, phys, len) ->
+          fo <= chunk_off
+          && chunk_off + Units.huge_page <= fo + len
+          && Units.is_aligned (phys + (chunk_off - fo)) Units.huge_page)
+        exts
+    in
+    if covered_aligned then mappable := !mappable + Units.huge_page
+  done;
+  !mappable
+
+(* rsync-style copy: read the source in [chunk]-sized pieces and write
+   them to the destination; optionally carry the alignment xattr first,
+   the way rsync transfers xattrs before file data. *)
+let copy_tree ?(chunk = 128 * Units.kib) ~with_xattrs
+    (Fs_intf.Handle ((module Src), src) as hsrc) (Fs_intf.Handle ((module Dst), dst) as hdst)
+    =
+  let cpu = Cpu.make ~id:0 () in
+  let files = ref 0 and bytes = ref 0 and mappable = ref 0 and large = ref 0 in
+  let rec walk path =
+    List.iter
+      (fun name ->
+        let p = Path.concat path name in
+        match (Src.stat src cpu p).Types.st_kind with
+        | Types.Directory ->
+            if not (Dst.exists dst cpu p) then Dst.mkdir dst cpu p;
+            if with_xattrs then Dst.set_xattr_align dst cpu p false;
+            walk p
+        | Types.Regular ->
+            let sfd = Src.openf src cpu p Types.o_rdonly in
+            let size = Src.file_size src sfd in
+            let dfd = Dst.create dst cpu p in
+            (* rsync applies xattrs so the receiver can honour them during
+               the data transfer (§3.6). *)
+            if with_xattrs then begin
+              Dst.close dst cpu dfd;
+              let src_aligned = huge_mappable hsrc cpu p > 0 in
+              Dst.set_xattr_align dst cpu p src_aligned;
+              ignore (Dst.openf dst cpu p Types.o_rdwr : int)
+            end;
+            let dfd = if with_xattrs then Dst.openf dst cpu p Types.o_rdwr else dfd in
+            let off = ref 0 in
+            while !off < size do
+              let n = min chunk (size - !off) in
+              let data = Src.pread src cpu sfd ~off:!off ~len:n in
+              ignore (Dst.pwrite dst cpu dfd ~off:!off ~src:data);
+              off := !off + n
+            done;
+            Dst.fsync dst cpu dfd;
+            Dst.close dst cpu dfd;
+            Src.close src cpu sfd;
+            incr files;
+            bytes := !bytes + size;
+            if size >= Units.huge_page then begin
+              large := !large + size;
+              mappable := !mappable + huge_mappable hdst cpu p
+            end)
+      (Src.readdir src cpu path)
+  in
+  walk "/";
+  {
+    files_copied = !files;
+    bytes_copied = !bytes;
+    huge_mappable_bytes = !mappable;
+    large_file_bytes = !large;
+  }
+
+(* Build a source population with some multi-MB (hugepage-holding) files
+   and many small ones. *)
+let populate (Fs_intf.Handle ((module F), fs)) ~seed ~large_files ~small_files =
+  let cpu = Cpu.make ~id:0 () in
+  let rng = Rng.create seed in
+  F.mkdir fs cpu "/data";
+  for i = 1 to large_files do
+    let p = Printf.sprintf "/data/large%d" i in
+    let fd = F.create fs cpu p in
+    let size = (2 + Rng.int rng 3) * Units.huge_page in
+    let chunkb = String.make Units.huge_page 'L' in
+    let off = ref 0 in
+    while !off < size do
+      ignore (F.pwrite fs cpu fd ~off:!off ~src:chunkb);
+      off := !off + Units.huge_page
+    done;
+    F.close fs cpu fd
+  done;
+  for i = 1 to small_files do
+    let p = Printf.sprintf "/data/small%d" i in
+    let fd = F.create fs cpu p in
+    ignore (F.pwrite fs cpu fd ~off:0 ~src:(String.make (1 + Rng.int rng 30000) 's'));
+    F.close fs cpu fd
+  done

@@ -1,0 +1,67 @@
+open Repro_util
+
+type workload = Load | A | B | C | D | E | F
+
+let name = function
+  | Load -> "Load"
+  | A -> "A"
+  | B -> "B"
+  | C -> "C"
+  | D -> "D"
+  | E -> "E"
+  | F -> "F"
+
+let all = [ Load; A; B; C; D; E; F ]
+
+type kv = {
+  kv_read : Cpu.t -> int -> unit;
+  kv_update : Cpu.t -> int -> unit;
+  kv_insert : Cpu.t -> int -> unit;
+  kv_scan : Cpu.t -> int -> int -> unit;
+}
+
+type result = { ops : int; elapsed_ns : int; kops_per_s : float }
+
+let run kv ?(seed = 99) w ~records ~operations =
+  let rng = Rng.create seed in
+  let cpu = Cpu.make ~id:0 () in
+  let zipf = Dist.zipf ~n:(max 1 records) ~theta:0.99 in
+  let inserted = ref records in
+  let pick () = Dist.sample zipf rng - 1 in
+  let pick_latest () = max 0 (!inserted - Dist.sample zipf rng) in
+  let t0 = Cpu.now cpu in
+  let ops = if w = Load then records else operations in
+  for i = 0 to ops - 1 do
+    match w with
+    | Load -> kv.kv_insert cpu i
+    | A -> if Rng.int rng 100 < 50 then kv.kv_read cpu (pick ()) else kv.kv_update cpu (pick ())
+    | B -> if Rng.int rng 100 < 95 then kv.kv_read cpu (pick ()) else kv.kv_update cpu (pick ())
+    | C -> kv.kv_read cpu (pick ())
+    | D ->
+        if Rng.int rng 100 < 95 then kv.kv_read cpu (pick_latest ())
+        else begin
+          kv.kv_insert cpu !inserted;
+          incr inserted
+        end
+    | E ->
+        if Rng.int rng 100 < 95 then kv.kv_scan cpu (pick ()) (1 + Rng.int rng 100)
+        else begin
+          kv.kv_insert cpu !inserted;
+          incr inserted
+        end
+    | F ->
+        if Rng.int rng 100 < 50 then kv.kv_read cpu (pick ())
+        else begin
+          (* Read-modify-write. *)
+          let k = pick () in
+          kv.kv_read cpu k;
+          kv.kv_update cpu k
+        end
+  done;
+  let elapsed = Cpu.now cpu - t0 in
+  {
+    ops;
+    elapsed_ns = elapsed;
+    kops_per_s =
+      (if elapsed = 0 then 0. else float_of_int ops /. (float_of_int elapsed /. 1e9) /. 1000.);
+  }

@@ -1,0 +1,30 @@
+(** YCSB core workloads (Cooper et al., SoCC '10) — the industry-standard
+    mixes the paper runs on RocksDB (§5.4, Figure 7a, Table 2). *)
+
+open Repro_util
+
+type workload = Load | A | B | C | D | E | F
+
+val name : workload -> string
+val all : workload list
+
+(** The key-value operations a store must provide to be driven. *)
+type kv = {
+  kv_read : Cpu.t -> int -> unit;
+  kv_update : Cpu.t -> int -> unit;
+  kv_insert : Cpu.t -> int -> unit;
+  kv_scan : Cpu.t -> int -> int -> unit;  (** start key, count *)
+}
+
+type result = { ops : int; elapsed_ns : int; kops_per_s : float }
+
+val run :
+  kv ->
+  ?seed:int ->
+  workload ->
+  records:int ->
+  operations:int ->
+  result
+(** [records] existing keys (Load inserts them; other workloads assume a
+    loaded store and use a zipfian request distribution, theta = 0.99;
+    D reads the latest keys). *)

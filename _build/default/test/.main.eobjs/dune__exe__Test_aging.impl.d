@@ -1,0 +1,1 @@
+test/test_aging.ml: Alcotest Cpu Printf Repro_aging Repro_baselines Repro_pmem Repro_util Repro_vfs Units

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array List QCheck QCheck_alcotest Repro_alloc Repro_util Units

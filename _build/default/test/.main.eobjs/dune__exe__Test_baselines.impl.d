@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Counters Cpu Printf Repro_baselines Repro_memsim Repro_pmem Repro_util Repro_vfs String Units

@@ -1,0 +1,1 @@
+test/test_crashcheck.ml: Alcotest List Repro_crashcheck Repro_pmem Repro_util Repro_vfs Winefs

@@ -1,0 +1,1 @@
+test/test_fs_contract.ml: Alcotest Cpu List Repro_baselines Repro_memsim Repro_pmem Repro_util Repro_vfs String Units

@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Cpu Gen List QCheck QCheck_alcotest Repro_journal Repro_pmem Repro_util String Units

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Bytes Char Counters Cpu Gen List Printf QCheck QCheck_alcotest Repro_memsim Repro_pmem Repro_util Rng String Units

@@ -1,0 +1,1 @@
+test/test_model_fs.ml: Alcotest Bytes Char Cpu List Map Printf Repro_pmem Repro_util Repro_vfs Rng String Units Winefs

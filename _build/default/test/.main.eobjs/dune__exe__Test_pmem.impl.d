@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Counters Cpu Filename List Repro_pmem Repro_util String Sys Units

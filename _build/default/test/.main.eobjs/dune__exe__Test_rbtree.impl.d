@@ -1,0 +1,1 @@
+test/test_rbtree.ml: Alcotest Gen Int List Map QCheck QCheck_alcotest Repro_rbtree Repro_util

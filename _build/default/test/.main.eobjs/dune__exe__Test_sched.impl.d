@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Buffer Cpu Repro_sched Repro_util Simclock

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Counters Cpu Dist Fun Gen Histogram List Printf QCheck QCheck_alcotest Repro_util Rng Simclock String Table Units

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Array Bytes Cpu List Printf QCheck QCheck_alcotest Repro_util Repro_vfs Units Winefs

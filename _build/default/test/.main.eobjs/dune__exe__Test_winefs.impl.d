@@ -1,0 +1,1 @@
+test/test_winefs.ml: Alcotest Char Cpu List Printf Repro_memsim Repro_pmem Repro_util Repro_vfs String Units Winefs

@@ -1,0 +1,1 @@
+test/test_winefs_extra.ml: Alcotest Bytes Cpu List Printf Repro_crashcheck Repro_memsim Repro_pmem Repro_sched Repro_util Repro_vfs Rng String Units Winefs

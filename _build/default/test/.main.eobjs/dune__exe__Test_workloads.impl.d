@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cpu Histogram List Printf Repro_aging Repro_baselines Repro_pmem Repro_util Repro_vfs Repro_workloads Units

@@ -1,0 +1,23 @@
+(* Test entry point: one alcotest run over all module suites. *)
+
+let () =
+  Alcotest.run "winefs-repro"
+    [
+      ("util", Test_util.suite);
+      ("pmem", Test_pmem.suite);
+      ("rbtree", Test_rbtree.suite);
+      ("memsim", Test_memsim.suite);
+      ("sched", Test_sched.suite);
+      ("journal", Test_journal.suite);
+      ("alloc", Test_alloc.suite);
+      ("vfs", Test_vfs.suite);
+      ("aging", Test_aging.suite);
+      ("crashcheck", Test_crashcheck.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+      ("winefs", Test_winefs.suite);
+      ("winefs-extra", Test_winefs_extra.suite);
+      ("model-fs", Test_model_fs.suite);
+      ("fs-contract", Test_fs_contract.suite);
+      ("baselines", Test_baselines.suite);
+    ]

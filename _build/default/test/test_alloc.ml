@@ -1,0 +1,185 @@
+(* Allocators: WineFS's alignment-aware allocator and the baseline pool
+   allocator — unit behaviour plus churn properties. *)
+
+open Repro_util
+module A = Repro_alloc.Aligned_alloc
+module P = Repro_alloc.Pool_alloc
+
+let huge = Units.huge_page
+let mib = Units.mib
+
+let mk ?(cpus = 2) ?(stripe = 32 * mib) () =
+  A.create ~cpus ~regions:(Array.init cpus (fun i -> (i * stripe, stripe)))
+
+let total_alloc exts = List.fold_left (fun a (e : A.extent) -> a + e.len) 0 exts
+
+let test_hugepage_alloc_aligned () =
+  let a = mk () in
+  match A.alloc_hugepage a ~cpu:0 with
+  | Some off ->
+      Alcotest.(check bool) "aligned" true (Units.is_aligned off huge);
+      A.free a ~off ~len:huge;
+      Alcotest.(check int) "restored" (A.free_bytes a) (2 * 32 * mib)
+  | None -> Alcotest.fail "no hugepage on a fresh allocator"
+
+let test_large_request_gets_aligned_chunks () =
+  let a = mk () in
+  match A.alloc a ~cpu:0 ~len:(5 * mib) ~prefer_aligned:false with
+  | Some exts ->
+      Alcotest.(check int) "full amount" (5 * mib) (total_alloc exts);
+      (* The two whole 2MB chunks are aligned. *)
+      let aligned =
+        List.filter (fun (e : A.extent) -> e.len = huge && Units.is_aligned e.off huge) exts
+      in
+      Alcotest.(check int) "two aligned chunks" 2 (List.length aligned)
+  | None -> Alcotest.fail "alloc failed"
+
+let test_small_requests_avoid_aligned_pool () =
+  let a = mk () in
+  let before = A.free_aligned_extents a in
+  (* Many small allocations should consume at most one broken extent. *)
+  for _ = 1 to 100 do
+    match A.alloc a ~cpu:0 ~len:8192 ~prefer_aligned:false with
+    | Some _ -> ()
+    | None -> Alcotest.fail "small alloc failed"
+  done;
+  Alcotest.(check bool) "at most one extent broken" true
+    (before - A.free_aligned_extents a <= 1)
+
+let test_prefer_aligned_start () =
+  let a = mk () in
+  match A.alloc a ~cpu:0 ~len:12345 ~prefer_aligned:true with
+  | Some (e :: _) -> Alcotest.(check bool) "starts aligned" true (Units.is_aligned e.off huge)
+  | _ -> Alcotest.fail "alloc failed"
+
+let test_merge_promotes () =
+  let a = mk () in
+  (* Break an aligned extent into small pieces, then free them all. *)
+  let before = A.aligned_region_count a in
+  let pieces =
+    List.init 8 (fun _ ->
+        match A.alloc a ~cpu:0 ~len:(256 * 1024) ~prefer_aligned:false with
+        | Some [ e ] -> e
+        | _ -> Alcotest.fail "alloc failed")
+  in
+  Alcotest.(check bool) "census dropped" true (A.aligned_region_count a < before);
+  List.iter (fun (e : A.extent) -> A.free a ~off:e.off ~len:e.len) pieces;
+  Alcotest.(check int) "merged back to full census" before (A.aligned_region_count a);
+  match A.check_invariants a with Ok () -> () | Error m -> Alcotest.failf "invariants: %s" m
+
+let test_exhaustion_and_enospc () =
+  let a = mk ~cpus:1 ~stripe:(4 * mib) () in
+  (match A.alloc a ~cpu:0 ~len:(4 * mib) ~prefer_aligned:false with
+  | Some exts -> Alcotest.(check int) "all allocated" (4 * mib) (total_alloc exts)
+  | None -> Alcotest.fail "should fit exactly");
+  Alcotest.(check bool) "ENOSPC" true
+    (A.alloc a ~cpu:0 ~len:4096 ~prefer_aligned:false = None)
+
+let test_cross_cpu_stealing () =
+  let a = mk ~cpus:2 ~stripe:(4 * mib) () in
+  (* Exhaust CPU 0's stripe; further allocations steal from CPU 1. *)
+  (match A.alloc a ~cpu:0 ~len:(4 * mib) ~prefer_aligned:false with
+  | Some _ -> ()
+  | None -> Alcotest.fail "fill failed");
+  (match A.alloc a ~cpu:0 ~len:mib ~prefer_aligned:false with
+  | Some (e :: _) ->
+      Alcotest.(check int) "stolen from cpu 1" 1 (A.cpu_of_offset a e.off)
+  | _ -> Alcotest.fail "steal failed");
+  match A.check_invariants a with Ok () -> () | Error m -> Alcotest.failf "invariants: %s" m
+
+let test_snapshot_restore () =
+  let a = mk () in
+  ignore (A.alloc a ~cpu:0 ~len:(3 * mib) ~prefer_aligned:false);
+  ignore (A.alloc a ~cpu:1 ~len:12288 ~prefer_aligned:false);
+  let snap = A.snapshot a in
+  let regions = Array.init 2 (fun i -> (i * 32 * mib, 32 * mib)) in
+  let b = A.restore ~cpus:2 ~regions ~free:snap in
+  Alcotest.(check int) "free bytes preserved" (A.free_bytes a) (A.free_bytes b);
+  Alcotest.(check int) "aligned census preserved" (A.aligned_region_count a)
+    (A.aligned_region_count b)
+
+let prop_churn_conserves_space =
+  QCheck.Test.make ~name:"aligned allocator conserves space under churn" ~count:60
+    QCheck.(list (pair (int_bound 2) (int_range 1 1024)))
+    (fun ops ->
+      let a = mk () in
+      let capacity = A.free_bytes a in
+      let held = ref [] in
+      List.iter
+        (fun (op, kib) ->
+          let len = kib * 1024 in
+          match op with
+          | 0 | 1 -> (
+              match A.alloc a ~cpu:op ~len ~prefer_aligned:(kib mod 2 = 0) with
+              | Some exts -> held := exts @ !held
+              | None -> ())
+          | _ -> (
+              match !held with
+              | e :: rest ->
+                  A.free a ~off:e.A.off ~len:e.len;
+                  held := rest
+              | [] -> ()))
+        ops;
+      let held_bytes = List.fold_left (fun acc (e : A.extent) -> acc + e.len) 0 !held in
+      (match A.check_invariants a with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_reportf "invariants: %s" m);
+      A.free_bytes a + held_bytes = capacity)
+
+(* --- baseline pool allocator --- *)
+
+let pool_cfg per_cpu policy =
+  { P.per_cpu; policy; align_exact_2m = false; normalize_pow2 = false }
+
+let test_pool_basic () =
+  let p = P.create (pool_cfg false P.First_fit) ~cpus:1 ~regions:[| (0, 16 * mib) |] in
+  (match P.alloc p ~cpu:0 ~len:mib with
+  | Some [ e ] ->
+      Alcotest.(check int) "first fit at 0" 0 e.P.off;
+      P.free p ~off:e.off ~len:e.len
+  | _ -> Alcotest.fail "alloc failed");
+  Alcotest.(check int) "restored" (16 * mib) (P.free_bytes p)
+
+let test_pool_goal () =
+  let p = P.create (pool_cfg false P.First_fit) ~cpus:1 ~regions:[| (0, 16 * mib) |] in
+  match P.alloc ~goal:(8 * mib) p ~cpu:0 ~len:4096 with
+  | Some [ e ] -> Alcotest.(check int) "honours goal" (8 * mib) e.P.off
+  | _ -> Alcotest.fail "goal alloc failed"
+
+let test_pool_fragmented_multi_extent () =
+  let p = P.create (pool_cfg false P.First_fit) ~cpus:1 ~regions:[| (0, 4 * mib) |] in
+  (* Fragment: allocate all, free every other 64K. *)
+  (match P.alloc p ~cpu:0 ~len:(4 * mib) with Some _ -> () | None -> Alcotest.fail "fill");
+  let freed = ref 0 in
+  let k64 = 64 * 1024 in
+  let i = ref 0 in
+  while !i * k64 < 4 * mib do
+    if !i mod 2 = 0 then begin
+      P.free p ~off:(!i * k64) ~len:k64;
+      incr freed
+    end;
+    incr i
+  done;
+  (* A 1MB request must still succeed from fragments. *)
+  match P.alloc p ~cpu:0 ~len:mib with
+  | Some exts ->
+      Alcotest.(check int) "gathered full amount" mib
+        (List.fold_left (fun a (e : P.extent) -> a + e.len) 0 exts);
+      Alcotest.(check bool) "multiple fragments" true (List.length exts > 1)
+  | None -> Alcotest.fail "fragmented alloc failed"
+
+let suite =
+  [
+    Alcotest.test_case "hugepage alloc aligned" `Quick test_hugepage_alloc_aligned;
+    Alcotest.test_case "large request aligned chunks" `Quick test_large_request_gets_aligned_chunks;
+    Alcotest.test_case "small requests spare aligned pool" `Quick test_small_requests_avoid_aligned_pool;
+    Alcotest.test_case "prefer_aligned (xattr) start" `Quick test_prefer_aligned_start;
+    Alcotest.test_case "free merges and promotes" `Quick test_merge_promotes;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion_and_enospc;
+    Alcotest.test_case "cross-CPU stealing" `Quick test_cross_cpu_stealing;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    QCheck_alcotest.to_alcotest prop_churn_conserves_space;
+    Alcotest.test_case "pool allocator basics" `Quick test_pool_basic;
+    Alcotest.test_case "pool goal allocation" `Quick test_pool_goal;
+    Alcotest.test_case "pool fragmented multi-extent" `Quick test_pool_fragmented_multi_extent;
+  ]

@@ -1,0 +1,73 @@
+(* End-to-end experiment harness checks: each fast experiment runs and its
+   table rows satisfy the paper's qualitative claim. *)
+
+let cell table_str ~row ~col =
+  (* Parse a rendered table: row/col by index, header = row 0. *)
+  let lines =
+    String.split_on_char '\n' table_str
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '=' && l.[0] <> '-')
+  in
+  let fields l =
+    String.split_on_char ' ' l |> List.filter (fun s -> s <> "")
+  in
+  List.nth (fields (List.nth lines row)) col
+
+let test_fig2_claim () =
+  let tables = Repro_experiments.Fig2_mmap_overhead.run () in
+  match tables with
+  | fig2 :: sec21 :: _ ->
+      let s = Repro_util.Table.render fig2 in
+      let huge_total = float_of_string (cell s ~row:1 ~col:1) in
+      let base_total = float_of_string (cell s ~row:2 ~col:1) in
+      let base_faults = int_of_string (cell s ~row:2 ~col:4) in
+      Alcotest.(check bool)
+        (Printf.sprintf "hugepages ~2x faster (%.0f vs %.0f us)" huge_total base_total)
+        true
+        (base_total > 1.5 *. huge_total);
+      Alcotest.(check int) "512 base faults for 2MB" 512 base_faults;
+      let s21 = Repro_util.Table.render sec21 in
+      let mmap = float_of_string (cell s21 ~row:1 ~col:2) in
+      let sys = float_of_string (cell s21 ~row:2 ~col:2) in
+      Alcotest.(check bool) "mmap faster than syscalls" true (mmap > sys)
+  | _ -> Alcotest.fail "expected two tables"
+
+let test_fig4_claim () =
+  match Repro_experiments.Fig4_tlb_cdf.run () with
+  | summary :: _ ->
+      let s = Repro_util.Table.render summary in
+      let huge_median = int_of_string (cell s ~row:1 ~col:2) in
+      let base_median = int_of_string (cell s ~row:2 ~col:2) in
+      let huge_tlb = int_of_string (cell s ~row:1 ~col:6) in
+      let base_tlb = int_of_string (cell s ~row:2 ~col:6) in
+      Alcotest.(check bool)
+        (Printf.sprintf "median gap (%d vs %d ns)" huge_median base_median)
+        true
+        (base_median >= 2 * huge_median);
+      Alcotest.(check bool) "TLB miss gap" true (base_tlb > 100 * max 1 huge_tlb)
+  | _ -> Alcotest.fail "no tables"
+
+let test_sec4_claim () =
+  match Repro_experiments.Sec4_defrag_interference.run () with
+  | t :: _ ->
+      let s = Repro_util.Table.render t in
+      let slowdown = float_of_string (cell s ~row:2 ~col:4) in
+      Alcotest.(check bool)
+        (Printf.sprintf "defrag slowdown %.1f%% in a sane band" slowdown)
+        true
+        (slowdown > 5. && slowdown < 90.)
+  | _ -> Alcotest.fail "no tables"
+
+let test_sec52_campaign_clean () =
+  match Repro_experiments.Sec52_crash_recovery.run () with
+  | campaign :: _ ->
+      let s = Repro_util.Table.render campaign in
+      Alcotest.(check string) "zero inconsistencies" "0" (cell s ~row:1 ~col:3)
+  | _ -> Alcotest.fail "no tables"
+
+let suite =
+  [
+    Alcotest.test_case "fig2: fault anatomy claim" `Quick test_fig2_claim;
+    Alcotest.test_case "fig4: TLB latency claim" `Quick test_fig4_claim;
+    Alcotest.test_case "sec4: defrag interference claim" `Quick test_sec4_claim;
+    Alcotest.test_case "sec5.2: crash campaign clean" `Slow test_sec52_campaign_clean;
+  ]

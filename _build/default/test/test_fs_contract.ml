@@ -1,0 +1,149 @@
+(* Generic file-system contract tests: every registered file system
+   (WineFS strict/relaxed + six baselines) must satisfy the same POSIX-ish
+   semantics through the common interface. *)
+
+open Repro_util
+module Device = Repro_pmem.Device
+module Types = Repro_vfs.Types
+module Fs_intf = Repro_vfs.Fs_intf
+module Registry = Repro_baselines.Registry
+
+let mib = Units.mib
+
+type visitor = { visit : 'a. (module Fs_intf.S with type t = 'a) -> 'a -> unit }
+
+let with_fs (factory : Registry.factory) (v : visitor) =
+  let dev = Device.create ~cost:Device.Cost.free ~size:(64 * mib) () in
+  let cfg = Types.config ~cpus:2 ~inodes_per_cpu:512 () in
+  let (Fs_intf.Handle ((module F), fs)) = factory.make dev cfg in
+  v.visit (module F) fs
+
+let contract (factory : Registry.factory) () =
+  with_fs factory
+    { visit = (fun (type a) (module F : Fs_intf.S with type t = a) (fs : a) ->
+      let c = Cpu.make ~id:0 () in
+      (* Basic data path. *)
+      let fd = F.create fs c "/file" in
+      Alcotest.(check int) "write" 5 (F.pwrite fs c fd ~off:0 ~src:"hello");
+      Alcotest.(check string) "read" "hello" (F.pread fs c fd ~off:0 ~len:5);
+      Alcotest.(check int) "append" 6 (F.append fs c fd ~src:" world");
+      F.fsync fs c fd;
+      Alcotest.(check string) "combined" "hello world" (F.pread fs c fd ~off:0 ~len:11);
+      Alcotest.(check int) "size" 11 (F.file_size fs fd);
+      (* Overwrite. *)
+      ignore (F.pwrite fs c fd ~off:6 ~src:"WINES");
+      F.fsync fs c fd;
+      Alcotest.(check string) "overwrite" "hello WINES" (F.pread fs c fd ~off:0 ~len:11);
+      F.close fs c fd;
+      (* Namespace. *)
+      F.mkdir fs c "/d";
+      F.mkdir fs c "/d/e";
+      let fd2 = F.create fs c "/d/e/x" in
+      ignore (F.pwrite fs c fd2 ~off:0 ~src:"abc");
+      F.fsync fs c fd2;
+      F.close fs c fd2;
+      Alcotest.(check bool) "exists" true (F.exists fs c "/d/e/x");
+      Alcotest.(check bool) "not exists" false (F.exists fs c "/d/e/y");
+      Alcotest.(check (list string)) "readdir" [ "e" ] (F.readdir fs c "/d");
+      let st = F.stat fs c "/d/e/x" in
+      Alcotest.(check int) "stat size" 3 st.Types.st_size;
+      Alcotest.(check bool) "stat kind" true (st.st_kind = Types.Regular);
+      (* Rename (including across directories, replacing a target). *)
+      F.rename fs c ~old_path:"/d/e/x" ~new_path:"/d/x2";
+      Alcotest.(check bool) "rename moved" true (F.exists fs c "/d/x2");
+      Alcotest.(check bool) "rename source gone" false (F.exists fs c "/d/e/x");
+      let fd3 = F.create fs c "/victim" in
+      ignore (F.pwrite fs c fd3 ~off:0 ~src:"victim");
+      F.fsync fs c fd3;
+      F.close fs c fd3;
+      F.rename fs c ~old_path:"/d/x2" ~new_path:"/victim";
+      let fd4 = F.openf fs c "/victim" Types.o_rdonly in
+      Alcotest.(check string) "replace target content" "abc" (F.pread fs c fd4 ~off:0 ~len:3);
+      F.close fs c fd4;
+      (* Unlink and errors. *)
+      F.unlink fs c "/victim";
+      Alcotest.(check bool) "unlinked" false (F.exists fs c "/victim");
+      (match F.unlink fs c "/victim" with
+      | () -> Alcotest.fail "unlink of missing file must fail"
+      | exception Types.Error (ENOENT, _) -> ());
+      (match F.openf fs c "/nope" Types.o_rdonly with
+      | _ -> Alcotest.fail "open of missing file must fail"
+      | exception Types.Error (ENOENT, _) -> ());
+      (match F.mkdir fs c "/d" with
+      | () -> Alcotest.fail "mkdir of existing dir must fail"
+      | exception Types.Error (EEXIST, _) -> ());
+      (* rmdir semantics. *)
+      (match F.rmdir fs c "/d" with
+      | () -> Alcotest.fail "rmdir of non-empty dir must fail"
+      | exception Types.Error (ENOTEMPTY, _) -> ());
+      F.rmdir fs c "/d/e";
+      F.rmdir fs c "/d";
+      (* Truncate and sparse behaviour. *)
+      let fd5 = F.create fs c "/t" in
+      ignore (F.pwrite fs c fd5 ~off:0 ~src:(String.make 10000 'z'));
+      F.fsync fs c fd5;
+      F.ftruncate fs c fd5 100;
+      Alcotest.(check int) "truncated size" 100 (F.file_size fs fd5);
+      Alcotest.(check string) "truncated content" (String.make 4 'z')
+        (F.pread fs c fd5 ~off:0 ~len:4);
+      F.ftruncate fs c fd5 9000;
+      Alcotest.(check int) "extended size" 9000 (F.file_size fs fd5);
+      F.close fs c fd5;
+      (* fallocate. *)
+      let fd6 = F.create fs c "/fa" in
+      F.fallocate fs c fd6 ~off:0 ~len:(3 * mib);
+      Alcotest.(check int) "fallocate size" (3 * mib) (F.file_size fs fd6);
+      let st = F.stat fs c "/fa" in
+      Alcotest.(check bool) "fallocate blocks" true (st.st_blocks >= 3 * mib);
+      F.close fs c fd6;
+      (* Space accounting sanity. *)
+      let s = F.statfs fs in
+      Alcotest.(check bool) "used > 0" true (s.used > 0);
+      Alcotest.(check bool) "free + used = capacity" true (s.free + s.used = s.capacity)); }
+
+let mmap_contract (factory : Registry.factory) () =
+  with_fs factory
+    { visit = (fun (type a) (module F : Fs_intf.S with type t = a) (fs : a) ->
+      let c = Cpu.make ~id:0 () in
+      let fd = F.create fs c "/m" in
+      F.fallocate fs c fd ~off:0 ~len:(4 * mib);
+      let vm = Repro_memsim.Vmem.create (F.device fs) in
+      let r = Repro_memsim.Vmem.mmap vm ~len:(4 * mib) ~backing:(F.mmap_backing fs fd) () in
+      Repro_memsim.Vmem.write vm c r ~off:mib ~src:"mapped data";
+      Repro_memsim.Vmem.persist vm c r ~off:mib ~len:11;
+      Alcotest.(check string) "mmap write visible via pread" "mapped data"
+        (F.pread fs c fd ~off:mib ~len:11);
+      (* Every registered FS must survive a full prefault. *)
+      Repro_memsim.Vmem.prefault vm c r;
+      let total =
+        Repro_memsim.Vmem.huge_mapped_bytes vm r
+        + (Repro_memsim.Vmem.base_mapped_pages vm r * Units.base_page)
+      in
+      Alcotest.(check bool) "fully mapped" true (total >= 4 * mib);
+      F.close fs c fd); }
+
+let throughput_sanity (factory : Registry.factory) () =
+  (* With the real cost model, doing more work must cost more time. *)
+  let dev = Device.create ~size:(32 * mib) () in
+  let cfg = Types.config ~cpus:2 ~inodes_per_cpu:256 () in
+  let (Fs_intf.Handle ((module F), fs)) = factory.make dev cfg in
+  let c = Cpu.make ~id:0 () in
+  let fd = F.create fs c "/w" in
+  let t0 = Cpu.now c in
+  ignore (F.pwrite fs c fd ~off:0 ~src:(String.make 4096 'a'));
+  let t1 = Cpu.now c in
+  ignore (F.pwrite fs c fd ~off:0 ~src:(String.make (256 * 1024) 'b'));
+  let t2 = Cpu.now c in
+  Alcotest.(check bool) "4K write costs time" true (t1 > t0);
+  Alcotest.(check bool) "256K write costs more" true (t2 - t1 > t1 - t0);
+  F.close fs c fd
+
+let suite =
+  List.concat_map
+    (fun (factory : Registry.factory) ->
+      [
+        Alcotest.test_case (factory.fs_name ^ " contract") `Quick (contract factory);
+        Alcotest.test_case (factory.fs_name ^ " mmap") `Quick (mmap_contract factory);
+        Alcotest.test_case (factory.fs_name ^ " costs") `Quick (throughput_sanity factory);
+      ])
+    Registry.all

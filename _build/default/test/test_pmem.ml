@@ -1,0 +1,143 @@
+(* PM device: data access, cost accounting, persistence/crash semantics. *)
+
+open Repro_util
+module Device = Repro_pmem.Device
+
+let cpu () = Cpu.make ~id:0 ()
+
+let test_rw () =
+  let d = Device.create ~cost:Device.Cost.free ~size:8192 () in
+  let c = cpu () in
+  Device.write_string d c ~off:100 "hello";
+  Alcotest.(check string) "read back" "hello" (Device.read_string d c ~off:100 ~len:5);
+  Device.write_u64 d c ~off:512 42L;
+  Alcotest.(check int64) "u64" 42L (Device.read_u64 d c ~off:512);
+  Device.memset d c ~off:0 ~len:64 'z';
+  Alcotest.(check string) "memset" "zzzz" (Device.read_string d c ~off:60 ~len:4);
+  Device.copy_within d c ~src:100 ~dst:1000 ~len:5;
+  Alcotest.(check string) "copy_within" "hello" (Device.read_string d c ~off:1000 ~len:5)
+
+let test_bounds () =
+  let d = Device.create ~cost:Device.Cost.free ~size:4096 () in
+  let c = cpu () in
+  Alcotest.(check bool) "out of bounds rejected" true
+    (match Device.write_string d c ~off:4090 "toolong" with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_cost_charged () =
+  let d = Device.create ~size:(1 * Units.mib) () in
+  let c = cpu () in
+  let t0 = Cpu.now c in
+  Device.write_string d c ~off:0 (String.make 4096 'a');
+  let t1 = Cpu.now c in
+  Alcotest.(check bool) "write charges time" true (t1 > t0);
+  ignore (Device.read_string d c ~off:0 ~len:4096);
+  Alcotest.(check bool) "read charges time" true (Cpu.now c > t1);
+  Alcotest.(check int) "bytes written counted" 4096
+    (Counters.get (Device.counters d) "pm.bytes_written")
+
+let test_crash_unflushed_lost () =
+  let d = Device.create ~cost:Device.Cost.free ~size:8192 () in
+  let c = cpu () in
+  Device.write_string d c ~off:0 "durable";
+  Device.persist d c ~off:0 ~len:7;
+  Device.set_tracking d true;
+  Device.write_string d c ~off:1024 "volatile";
+  (* No flush/fence: in the none-persisted crash image the write is gone. *)
+  let img = Device.crash_image d ~persisted:(fun _ -> false) in
+  Alcotest.(check string) "durable survives" "durable" (Device.read_string img c ~off:0 ~len:7);
+  Alcotest.(check string) "unflushed lost" (String.make 8 '\000')
+    (Device.read_string img c ~off:1024 ~len:8);
+  (* All-persisted image keeps it. *)
+  let img2 = Device.crash_image d ~persisted:(fun _ -> true) in
+  Alcotest.(check string) "kept when persisted" "volatile"
+    (Device.read_string img2 c ~off:1024 ~len:8)
+
+let test_fence_makes_durable () =
+  let d = Device.create ~cost:Device.Cost.free ~size:8192 () in
+  let c = cpu () in
+  Device.set_tracking d true;
+  Device.write_string d c ~off:0 "flushed";
+  Device.flush d c ~off:0 ~len:7;
+  Device.fence d c;
+  Alcotest.(check (list int)) "nothing pending after flush+fence" [] (Device.pending_lines d);
+  let img = Device.crash_image d ~persisted:(fun _ -> false) in
+  Alcotest.(check string) "flushed+fenced survives any crash" "flushed"
+    (Device.read_string img c ~off:0 ~len:7)
+
+let test_nt_stores () =
+  let d = Device.create ~cost:Device.Cost.free ~size:8192 () in
+  let c = cpu () in
+  Device.set_tracking d true;
+  Device.write_string_nt d c ~off:0 "ntdata";
+  (* NT stores become durable at the fence without explicit flush. *)
+  Device.fence d c;
+  let img = Device.crash_image d ~persisted:(fun _ -> false) in
+  Alcotest.(check string) "nt store durable after fence" "ntdata"
+    (Device.read_string img c ~off:0 ~len:6)
+
+let test_partial_crash_subsets () =
+  let d = Device.create ~cost:Device.Cost.free ~size:8192 () in
+  let c = cpu () in
+  Device.set_tracking d true;
+  (* Two stores in different cache lines. *)
+  Device.write_string d c ~off:0 "AAAA";
+  Device.write_string d c ~off:256 "BBBB";
+  let lines = Device.pending_lines d in
+  Alcotest.(check int) "two pending lines" 2 (List.length lines);
+  let a_line = 0 and b_line = 4 in
+  let img = Device.crash_image d ~persisted:(fun l -> l = a_line) in
+  Alcotest.(check string) "A survived" "AAAA" (Device.read_string img c ~off:0 ~len:4);
+  Alcotest.(check string) "B lost" "\000\000\000\000" (Device.read_string img c ~off:256 ~len:4);
+  ignore b_line
+
+let test_fence_hook () =
+  let d = Device.create ~cost:Device.Cost.free ~size:8192 () in
+  let c = cpu () in
+  let fired = ref [] in
+  Device.set_fence_hook d (Some (fun n -> fired := n :: !fired));
+  Device.fence d c;
+  Device.fence d c;
+  Device.set_fence_hook d None;
+  Device.fence d c;
+  Alcotest.(check (list int)) "hook saw fences 1 and 2" [ 2; 1 ] !fired
+
+let test_numa_cost () =
+  let d = Device.create ~numa_nodes:2 ~size:(4 * Units.mib) () in
+  let local = Cpu.make ~id:0 ~node:0 () in
+  let remote = Cpu.make ~id:1 ~node:1 () in
+  (* Writing to node-0-owned space costs more from node 1. *)
+  let t0 = Cpu.now local in
+  Device.write_string d local ~off:0 (String.make 4096 'l');
+  let local_cost = Cpu.now local - t0 in
+  let t0 = Cpu.now remote in
+  Device.write_string d remote ~off:0 (String.make 4096 'r');
+  let remote_cost = Cpu.now remote - t0 in
+  Alcotest.(check bool) "remote write dearer" true (remote_cost > local_cost);
+  Alcotest.(check int) "node of offset" 1 (Device.node_of_offset d (3 * Units.mib))
+
+let test_save_load () =
+  let path = Filename.temp_file "winefs" ".pm" in
+  let d = Device.create ~cost:Device.Cost.free ~size:8192 () in
+  let c = cpu () in
+  Device.write_string d c ~off:4000 "persist me";
+  Device.save_file d path;
+  let d2 = Device.load_file path in
+  Alcotest.(check string) "image round trip" "persist me"
+    (Device.read_string d2 c ~off:4000 ~len:10);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "read/write" `Quick test_rw;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "cost accounting" `Quick test_cost_charged;
+    Alcotest.test_case "crash: unflushed lost" `Quick test_crash_unflushed_lost;
+    Alcotest.test_case "crash: fence makes durable" `Quick test_fence_makes_durable;
+    Alcotest.test_case "crash: nt stores" `Quick test_nt_stores;
+    Alcotest.test_case "crash: partial subsets" `Quick test_partial_crash_subsets;
+    Alcotest.test_case "fence hook" `Quick test_fence_hook;
+    Alcotest.test_case "numa cost" `Quick test_numa_cost;
+    Alcotest.test_case "image save/load" `Quick test_save_load;
+  ]

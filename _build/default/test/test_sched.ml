@@ -1,0 +1,110 @@
+(* Cooperative scheduler: completion, determinism, lock exclusion and
+   contention accounting. *)
+
+open Repro_util
+module Sched = Repro_sched.Sched
+
+let test_all_run () =
+  let count = ref 0 in
+  let stats = Sched.run ~threads:8 (fun _cpu -> incr count) in
+  Alcotest.(check int) "all threads ran" 8 !count;
+  Alcotest.(check bool) "makespan sane" true (stats.makespan_ns >= 0)
+
+let test_clock_isolation () =
+  let finish = Array.make 4 0 in
+  let _ =
+    Sched.run ~threads:4 (fun cpu ->
+        Simclock.advance cpu.Cpu.clock ((cpu.id + 1) * 1000);
+        finish.(cpu.id) <- Cpu.now cpu)
+  in
+  Alcotest.(check (array int)) "per-thread clocks" [| 1000; 2000; 3000; 4000 |] finish
+
+let test_makespan_is_max () =
+  let stats =
+    Sched.run ~threads:3 (fun cpu -> Simclock.advance cpu.Cpu.clock ((cpu.id + 1) * 500))
+  in
+  Alcotest.(check int) "makespan = slowest" 1500 stats.makespan_ns;
+  Alcotest.(check int) "busy = sum" 3000 stats.total_busy_ns
+
+let test_mutex_exclusion () =
+  let m = Sched.create_mutex () in
+  let inside = ref false in
+  let violations = ref 0 in
+  let _ =
+    Sched.run ~threads:8 (fun cpu ->
+        for _ = 1 to 20 do
+          Sched.lock m;
+          if !inside then incr violations;
+          inside := true;
+          Simclock.advance cpu.Cpu.clock 100;
+          (* Yield while holding: others must still be excluded. *)
+          Sched.yield ();
+          inside := false;
+          Sched.unlock m
+        done)
+  in
+  Alcotest.(check int) "mutual exclusion" 0 !violations
+
+let test_contention_serializes () =
+  let m = Sched.create_mutex () in
+  let work cpu =
+    Sched.with_lock m (fun () -> Simclock.advance cpu.Cpu.clock 10_000)
+  in
+  let s1 = Sched.run ~threads:1 work in
+  let s8 = Sched.run ~threads:8 work in
+  Alcotest.(check bool) "8 threads on one lock serialise" true
+    (s8.makespan_ns >= 8 * s1.makespan_ns);
+  Alcotest.(check bool) "waiting recorded" true (s8.lock_wait_ns > 0)
+
+let test_independent_locks_parallel () =
+  let work cpu =
+    let m = Sched.create_mutex () in
+    Sched.with_lock m (fun () -> Simclock.advance cpu.Cpu.clock 10_000)
+  in
+  let s8 = Sched.run ~threads:8 work in
+  Alcotest.(check bool) "independent locks do not serialise" true
+    (s8.makespan_ns < 2 * 10_100)
+
+let test_determinism () =
+  let run () =
+    let m = Sched.create_mutex () in
+    let order = Buffer.create 64 in
+    let stats =
+      Sched.run ~threads:4 (fun cpu ->
+          for _ = 1 to 5 do
+            Sched.with_lock m (fun () ->
+                Buffer.add_string order (string_of_int cpu.Cpu.id);
+                Simclock.advance cpu.Cpu.clock ((cpu.id * 37) + 11))
+          done)
+    in
+    (Buffer.contents order, stats.makespan_ns)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (pair string int)) "identical schedules" a b
+
+let test_unlock_not_held () =
+  let m = Sched.create_mutex () in
+  Alcotest.(check bool) "unlock when not held rejected" true
+    (match Sched.unlock m with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_outside_scheduler () =
+  (* Locks degrade gracefully outside Sched.run. *)
+  let m = Sched.create_mutex () in
+  Sched.with_lock m (fun () -> ());
+  Sched.with_lock m (fun () -> ());
+  Alcotest.(check pass) "no scheduler needed" () ()
+
+let suite =
+  [
+    Alcotest.test_case "all threads run" `Quick test_all_run;
+    Alcotest.test_case "clock isolation" `Quick test_clock_isolation;
+    Alcotest.test_case "makespan" `Quick test_makespan_is_max;
+    Alcotest.test_case "mutex exclusion" `Quick test_mutex_exclusion;
+    Alcotest.test_case "contention serialises" `Quick test_contention_serializes;
+    Alcotest.test_case "independent locks parallel" `Quick test_independent_locks_parallel;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "unlock not held" `Quick test_unlock_not_held;
+    Alcotest.test_case "outside scheduler" `Quick test_outside_scheduler;
+  ]

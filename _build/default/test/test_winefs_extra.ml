@@ -1,0 +1,194 @@
+(* WineFS deeper behaviours: xattr alignment inheritance, concurrency
+   stress under the scheduler, invariants after heavy churn, relaxed-mode
+   crash semantics (metadata-only oracle), journal pressure. *)
+
+open Repro_util
+module Device = Repro_pmem.Device
+module Types = Repro_vfs.Types
+module Vmem = Repro_memsim.Vmem
+module Sched = Repro_sched.Sched
+module Fs = Winefs.Fs
+
+let mib = Units.mib
+
+let make_fs ?(size = 96 * mib) ?(cpus = 4) ?(mode = Types.Strict) () =
+  let dev = Device.create ~cost:Device.Cost.free ~size () in
+  (Fs.format dev (Types.config ~cpus ~mode ~inodes_per_cpu:1024 ()), dev)
+
+let cpu () = Cpu.make ~id:0 ()
+
+let test_xattr_align_small_file () =
+  (* §3.6: a file carrying the alignment xattr starts on an aligned
+     extent even when written with small requests (the rsync/cp story). *)
+  let fs, _ = make_fs () in
+  let c = cpu () in
+  Fs.mkdir fs c "/dst";
+  Fs.set_xattr_align fs c "/dst" true;
+  (* Children inherit the directory-level xattr. *)
+  let fd = Fs.create fs c "/dst/copied" in
+  ignore (Fs.pwrite fs c fd ~off:0 ~src:(String.make 50_000 'r'));
+  (match Fs.file_extents fs c "/dst/copied" with
+  | (_, phys, _) :: _ ->
+      Alcotest.(check bool) "starts 2MB-aligned" true (Units.is_aligned phys Units.huge_page)
+  | [] -> Alcotest.fail "no extents");
+  Fs.close fs c fd;
+  (* Without the xattr, an identical small file starts in a hole. *)
+  let fd2 = Fs.create fs c "/plain" in
+  ignore (Fs.pwrite fs c fd2 ~off:0 ~src:(String.make 50_000 'r'));
+  (match Fs.file_extents fs c "/plain" with
+  | (_, phys, _) :: _ ->
+      Alcotest.(check bool) "hole-backed (not a fresh aligned extent)" true
+        (not (Units.is_aligned phys Units.huge_page))
+  | [] -> Alcotest.fail "no extents");
+  Fs.close fs c fd2
+
+let test_xattr_survives_remount () =
+  let fs, dev = make_fs () in
+  let c = cpu () in
+  let fd = Fs.create fs c "/marked" in
+  Fs.close fs c fd;
+  Fs.set_xattr_align fs c "/marked" true;
+  Fs.unmount fs c;
+  let fs2 = Fs.mount dev (Types.config ()) in
+  (* The xattr lives in the inode header: writing after remount must
+     still prefer aligned extents. *)
+  let fd2 = Fs.openf fs2 c "/marked" Types.o_rdwr in
+  ignore (Fs.pwrite fs2 c fd2 ~off:0 ~src:(String.make 10_000 'x'));
+  (match Fs.file_extents fs2 c "/marked" with
+  | (_, phys, _) :: _ ->
+      Alcotest.(check bool) "aligned after remount" true
+        (Units.is_aligned phys Units.huge_page)
+  | [] -> Alcotest.fail "no extents");
+  Fs.close fs2 c fd2
+
+let test_concurrent_stress () =
+  (* Many threads churning the same tree: no exceptions, consistent
+     accounting, and a remountable image at the end. *)
+  let dev = Device.create ~cost:Device.Cost.free ~size:(96 * mib) () in
+  let cfg = Types.config ~cpus:8 ~inodes_per_cpu:1024 () in
+  let fs = Fs.format dev cfg in
+  let setup = cpu () in
+  for d = 0 to 7 do
+    Fs.mkdir fs setup (Printf.sprintf "/d%d" d)
+  done;
+  let _ =
+    Sched.run ~threads:8 (fun c ->
+        let rng = Rng.create (c.Cpu.id + 1) in
+        for i = 0 to 60 do
+          let path = Printf.sprintf "/d%d/f%d-%d" (Rng.int rng 8) c.Cpu.id i in
+          match Fs.create fs c path with
+          | fd ->
+              ignore (Fs.pwrite fs c fd ~off:0 ~src:(String.make (1 + Rng.int rng 20000) 'w'));
+              Fs.fsync fs c fd;
+              Fs.close fs c fd;
+              if Rng.bool rng then ( try Fs.unlink fs c path with Types.Error _ -> ())
+          | exception Types.Error _ -> ()
+        done)
+  in
+  let s = Fs.statfs fs in
+  Alcotest.(check bool) "accounting holds" true (s.free + s.used = s.capacity);
+  Fs.unmount fs setup;
+  let fs2 = Fs.mount dev cfg in
+  let s2 = Fs.statfs fs2 in
+  Alcotest.(check int) "remount agrees on free space" s.free s2.free
+
+let test_rename_cycles_and_depth () =
+  let fs, _ = make_fs () in
+  let c = cpu () in
+  (* Deep tree. *)
+  let rec deep base n = if n = 0 then base else deep (base ^ "/s") (n - 1) in
+  let rec mk base n =
+    if n > 0 then begin
+      Fs.mkdir fs c (base ^ "/s");
+      mk (base ^ "/s") (n - 1)
+    end
+  in
+  Fs.mkdir fs c "/deep";
+  mk "/deep" 10;
+  let bottom = deep "/deep" 10 in
+  let fd = Fs.create fs c (bottom ^ "/leaf") in
+  ignore (Fs.pwrite fs c fd ~off:0 ~src:"down under");
+  Fs.close fs c fd;
+  Alcotest.(check bool) "deep path resolves" true (Fs.exists fs c (bottom ^ "/leaf"));
+  (* Rename a directory across levels: children must keep resolving. *)
+  Fs.rename fs c ~old_path:("/deep/s") ~new_path:"/moved";
+  Alcotest.(check bool) "moved subtree resolves" true
+    (Fs.exists fs c (deep "/moved" 9 ^ "/leaf"))
+
+let test_journal_pressure_many_ops () =
+  (* Thousands of metadata ops on one CPU: the journal ring must wrap and
+     reclaim without corruption, and the image must remount. *)
+  let fs, dev = make_fs ~cpus:1 () in
+  let c = cpu () in
+  for i = 0 to 2000 do
+    let p = Printf.sprintf "/t%d" (i mod 50) in
+    if Fs.exists fs c p then Fs.unlink fs c p
+    else begin
+      let fd = Fs.create fs c p in
+      ignore (Fs.pwrite fs c fd ~off:0 ~src:"spin");
+      Fs.close fs c fd
+    end
+  done;
+  let fs2 = Fs.mount dev (Types.config ()) in
+  Alcotest.(check bool) "remounts after journal churn" true (Fs.recovery_ns fs2 >= 0)
+
+let test_relaxed_crash_metadata_consistent () =
+  (* Relaxed mode: metadata operations are still atomic+synchronous.
+     Run a rename under crash injection and check the namespace (sizes and
+     names; not data) with the metadata-only oracle. *)
+  let r =
+    Repro_crashcheck.Checker.run ~mode:Types.Relaxed
+      ~workloads:
+        (List.filter
+           (fun (w : Repro_crashcheck.Ace.workload) ->
+             List.mem w.w_name [ "seq1-rename-replace"; "seq1-mkdir"; "seq1-unlink" ])
+           Repro_crashcheck.Ace.all)
+      ()
+  in
+  Alcotest.(check (list (pair string string))) "relaxed metadata atomic" [] r.failures
+
+let test_mount_rejects_garbage () =
+  let dev = Device.create ~cost:Device.Cost.free ~size:(32 * mib) () in
+  Alcotest.(check bool) "garbage image rejected" true
+    (match Fs.mount dev (Types.config ()) with
+    | _ -> false
+    | exception Types.Error (EINVAL, _) -> true)
+
+let test_statfs_capacity_constant () =
+  let fs, _ = make_fs () in
+  let c = cpu () in
+  let cap0 = (Fs.statfs fs).capacity in
+  for i = 0 to 20 do
+    let fd = Fs.create fs c (Printf.sprintf "/c%d" i) in
+    ignore (Fs.pwrite fs c fd ~off:0 ~src:(String.make 100_000 'c'));
+    Fs.close fs c fd
+  done;
+  Alcotest.(check int) "capacity constant" cap0 (Fs.statfs fs).capacity
+
+let test_sparse_mmap_read_zeroes () =
+  (* Reading an unfaulted hole through a mapping must see zeros (fault
+     allocates + zeroes). *)
+  let fs, dev = make_fs () in
+  let c = cpu () in
+  let fd = Fs.create fs c "/sparse" in
+  Fs.ftruncate fs c fd (4 * mib);
+  let vm = Vmem.create dev in
+  let r = Vmem.mmap vm ~len:(4 * mib) ~backing:(Fs.mmap_backing fs fd) () in
+  let buf = Bytes.make 16 'x' in
+  Vmem.read_into vm c r ~off:(3 * mib) ~dst:buf ~dst_off:0 ~len:16;
+  Alcotest.(check string) "hole reads zero" (String.make 16 '\000') (Bytes.to_string buf);
+  Fs.close fs c fd
+
+let suite =
+  [
+    Alcotest.test_case "xattr alignment for small files" `Quick test_xattr_align_small_file;
+    Alcotest.test_case "xattr survives remount" `Quick test_xattr_survives_remount;
+    Alcotest.test_case "concurrent stress" `Quick test_concurrent_stress;
+    Alcotest.test_case "deep trees and subtree rename" `Quick test_rename_cycles_and_depth;
+    Alcotest.test_case "journal pressure" `Quick test_journal_pressure_many_ops;
+    Alcotest.test_case "relaxed crash metadata-consistent" `Quick
+      test_relaxed_crash_metadata_consistent;
+    Alcotest.test_case "mount rejects garbage" `Quick test_mount_rejects_garbage;
+    Alcotest.test_case "statfs capacity constant" `Quick test_statfs_capacity_constant;
+    Alcotest.test_case "sparse mmap reads zeroes" `Quick test_sparse_mmap_read_zeroes;
+  ]
