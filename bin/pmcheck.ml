@@ -1,0 +1,119 @@
+(* pmcheck — persistence-ordering lint over the simulated PM device.
+
+   Runs the ACE workload corpus (and a micro-workload suite) against
+   WineFS with the durability sanitizer attached, and reports every
+   flush/fence-ordering violation with the site that caused it.
+
+   Examples:
+     pmcheck                     # all ACE workloads + micro suite, report
+     pmcheck --seq 2             # only two-op ACE sequences
+     pmcheck --strict            # exit at the first violation
+     pmcheck --rules R1,R4       # check a subset of the rules *)
+
+open Cmdliner
+module Ace = Repro_crashcheck.Ace
+module Sanitize = Repro_crashcheck.Sanitize
+module Sanitizer = Sanitize.Sanitizer
+module Table = Repro_util.Table
+
+let parse_rules s =
+  let name_of = function
+    | "R1" -> Some Sanitizer.R1_missing_flush
+    | "R2" -> Some Sanitizer.R2_missing_fence
+    | "R3" -> Some Sanitizer.R3_redundant_flush
+    | "R4" -> Some Sanitizer.R4_undo_protocol
+    | "R5" -> Some Sanitizer.R5_commit_order
+    | _ -> None
+  in
+  String.split_on_char ',' s
+  |> List.map (fun r ->
+         match name_of (String.trim r) with
+         | Some rule -> rule
+         | None ->
+             Printf.eprintf "unknown rule %S (expected R1..R5)\n" r;
+             exit 2)
+
+let run seq strict no_micro relaxed rules verbose =
+  let rules = match rules with "" -> Sanitizer.all_rules | s -> parse_rules s in
+  let workloads =
+    match seq with
+    | 0 -> Ace.all
+    | 1 -> Ace.seq1
+    | 2 -> Ace.seq2
+    | 3 -> Ace.seq3
+    | n ->
+        Printf.eprintf "--seq must be 1, 2, 3, or 0 for all (got %d)\n" n;
+        exit 2
+  in
+  let mode = if relaxed then Repro_vfs.Types.Relaxed else Repro_vfs.Types.Strict in
+  Printf.printf "pmcheck: %d ACE workloads%s, %s mode%s\n%!" (List.length workloads)
+    (if no_micro then "" else " + micro suite")
+    (if relaxed then "relaxed" else "strict")
+    (if strict then ", stopping at the first violation" else "");
+  match
+    let ace = Sanitize.run_ace ~strict ~rules ~mode workloads in
+    let micro = if no_micro then [] else Sanitize.run_micro ~strict ~rules () in
+    ace @ micro
+  with
+  | exception Sanitizer.Violation d ->
+      Printf.printf "VIOLATION: %s\n" (Sanitizer.diag_to_string d);
+      1
+  | reports ->
+      let table =
+        Table.create ~title:"Durability violations"
+          ~columns:[ "workload"; "rule"; "severity"; "site"; "cacheline"; "count"; "detail" ]
+      in
+      let rows = ref 0 in
+      List.iter
+        (fun (r : Sanitize.report) ->
+          List.iter
+            (fun (d : Sanitizer.diag) ->
+              incr rows;
+              Table.add_row table
+                [
+                  r.name;
+                  Sanitizer.rule_name d.rule;
+                  (match d.severity with Sanitizer.Error -> "error" | Warning -> "warning");
+                  Repro_pmem.Site.to_string d.site;
+                  Printf.sprintf "%d (0x%x)" d.line (Sanitizer.diag_offset d);
+                  string_of_int d.count;
+                  d.detail;
+                ])
+            r.diags)
+        reports;
+      if verbose then
+        List.iter
+          (fun (r : Sanitize.report) ->
+            Printf.printf "  %-28s %s\n" r.name
+              (if r.diags = [] then "clean"
+               else Printf.sprintf "%d diagnostic(s)" (List.length r.diags)))
+          reports;
+      if !rows > 0 then Table.print table;
+      let errors = Sanitize.total_errors reports in
+      Printf.printf "\npmcheck: %d workloads, %d diagnostics (%d errors)\n"
+        (List.length reports) !rows errors;
+      if errors = 0 then begin
+        print_endline "No persistence-ordering violations.";
+        0
+      end
+      else 1
+
+let () =
+  let seq = Arg.(value & opt int 0 & info [ "seq" ] ~doc:"ACE workload length (1-3; 0 = all)") in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Raise at the first violating access")
+  in
+  let no_micro = Arg.(value & flag & info [ "no-micro" ] ~doc:"Skip the micro-workload suite") in
+  let relaxed =
+    Arg.(value & flag & info [ "relaxed" ] ~doc:"Run the file system in relaxed mode")
+  in
+  let rules =
+    Arg.(value & opt string "" & info [ "rules" ] ~doc:"Comma-separated rule subset (R1..R5)")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print each workload") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "pmcheck" ~doc:"Persistence-ordering lint for the WineFS PM stack")
+      Term.(const run $ seq $ strict $ no_micro $ relaxed $ rules $ verbose)
+  in
+  exit (Cmd.eval' cmd)

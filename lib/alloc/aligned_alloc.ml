@@ -5,6 +5,20 @@ type extent = { off : int; len : int }
 
 let huge = Units.huge_page
 
+let zero_site = Repro_pmem.Site.v "alloc" "zero"
+
+let zero_extents dev cpu exts =
+  let module Device = Repro_pmem.Device in
+  Device.with_site dev zero_site (fun () ->
+      List.iter
+        (fun e ->
+          if e.len > 0 then begin
+            Device.annotate dev (Fresh { addr = e.off; len = e.len });
+            Device.memset_nt dev cpu ~off:e.off ~len:e.len '\000'
+          end)
+        exts;
+      Device.fence dev cpu)
+
 type pool = {
   stripe_off : int;
   stripe_len : int;

@@ -18,6 +18,12 @@
 
 type extent = { off : int; len : int }
 
+val zero_extents : Repro_pmem.Device.t -> Repro_util.Cpu.t -> extent list -> unit
+(** Zero freshly allocated extents with non-temporal stores and one fence,
+    under the ["alloc.zero"] durability-lint site.  Newly exposed data
+    blocks must read back as zeroes after any crash, so the zeroes are made
+    durable before the extents are linked into an inode. *)
+
 type t
 
 val create : cpus:int -> regions:(int * int) array -> t

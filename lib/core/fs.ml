@@ -25,6 +25,23 @@ let name = "WineFS"
 let huge = Units.huge_page
 let block = Units.base_page
 
+(* Durability-lint site labels (see {!Repro_sanitizer}): every PM access
+   below carries the layer and operation that issued it. *)
+module Site = Repro_pmem.Site
+
+let site_meta = Site.v "core" "meta"
+let site_meta_block = Site.v "core" "meta-block"
+let site_inode_init = Site.v "core" "inode-init"
+let site_sb = Site.v "core" "superblock"
+let site_serial = Site.v "core" "serial"
+let site_format = Site.v "core" "format"
+let site_data = Site.v "core" "data"
+let site_data_journal = Site.v "core" "data-journal"
+let site_cow = Site.v "core" "cow"
+let site_zero = Site.v "core" "zero"
+let site_rewrite = Site.v "core" "rewrite"
+let site_mount = Site.v "core" "mount"
+
 (* One live extent record: a slot in the inode's persistent extent list
    (inline slots 0-7, then overflow blocks) plus its mapping.  [asrc]
    remembers whether the extent came from the aligned pool — the hybrid
@@ -105,6 +122,7 @@ let header_of f =
    commit fences all in-place lines before the COMMIT entry persists
    (§3.4 "Crash Consistency: Journaling"). *)
 let meta_write t cpu txn ~addr (data : bytes) =
+  Device.with_site t.dev site_meta @@ fun () ->
   let j = (jcpu t cpu).journal in
   Journal.log_range j cpu txn ~addr ~len:(Bytes.length data);
   Device.write t.dev cpu ~off:addr ~src:data ~src_off:0 ~len:(Bytes.length data);
@@ -217,8 +235,12 @@ let ensure_slot t cpu txn f =
       end
       else begin
         let blk = alloc_meta_block t cpu in
-        Device.memset t.dev cpu ~off:blk ~len:block '\000';
-        Device.persist t.dev cpu ~off:blk ~len:block;
+        (* Initialize-then-publish: the block is unreachable until the
+           journaled pointer update below commits. *)
+        Device.annotate t.dev (Fresh { addr = blk; len = block });
+        Device.with_site t.dev site_meta_block (fun () ->
+            Device.memset t.dev cpu ~off:blk ~len:block '\000';
+            Device.persist t.dev cpu ~off:blk ~len:block);
         (* Link it at the tail of the chain (journaled pointer update). *)
         (match List.rev f.overflow with
         | [] ->
@@ -366,10 +388,7 @@ let allocate_range t cpu txn f ~file_off ~len ~zero =
     let cur = ref file_off in
     List.iter
       (fun (e : Alloc.extent) ->
-        if zero then begin
-          Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
-          Device.fence t.dev cpu
-        end;
+        if zero then Alloc.zero_extents t.dev cpu [ e ];
         (* Whole aligned 2MB chunks come from the aligned pool; everything
            else is hole-sourced (including xattr-aligned fronts). *)
         let asrc = e.len = huge && Units.is_aligned e.off huge in
@@ -461,8 +480,10 @@ let take_dentry_slot t cpu txn dirf =
   | [] ->
       let old_size = dirf.size in
       let phys = alloc_meta_block t cpu in
-      Device.memset t.dev cpu ~off:phys ~len:block '\000';
-      Device.persist t.dev cpu ~off:phys ~len:block;
+      Device.annotate t.dev (Fresh { addr = phys; len = block });
+      Device.with_site t.dev site_meta_block (fun () ->
+          Device.memset t.dev cpu ~off:phys ~len:block '\000';
+          Device.persist t.dev cpu ~off:phys ~len:block);
       add_record t cpu txn dirf ~file_off:old_size ~phys ~len:block ~asrc:false;
       dirf.size <- old_size + block;
       persist_header t cpu txn dirf;
@@ -507,6 +528,7 @@ let new_file t ino kind =
    resurrect the previous owner's records as ghosts.  (The inode is still
    invalid while this runs, so plain stores suffice.) *)
 let init_inode_slots t cpu ino =
+  Device.with_site t.dev site_inode_init @@ fun () ->
   let off = inode_addr t ino + Codec.Inode.extent_slot_off 0 in
   let len = Layout.inline_extents * Codec.Inode.extent_bytes in
   Device.memset t.dev cpu ~off ~len '\000';
@@ -557,8 +579,9 @@ let write_sb t cpu ~clean =
     }
   in
   let b = Codec.Superblock.encode sb in
-  Device.write t.dev cpu ~off:0 ~src:b ~src_off:0 ~len:(Bytes.length b);
-  Device.persist t.dev cpu ~off:0 ~len:(Bytes.length b)
+  Device.with_site t.dev site_sb (fun () ->
+      Device.write t.dev cpu ~off:0 ~src:b ~src_off:0 ~len:(Bytes.length b);
+      Device.persist t.dev cpu ~off:0 ~len:(Bytes.length b))
 
 let fresh_state dev cfg layout alloc txn_counter journals =
   let pcpu =
@@ -581,6 +604,7 @@ let fresh_state dev cfg layout alloc txn_counter journals =
   }
 
 let invalidate_serial t cpu =
+  Device.with_site t.dev site_serial @@ fun () ->
   Device.write t.dev cpu ~off:t.layout.serial_off ~src:Codec.Serial.invalid ~src_off:0
     ~len:(Bytes.length Codec.Serial.invalid);
   Device.persist t.dev cpu ~off:t.layout.serial_off ~len:(Bytes.length Codec.Serial.invalid)
@@ -592,11 +616,16 @@ let format dev cfg =
       ~inodes_per_cpu:cfg.inodes_per_cpu
   in
   let cfg = { cfg with Types.inodes_per_cpu = layout.inodes_per_cpu } in
-  (* Zero inode tables so invalid inodes parse as invalid. *)
-  Array.iter
-    (fun off ->
-      Device.memset dev cpu ~off ~len:(layout.inodes_per_cpu * Layout.inode_bytes) '\000')
-    layout.inode_table_off;
+  (* Zero inode tables so invalid inodes parse as invalid; the zeroes must
+     be durable — mount scans the tables, and a crash between format and
+     the first inode write would otherwise parse stale bytes as inodes. *)
+  Device.with_site dev site_format (fun () ->
+      Array.iter
+        (fun off ->
+          let len = layout.inodes_per_cpu * Layout.inode_bytes in
+          Device.memset dev cpu ~off ~len '\000';
+          Device.persist dev cpu ~off ~len)
+        layout.inode_table_off);
   let txn_counter = Journal.Txn_counter.create () in
   let journals =
     Array.init cfg.cpus (fun c ->
@@ -681,8 +710,12 @@ let load_dir_index t cpu f =
 (* Mount: recover journals, rebuild DRAM indexes by scanning the inode
    tables and directory blocks, restore or rebuild the allocator. *)
 let mount dev cfg =
+  Device.with_site dev site_mount @@ fun () ->
   let cpu = Cpu.make ~id:0 () in
   let t0 = Simclock.now cpu.clock in
+  (* Everything read from here until the state is rebuilt is recovery
+     input: the lint flags any line that was not durable. *)
+  Device.annotate dev Recovery_begin;
   let sb_buf = Bytes.create Codec.Superblock.bytes in
   Device.read dev cpu ~off:0 ~len:Codec.Superblock.bytes ~dst:sb_buf ~dst_off:0;
   let sb =
@@ -776,6 +809,7 @@ let mount dev cfg =
   let t = { t with alloc } in
   Repro_rbtree.Extent_tree.iter meta_shadow (fun ~off ~len ->
       Repro_rbtree.Extent_tree.insert_free t.meta_free ~off ~len);
+  Device.annotate dev Recovery_end;
   invalidate_serial t cpu;
   write_sb t cpu ~clean:false;
   t.recovery_ns <- Simclock.now cpu.clock - t0;
@@ -786,8 +820,10 @@ let unmount t cpu =
      unmount"); fall back to scan-on-mount when they do not fit. *)
   (match Codec.Serial.encode (Alloc.snapshot t.alloc) ~capacity_bytes:t.layout.serial_len with
   | Some b ->
-      Device.write t.dev cpu ~off:t.layout.serial_off ~src:b ~src_off:0 ~len:(Bytes.length b);
-      Device.persist t.dev cpu ~off:t.layout.serial_off ~len:(Bytes.length b)
+      Device.with_site t.dev site_serial (fun () ->
+          Device.write t.dev cpu ~off:t.layout.serial_off ~src:b ~src_off:0
+            ~len:(Bytes.length b);
+          Device.persist t.dev cpu ~off:t.layout.serial_off ~len:(Bytes.length b))
   | None -> invalidate_serial t cpu);
   write_sb t cpu ~clean:true
 
@@ -1026,9 +1062,10 @@ let overwrite_in_txn t cpu txn f ~off ~src ~src_off ~len =
     let n = min (len - !cur) run in
     if backed_aligned f ~file_off then begin
       (* Data journaling: undo-log the old data, then write in place. *)
-      Journal.log_range j cpu txn ~addr:phys ~len:n;
-      Device.write_nt t.dev cpu ~off:phys ~src ~src_off:(src_off + !cur) ~len:n;
-      Device.fence t.dev cpu;
+      Device.with_site t.dev site_data_journal (fun () ->
+          Journal.log_range j cpu txn ~addr:phys ~len:n;
+          Device.write_nt t.dev cpu ~off:phys ~src ~src_off:(src_off + !cur) ~len:n;
+          Device.fence t.dev cpu);
       Counters.add t.counters "fs.data_journal_bytes" n
     end
     else begin
@@ -1073,7 +1110,8 @@ let overwrite_in_txn t cpu txn f ~off ~src ~src_off ~len =
       let pf = ref blo in
       List.iter
         (fun (e : Alloc.extent) ->
-          write_piece e ~piece_file_off:!pf;
+          Device.annotate t.dev (Fresh { addr = e.off; len = e.len });
+          Device.with_site t.dev site_cow (fun () -> write_piece e ~piece_file_off:!pf);
           pf := !pf + e.len)
         exts;
       let freed, _ = remove_records t cpu txn f ~file_off:blo ~len:cow_len in
@@ -1133,6 +1171,7 @@ let holes_in f ~off ~len =
   !holes
 
 let zero_uncovered t cpu f holes ~off ~len =
+  Device.with_site t.dev site_zero @@ fun () ->
   List.iter
     (fun (h_lo, h_hi) ->
       let zero_range lo hi =
@@ -1164,6 +1203,7 @@ let pwrite t cpu fd ~off ~src =
         let pre_holes = holes_in f ~off ~len in
         let src_b = Bytes.unsafe_of_string src in
         let write_extension () =
+          Device.with_site t.dev site_data @@ fun () ->
           (* Pure extension data: no old contents to protect; data lands
              before the size bump commits. *)
           let old_size = f.size in
@@ -1205,16 +1245,17 @@ let pwrite t cpu fd ~off ~src =
           with_txn t cpu ~reserve:150 (fun txn ->
               ensure_backing t cpu txn f ~off ~len ~zero:false;
               zero_uncovered t cpu f pre_holes ~off ~len;
-              if overlap_hi > off then begin
-                let cur = ref off in
-                while !cur < overlap_hi do
-                  let phys, run = Option.get (lookup_run f ~file_off:!cur) in
-                  let n = min (overlap_hi - !cur) run in
-                  Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
-                  f.dirty_bytes <- f.dirty_bytes + n;
-                  cur := !cur + n
-                done
-              end;
+              if overlap_hi > off then
+                Device.with_site t.dev site_data (fun () ->
+                    let cur = ref off in
+                    while !cur < overlap_hi do
+                      let phys, run = Option.get (lookup_run f ~file_off:!cur) in
+                      let n = min (overlap_hi - !cur) run in
+                      Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off)
+                        ~len:n;
+                      f.dirty_bytes <- f.dirty_bytes + n;
+                      cur := !cur + n
+                    done);
               write_extension ();
               if off + len > f.size then begin
                 f.size <- off + len;
@@ -1241,17 +1282,17 @@ let pwrite t cpu fd ~off ~src =
               cur := !cur + piece
             done
           end
-          else if overlap_hi > off then begin
+          else if overlap_hi > off then
             (* Relaxed: in-place, durable at fsync. *)
-            let cur = ref off in
-            while !cur < overlap_hi do
-              let phys, run = Option.get (lookup_run f ~file_off:!cur) in
-              let n = min (overlap_hi - !cur) run in
-              Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
-              f.dirty_bytes <- f.dirty_bytes + n;
-              cur := !cur + n
-            done
-          end;
+            Device.with_site t.dev site_data (fun () ->
+                let cur = ref off in
+                while !cur < overlap_hi do
+                  let phys, run = Option.get (lookup_run f ~file_off:!cur) in
+                  let n = min (overlap_hi - !cur) run in
+                  Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+                  f.dirty_bytes <- f.dirty_bytes + n;
+                  cur := !cur + n
+                done);
           write_extension ();
           if off + len > f.size then begin
             f.size <- off + len;
@@ -1345,8 +1386,9 @@ let ftruncate t cpu fd new_size =
         (if lo > new_size then
            match lookup_run f ~file_off:new_size with
            | Some (phys, run) ->
-               Device.memset_nt t.dev cpu ~off:phys ~len:(min run (lo - new_size)) '\000';
-               Device.fence t.dev cpu
+               Device.with_site t.dev site_zero (fun () ->
+                   Device.memset_nt t.dev cpu ~off:phys ~len:(min run (lo - new_size)) '\000';
+                   Device.fence t.dev cpu)
            | None -> ())
       end
       else if new_size > f.size then begin
@@ -1383,8 +1425,7 @@ let mmap_backing t fd : Vmem.backing =
                chunk maps as a hugepage (LMDB-style sparse files win here). *)
             match Alloc.alloc_hugepage t.alloc ~cpu:(acpu t cpu) with
             | Some phys ->
-                Device.memset_nt t.dev cpu ~off:phys ~len:huge '\000';
-                Device.fence t.dev cpu;
+                Alloc.zero_extents t.dev cpu [ { Alloc.off = phys; len = huge } ];
                 Sched.with_lock f.lock (fun () ->
                     with_txn t cpu ~reserve:4 (fun txn ->
                         add_record t cpu txn f ~file_off ~phys ~len:huge ~asrc:true));
@@ -1396,8 +1437,7 @@ let mmap_backing t fd : Vmem.backing =
                   Alloc.alloc t.alloc ~cpu:(acpu t cpu) ~len:block ~prefer_aligned:false
                 with
                 | Some [ ext ] ->
-                    Device.memset_nt t.dev cpu ~off:ext.off ~len:block '\000';
-                    Device.fence t.dev cpu;
+                    Alloc.zero_extents t.dev cpu [ ext ];
                     Sched.with_lock f.lock (fun () ->
                         with_txn t cpu ~reserve:4 (fun txn ->
                             add_record t cpu txn f ~file_off ~phys:ext.off ~len:block
@@ -1412,8 +1452,7 @@ let mmap_backing t fd : Vmem.backing =
       | None -> (
           match Alloc.alloc t.alloc ~cpu:(acpu t cpu) ~len:block ~prefer_aligned:false with
           | Some [ ext ] ->
-              Device.memset_nt t.dev cpu ~off:ext.off ~len:block '\000';
-              Device.fence t.dev cpu;
+              Alloc.zero_extents t.dev cpu [ ext ];
               Sched.with_lock f.lock (fun () ->
                   with_txn t cpu ~reserve:4 (fun txn ->
                       add_record t cpu txn f ~file_off ~phys:ext.off ~len:block ~asrc:false));
@@ -1456,25 +1495,27 @@ let rewrite_one t cpu f =
             let pf = ref 0 in
             List.iter
               (fun (ext : Alloc.extent) ->
-                let copied = ref 0 in
-                while !copied < ext.len do
-                  (match lookup_run f ~file_off:(!pf + !copied) with
-                  | Some (phys, run) ->
-                      let n = min run (ext.len - !copied) in
-                      Device.copy_within_nt t.dev cpu ~src:phys ~dst:(ext.off + !copied)
-                        ~len:n;
-                      copied := !copied + n
-                  | None ->
-                      Device.memset_nt t.dev cpu ~off:(ext.off + !copied)
-                        ~len:(ext.len - !copied) '\000';
-                      copied := ext.len)
-                done;
+                Device.annotate t.dev (Fresh { addr = ext.off; len = ext.len });
+                Device.with_site t.dev site_rewrite (fun () ->
+                    let copied = ref 0 in
+                    while !copied < ext.len do
+                      (match lookup_run f ~file_off:(!pf + !copied) with
+                      | Some (phys, run) ->
+                          let n = min run (ext.len - !copied) in
+                          Device.copy_within_nt t.dev cpu ~src:phys ~dst:(ext.off + !copied)
+                            ~len:n;
+                          copied := !copied + n
+                      | None ->
+                          Device.memset_nt t.dev cpu ~off:(ext.off + !copied)
+                            ~len:(ext.len - !copied) '\000';
+                          copied := ext.len)
+                    done);
                 with_txn t cpu ~reserve:6 (fun txn ->
                     add_record t cpu txn nf ~file_off:!pf ~phys:ext.off ~len:ext.len
                       ~asrc:(ext.len = huge && Units.is_aligned ext.off huge));
                 pf := !pf + ext.len)
               exts;
-            Device.fence t.dev cpu;
+            Device.with_site t.dev site_rewrite (fun () -> Device.fence t.dev cpu);
             (* The atomic swap: old inode dies, dentry re-points, new inode
                becomes valid — one transaction (§3.6). *)
             let parent = find_file t f.parent in

@@ -1,6 +1,17 @@
 open Repro_util
 module Device = Repro_pmem.Device
+module Site = Repro_pmem.Site
 module Sched = Repro_sched.Sched
+
+let site_header = Site.v "redo" "header"
+let site_format = Site.v "redo" "format"
+let site_record = Site.v "redo" "record"
+let site_checkpoint = Site.v "redo" "checkpoint"
+let site_recovery = Site.v "redo" "recovery"
+
+(* Sanitizer transaction ids: negative of the commit sequence, so they can
+   never collide with the undo journals' positive global counter. *)
+let txn_id_of_seq seq = -seq
 
 let header_bytes = 64
 let rec_header_bytes = 64
@@ -28,6 +39,7 @@ type t = {
 let bytes_needed ~size = header_bytes + size
 
 let write_header t cpu =
+  Device.with_site t.dev site_header @@ fun () ->
   let buf = Bytes.make header_bytes '\000' in
   Bytes.set_int64_le buf 0 magic;
   Bytes.set_int64_le buf 8 (Int64.of_int t.seq);
@@ -49,7 +61,11 @@ let format dev cpu ~off ~size =
       running_order = [];
     }
   in
-  Device.memset dev cpu ~off:(off + header_bytes) ~len:size '\000';
+  (* The zeroed ring must be durable: recovery parses it, and a crash
+     before the first commit would otherwise replay stale garbage. *)
+  Device.with_site dev site_format (fun () ->
+      Device.memset dev cpu ~off:(off + header_bytes) ~len:size '\000';
+      Device.persist dev cpu ~off:(off + header_bytes) ~len:size);
   write_header t cpu;
   t
 
@@ -78,6 +94,7 @@ let running_records t = Hashtbl.length t.running
 let record_size data_len = rec_header_bytes + Units.round_up data_len 64
 
 let write_record t cpu ~seq ~ty ~addr ~data =
+  Device.with_site t.dev site_record @@ fun () ->
   let dlen = String.length data in
   let total = record_size dlen in
   if t.head + total > t.size then t.head <- 0 (* wrap; records never straddle *);
@@ -100,20 +117,33 @@ let commit t cpu =
         let records =
           List.rev_map (fun addr -> (addr, Hashtbl.find t.running addr)) t.running_order
         in
+        let txn = txn_id_of_seq seq in
+        Device.annotate t.dev (Txn_begin { txn });
         (* Journal all records, then the commit block; one fence covers the
            record flushes, a second orders the commit block after them. *)
         List.iter (fun (addr, data) -> write_record t cpu ~seq ~ty:1 ~addr ~data) records;
         Device.fence t.dev cpu;
         write_record t cpu ~seq ~ty:2 ~addr:0 ~data:"";
         Device.fence t.dev cpu;
-        (* Checkpoint in place. *)
+        (* The commit block is durable: replay can reconstruct every record,
+           so in-place checkpointing is crash-safe from here. *)
         List.iter
           (fun (addr, data) ->
-            Device.write_string t.dev cpu ~off:addr data;
-            Device.flush t.dev cpu ~off:addr ~len:(String.length data))
+            Device.annotate t.dev (Covered { txn; addr; len = String.length data }))
           records;
-        Device.fence t.dev cpu;
+        (* Checkpoint in place. *)
+        Device.with_site t.dev site_checkpoint (fun () ->
+            List.iter
+              (fun (addr, data) ->
+                Device.write_string t.dev cpu ~off:addr data;
+                Device.flush t.dev cpu ~off:addr ~len:(String.length data))
+              records;
+            Device.fence t.dev cpu);
         t.seq <- seq;
+        (* The header advance logically truncates the journal; every
+           checkpointed line must already be durable. *)
+        Device.with_site t.dev site_header (fun () ->
+            Device.annotate t.dev (Txn_commit { txn }));
         write_header t cpu;
         Hashtbl.reset t.running;
         t.running_order <- [])
@@ -140,6 +170,7 @@ let read_record t cpu ~pos ~expected_seq =
         Some (ty, addr, data, record_size dlen)
 
 let recover t cpu =
+  Device.with_site t.dev site_recovery @@ fun () ->
   (* Scan forward from the persisted head for transactions that were
      journalled but whose header update (or checkpoint) was lost. *)
   let replayed = ref 0 in

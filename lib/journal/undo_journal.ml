@@ -1,4 +1,13 @@
 module Device = Repro_pmem.Device
+module Site = Repro_pmem.Site
+
+let site_header = Site.v "journal" "header"
+let site_format = Site.v "journal" "format"
+let site_entry = Site.v "journal" "entry"
+let site_undo_copy = Site.v "journal" "undo-copy"
+let site_commit = Site.v "journal" "commit"
+let site_abort = Site.v "journal" "abort"
+let site_recovery = Site.v "journal" "recovery"
 
 module Txn_counter = struct
   type t = { mutable next : int }
@@ -67,6 +76,7 @@ let slot_off t i = t.base + header_bytes + (i * entry_bytes)
 let copy_off t = t.base + header_bytes + (t.slots * entry_bytes)
 
 let write_header t cpu =
+  Device.with_site t.dev site_header @@ fun () ->
   let buf = Bytes.make header_bytes '\000' in
   Bytes.set_int64_le buf 0 magic;
   Bytes.set_int64_le buf 8 (Int64.of_int t.wrap);
@@ -80,8 +90,12 @@ let format dev cpu counter ~off ~entries ~copy_bytes =
     { dev; counter; base = off; slots = entries; copy_bytes; head = 0; wrap = 1;
       open_txn = false; unreclaimed = 0; slots_since_reclaim = 0 }
   in
-  (* Zero the slot area so stale bytes never parse as valid entries. *)
-  Device.memset dev cpu ~off:(slot_off t 0) ~len:(entries * entry_bytes) '\000';
+  (* Zero the slot area so stale bytes never parse as valid entries; the
+     zeroes must be durable or a crash before first use leaves garbage
+     that recovery would parse. *)
+  Device.with_site dev site_format (fun () ->
+      Device.memset dev cpu ~off:(slot_off t 0) ~len:(entries * entry_bytes) '\000';
+      Device.persist dev cpu ~off:(slot_off t 0) ~len:(entries * entry_bytes));
   write_header t cpu;
   t
 
@@ -98,6 +112,7 @@ let attach dev counter ~off ~entries ~copy_bytes =
   t
 
 let write_entry t cpu ~ty ~txn_id ~addr ~len ~copy ~inline =
+  Device.with_site t.dev site_entry @@ fun () ->
   let i = t.head in
   let buf = Bytes.make entry_bytes '\000' in
   Bytes.set_int64_le buf 0 (Int64.of_int txn_id);
@@ -148,6 +163,7 @@ let begin_txn t cpu ~reserve =
   t.open_txn <- true;
   let id = Txn_counter.take t.counter in
   write_entry t cpu ~ty:Start ~txn_id:id ~addr:0 ~len:0 ~copy:0 ~inline:"";
+  Device.annotate t.dev (Txn_begin { txn = id });
   { id; reserve; used = 0; copy_used = 0; undo = [] }
 
 let log_range t cpu txn ~addr ~len =
@@ -156,25 +172,31 @@ let log_range t cpu txn ~addr ~len =
   if len <= 0 then invalid_arg "Undo_journal.log_range: non-positive length";
   let old = Device.read_string t.dev cpu ~off:addr ~len in
   txn.undo <- (addr, old) :: txn.undo;
-  if len <= inline_max then
-    write_entry t cpu ~ty:Data_inline ~txn_id:txn.id ~addr ~len ~copy:0 ~inline:old
-  else begin
-    if txn.copy_used + len > t.copy_bytes then
-      invalid_arg "Undo_journal: copy area exhausted (split the transaction)";
-    let dst = copy_off t + txn.copy_used in
-    (* Bulk undo data streams with non-temporal stores + fence. *)
-    Device.write_string_nt t.dev cpu ~off:dst old;
-    Device.fence t.dev cpu;
-    write_entry t cpu ~ty:Data_extent ~txn_id:txn.id ~addr ~len ~copy:dst ~inline:"";
-    txn.copy_used <- txn.copy_used + len
-  end;
+  (if len <= inline_max then
+     write_entry t cpu ~ty:Data_inline ~txn_id:txn.id ~addr ~len ~copy:0 ~inline:old
+   else begin
+     if txn.copy_used + len > t.copy_bytes then
+       invalid_arg "Undo_journal: copy area exhausted (split the transaction)";
+     let dst = copy_off t + txn.copy_used in
+     (* Bulk undo data streams with non-temporal stores + fence. *)
+     Device.with_site t.dev site_undo_copy (fun () ->
+         Device.write_string_nt t.dev cpu ~off:dst old;
+         Device.fence t.dev cpu);
+     write_entry t cpu ~ty:Data_extent ~txn_id:txn.id ~addr ~len ~copy:dst ~inline:"";
+     txn.copy_used <- txn.copy_used + len
+   end);
+  (* write_entry persisted the undo record: in-place stores to the range
+     are crash-safe from here on. *)
+  Device.annotate t.dev (Covered { txn = txn.id; addr; len });
   txn.used <- txn.used + 1
 
 let commit t cpu txn =
   if not t.open_txn then invalid_arg "Undo_journal.commit: no open transaction";
   (* All flushed in-place updates must be durable strictly before the
      COMMIT entry is: fence first, then persist the COMMIT. *)
-  Device.fence t.dev cpu;
+  Device.with_site t.dev site_commit (fun () ->
+      Device.fence t.dev cpu;
+      Device.annotate t.dev (Txn_commit { txn = txn.id }));
   write_entry t cpu ~ty:Commit ~txn_id:txn.id ~addr:0 ~len:0 ~copy:0 ~inline:"";
   t.open_txn <- false;
   t.unreclaimed <- t.unreclaimed + 1;
@@ -185,14 +207,16 @@ let commit t cpu txn =
 
 let abort t cpu txn =
   if not t.open_txn then invalid_arg "Undo_journal.abort: no open transaction";
-  List.iter
-    (fun (addr, old) ->
-      Device.write_string t.dev cpu ~off:addr old;
-      Device.persist t.dev cpu ~off:addr ~len:(String.length old))
-    txn.undo;
+  Device.with_site t.dev site_abort (fun () ->
+      List.iter
+        (fun (addr, old) ->
+          Device.write_string t.dev cpu ~off:addr old;
+          Device.persist t.dev cpu ~off:addr ~len:(String.length old))
+        txn.undo);
   (* Aborts reclaim eagerly: the ring must not rescan the dead entries. *)
   invalidate_head_slot_fwd t cpu;
-  reclaim t cpu
+  reclaim t cpu;
+  Device.annotate t.dev (Txn_abort { txn = txn.id })
 
 type pending = { txn_id : int; records : (int * string) list }
 
@@ -230,6 +254,7 @@ let parse_slot t cpu i ~expected_wrap =
             }
 
 let scan_pending t cpu =
+  Device.with_site t.dev site_recovery @@ fun () ->
   let buf = Bytes.create header_bytes in
   Device.read t.dev cpu ~off:t.base ~len:header_bytes ~dst:buf ~dst_off:0;
   let wrap = Int64.to_int (Bytes.get_int64_le buf 8) in
@@ -283,11 +308,12 @@ let invalidate_head_slot t cpu =
   Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes
 
 let rollback_pending t cpu (p : pending) =
-  List.iter
-    (fun (addr, old) ->
-      Device.write_string t.dev cpu ~off:addr old;
-      Device.persist t.dev cpu ~off:addr ~len:(String.length old))
-    p.records;
+  Device.with_site t.dev site_recovery (fun () ->
+      List.iter
+        (fun (addr, old) ->
+          Device.write_string t.dev cpu ~off:addr old;
+          Device.persist t.dev cpu ~off:addr ~len:(String.length old))
+        p.records);
   t.open_txn <- false;
   invalidate_head_slot t cpu;
   write_header t cpu

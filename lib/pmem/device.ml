@@ -42,6 +42,35 @@ end
 
 type pending = { old_bytes : bytes; mutable flushed : bool }
 
+(* Persistence-protocol annotations: code that implements an ordering
+   protocol (the journals) narrates its intent through these so a
+   durability analyzer can check the protocol without understanding the
+   on-device format.  Transaction ids come from the annotating layer and
+   only need to be unique per device among concurrently-open
+   transactions. *)
+type protocol =
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int }
+      (** Fired at the instant the commit record is about to persist: every
+          range registered with [Covered] must already be durable. *)
+  | Txn_abort of { txn : int }
+  | Covered of { txn : int; addr : int; len : int }
+      (** An undo/redo entry protecting [addr, addr+len) is durable; the
+          transaction may now update the range in place. *)
+  | Fresh of { addr : int; len : int }
+      (** [addr, addr+len) was just allocated and is unreachable from any
+          persistent structure, so initializing stores need no undo
+          coverage (the initialize-then-publish pattern). *)
+  | Recovery_begin
+  | Recovery_end
+
+type event =
+  | Store of { off : int; len : int; nt : bool }
+  | Load of { off : int; len : int }
+  | Flush of { off : int; len : int }
+  | Fence
+  | Protocol of protocol
+
 type t = {
   data : bytes;
   size : int;
@@ -53,6 +82,8 @@ type t = {
   pending : (int, pending) Hashtbl.t; (* cache-line index -> undo info *)
   mutable fence_seq : int;
   mutable fence_hook : (int -> unit) option;
+  mutable site : Site.t;
+  mutable event_hook : (Site.t -> event -> unit) option;
 }
 
 let cl = Units.cacheline
@@ -72,6 +103,8 @@ let create ?(cost = Cost.optane) ?(numa_nodes = 1) ~size () =
     pending = Hashtbl.create 64;
     fence_seq = 0;
     fence_hook = None;
+    site = Site.unknown;
+    event_hook = None;
   }
 
 let size t = t.size
@@ -132,6 +165,21 @@ let charge_write t (cpu : Cpu.t) ~off ~len =
   end;
   Counters.add t.counters "pm.bytes_written" len
 
+(* Event-stream instrumentation: an installed hook observes every charged
+   access plus the protocol annotations, tagged with the ambient site.
+   Uninstrumented devices pay one option check per access. *)
+let emit t ev = match t.event_hook with Some hook -> hook t.site ev | None -> ()
+
+let current_site t = t.site
+
+let with_site t site f =
+  let prev = t.site in
+  t.site <- site;
+  Fun.protect ~finally:(fun () -> t.site <- prev) f
+
+let set_event_hook t hook = t.event_hook <- hook
+let annotate t p = emit t (Protocol p)
+
 let track_store ?(nt = false) t off len =
   if t.tracking && len > 0 then begin
     let lo, hi = lines_touched off len in
@@ -147,17 +195,20 @@ let track_store ?(nt = false) t off len =
 let read t cpu ~off ~len ~dst ~dst_off =
   check_range t off len;
   charge_read t cpu ~off ~len;
-  Bytes.blit t.data off dst dst_off len
+  Bytes.blit t.data off dst dst_off len;
+  emit t (Load { off; len })
 
 let write t cpu ~off ~src ~src_off ~len =
   check_range t off len;
   track_store t off len;
   charge_write t cpu ~off ~len;
-  Bytes.blit src src_off t.data off len
+  Bytes.blit src src_off t.data off len;
+  emit t (Store { off; len; nt = false })
 
 let read_string t cpu ~off ~len =
   check_range t off len;
   charge_read t cpu ~off ~len;
+  emit t (Load { off; len });
   Bytes.sub_string t.data off len
 
 let write_string t cpu ~off s =
@@ -165,7 +216,8 @@ let write_string t cpu ~off s =
   check_range t off len;
   track_store t off len;
   charge_write t cpu ~off ~len;
-  Bytes.blit_string s 0 t.data off len
+  Bytes.blit_string s 0 t.data off len;
+  emit t (Store { off; len; nt = false })
 
 (* Non-temporal stores: bypass the cache and become durable at the next
    fence without explicit clwb (the fast path PM file systems use for bulk
@@ -174,20 +226,23 @@ let write_nt t cpu ~off ~src ~src_off ~len =
   check_range t off len;
   track_store ~nt:true t off len;
   charge_write t cpu ~off ~len;
-  Bytes.blit src src_off t.data off len
+  Bytes.blit src src_off t.data off len;
+  emit t (Store { off; len; nt = true })
 
 let write_string_nt t cpu ~off s =
   let len = String.length s in
   check_range t off len;
   track_store ~nt:true t off len;
   charge_write t cpu ~off ~len;
-  Bytes.blit_string s 0 t.data off len
+  Bytes.blit_string s 0 t.data off len;
+  emit t (Store { off; len; nt = true })
 
 let memset_nt t cpu ~off ~len c =
   check_range t off len;
   track_store ~nt:true t off len;
   charge_write t cpu ~off ~len;
-  Bytes.fill t.data off len c
+  Bytes.fill t.data off len c;
+  emit t (Store { off; len; nt = true })
 
 let copy_within_nt t cpu ~src ~dst ~len =
   check_range t src len;
@@ -195,13 +250,16 @@ let copy_within_nt t cpu ~src ~dst ~len =
   charge_read t cpu ~off:src ~len;
   track_store ~nt:true t dst len;
   charge_write t cpu ~off:dst ~len;
-  Bytes.blit t.data src t.data dst len
+  Bytes.blit t.data src t.data dst len;
+  emit t (Load { off = src; len });
+  emit t (Store { off = dst; len; nt = true })
 
 let memset t cpu ~off ~len c =
   check_range t off len;
   track_store t off len;
   charge_write t cpu ~off ~len;
-  Bytes.fill t.data off len c
+  Bytes.fill t.data off len c;
+  emit t (Store { off; len; nt = false })
 
 let copy_within t cpu ~src ~dst ~len =
   check_range t src len;
@@ -209,18 +267,22 @@ let copy_within t cpu ~src ~dst ~len =
   charge_read t cpu ~off:src ~len;
   track_store t dst len;
   charge_write t cpu ~off:dst ~len;
-  Bytes.blit t.data src t.data dst len
+  Bytes.blit t.data src t.data dst len;
+  emit t (Load { off = src; len });
+  emit t (Store { off = dst; len; nt = false })
 
 let read_u64 t cpu ~off =
   check_range t off 8;
   charge_read t cpu ~off ~len:8;
+  emit t (Load { off; len = 8 });
   Bytes.get_int64_le t.data off
 
 let write_u64 t cpu ~off v =
   check_range t off 8;
   track_store t off 8;
   charge_write t cpu ~off ~len:8;
-  Bytes.set_int64_le t.data off v
+  Bytes.set_int64_le t.data off v;
+  emit t (Store { off; len = 8; nt = false })
 
 let peek t ~off ~len ~dst ~dst_off =
   check_range t off len;
@@ -228,7 +290,8 @@ let peek t ~off ~len ~dst ~dst_off =
 
 let touch_read t cpu ~off ~len =
   check_range t off len;
-  charge_read t cpu ~off ~len
+  charge_read t cpu ~off ~len;
+  emit t (Load { off; len })
 
 let flush t (cpu : Cpu.t) ~off ~len =
   check_range t off len;
@@ -241,7 +304,8 @@ let flush t (cpu : Cpu.t) ~off ~len =
         match Hashtbl.find_opt t.pending line with
         | Some p -> p.flushed <- true
         | None -> ()
-      done
+      done;
+    emit t (Flush { off; len })
   end
 
 let fence t (cpu : Cpu.t) =
@@ -249,6 +313,7 @@ let fence t (cpu : Cpu.t) =
   Simclock.advance cpu.clock (int_of_float t.cost.fence_ns);
   t.fence_seq <- t.fence_seq + 1;
   (match t.fence_hook with Some hook -> hook t.fence_seq | None -> ());
+  emit t Fence;
   if t.tracking then begin
     let durable =
       Hashtbl.fold (fun line p acc -> if p.flushed then line :: acc else acc) t.pending []
@@ -281,6 +346,8 @@ let crash_image t ~persisted =
       pending = Hashtbl.create 1;
       fence_seq = 0;
       fence_hook = None;
+      site = Site.unknown;
+      event_hook = None;
     }
   in
   Hashtbl.iter

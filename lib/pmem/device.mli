@@ -39,6 +39,38 @@ module Cost : sig
   (** Zero-cost model for unit tests that only check functional behaviour. *)
 end
 
+(** {2 Durability instrumentation}
+
+    The device exposes its access stream to one observer (the
+    {!Repro_sanitizer} durability lint): every charged store, load, flush
+    and fence, plus {e protocol annotations} through which journaling code
+    declares transactional intent.  Events carry the ambient {!Site.t}
+    installed with {!with_site}, so diagnostics name the layer and
+    operation at fault. *)
+
+type protocol =
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int }
+      (** The commit record is about to persist; every [Covered] range of
+          this transaction must already be durable. *)
+  | Txn_abort of { txn : int }
+  | Covered of { txn : int; addr : int; len : int }
+      (** A journal entry protecting [addr, addr+len) is durable; in-place
+          updates of the range are now crash-safe. *)
+  | Fresh of { addr : int; len : int }
+      (** Newly allocated and unreachable from any persistent structure:
+          initializing stores need no undo coverage (initialize-then-
+          publish). *)
+  | Recovery_begin  (** Subsequent loads are recovery input. *)
+  | Recovery_end
+
+type event =
+  | Store of { off : int; len : int; nt : bool }
+  | Load of { off : int; len : int }
+  | Flush of { off : int; len : int }
+  | Fence
+  | Protocol of protocol
+
 type t
 
 val create : ?cost:Cost.t -> ?numa_nodes:int -> size:int -> unit -> t
@@ -113,6 +145,21 @@ val crash_image : t -> persisted:(int -> bool) -> t
     pre-store bytes.  Raises [Invalid_argument] if tracking is off. *)
 
 val reset_counters : t -> unit
+
+val with_site : t -> Site.t -> (unit -> 'a) -> 'a
+(** Run a thunk with the ambient access site set (restored on exit,
+    including by exception).  Nested annotations shadow outer ones. *)
+
+val current_site : t -> Site.t
+
+val set_event_hook : t -> (Site.t -> event -> unit) option -> unit
+(** Install/uninstall the single event observer.  The hook runs inside the
+    access, after the data movement and cost accounting; an exception it
+    raises aborts the caller (how the sanitizer's strict mode stops on the
+    first violation). *)
+
+val annotate : t -> protocol -> unit
+(** Forward a protocol annotation to the observer (no-op when none). *)
 
 (** {3 Crash-point injection}  The crash explorer aborts an operation at a
     chosen fence by raising from the hook; the pending-store set at that

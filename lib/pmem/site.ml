@@ -1,0 +1,19 @@
+(* A site labels the code location responsible for a PM access: the layer
+   (library) plus the operation within it.  Sites are threaded ambiently
+   through {!Device.with_site} so low-level stores need no extra
+   parameters, and the innermost annotation wins — a journal entry written
+   on behalf of a metadata update reports as "journal.entry", not
+   "core.meta". *)
+
+type t = { layer : string; op : string }
+
+let v layer op = { layer; op }
+let unknown = { layer = "?"; op = "?" }
+let layer t = t.layer
+let op t = t.op
+let to_string t = t.layer ^ "." ^ t.op
+let equal a b = a.layer = b.layer && a.op = b.op
+let compare a b =
+  match String.compare a.layer b.layer with 0 -> String.compare a.op b.op | c -> c
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

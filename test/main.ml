@@ -20,4 +20,5 @@ let () =
       ("model-fs", Test_model_fs.suite);
       ("fs-contract", Test_fs_contract.suite);
       ("baselines", Test_baselines.suite);
+      ("sanitizer", Test_sanitizer.suite);
     ]
