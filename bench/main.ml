@@ -6,11 +6,54 @@
      bench/main.exe                 run every experiment at scale 1
      bench/main.exe fig1 fig3       run selected experiments
      bench/main.exe --scale 2 fig6  grow toward paper-scale parameters
+     bench/main.exe --json DIR ...  also write BENCH_<name>.json per experiment
+     bench/main.exe --json F.json E write one experiment's document to F.json
+     bench/main.exe smoke           small end-to-end workload (stats families)
      bench/main.exe bechamel        substrate microbenchmarks (wall time) *)
 
 open Repro_util
+module Stats = Repro_stats.Stats
+module Json = Repro_stats.Json
 
 type runner = ?scale:int -> unit -> Table.t list
+
+(* A small end-to-end WineFS workload that touches every instrumented
+   layer — namespace ops, data journaling and CoW overwrites, allocator
+   churn, fsync — so one cheap run populates op latencies, journal and
+   allocator counters, and device flush/fence counts.  Backs @bench-smoke. *)
+let smoke_run ?(scale = 1) () =
+  let dev =
+    Repro_pmem.Device.create ~cost:Repro_pmem.Device.Cost.optane ~size:(96 * Units.mib) ()
+  in
+  let fs = Winefs.Fs.format dev (Repro_vfs.Types.config ~cpus:2 ~inodes_per_cpu:512 ()) in
+  let cpu = Cpu.make ~id:0 () in
+  Winefs.Fs.mkdir fs cpu "/d";
+  let files = 24 * scale in
+  for i = 1 to files do
+    let p = Printf.sprintf "/d/f%d" i in
+    let fd = Winefs.Fs.create fs cpu p in
+    ignore (Winefs.Fs.pwrite fs cpu fd ~off:0 ~src:(String.make (8 * Units.kib) 'a'));
+    (* Overwrite: exercises the hybrid data-atomicity paths. *)
+    ignore (Winefs.Fs.pwrite fs cpu fd ~off:512 ~src:(String.make 4096 'b'));
+    ignore (Winefs.Fs.pread fs cpu fd ~off:0 ~len:4096);
+    Winefs.Fs.fsync fs cpu fd;
+    Winefs.Fs.close fs cpu fd
+  done;
+  let fd = Winefs.Fs.create fs cpu "/d/big" in
+  Winefs.Fs.fallocate fs cpu fd ~off:0 ~len:(8 * Units.mib);
+  Winefs.Fs.ftruncate fs cpu fd (2 * Units.mib);
+  Winefs.Fs.close fs cpu fd;
+  Winefs.Fs.rename fs cpu ~old_path:"/d/f1" ~new_path:"/d/g1";
+  Winefs.Fs.unlink fs cpu "/d/g1";
+  ignore (Winefs.Fs.readdir fs cpu "/d");
+  ignore (Winefs.Fs.stat fs cpu "/d/f2");
+  let st = Winefs.Fs.statfs fs in
+  let tbl = Table.create ~title:"smoke workload" ~columns:[ "metric"; "value" ] in
+  Table.add_row tbl [ "files"; string_of_int files ];
+  Table.add_row tbl [ "free_bytes"; string_of_int st.Repro_vfs.Types.free ];
+  Table.add_row tbl [ "aligned_free_2m"; string_of_int st.Repro_vfs.Types.aligned_free_2m ];
+  Table.add_row tbl [ "simulated_ns"; string_of_int (Simclock.now cpu.clock) ];
+  [ tbl ]
 
 let experiments : (string * string * runner) list =
   [
@@ -32,6 +75,7 @@ let experiments : (string * string * runner) list =
       Repro_experiments.Sec4_profiles.run);
     ("sec57", "DRAM index footprint (Sec 5.7)", Repro_experiments.Sec57_resources.run);
     ("xattr", "alignment xattrs across rsync (Sec 3.6)", Repro_experiments.Sec36_xattr_rsync.run);
+    ("smoke", "small end-to-end workload populating every stats family", smoke_run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -135,15 +179,79 @@ let bechamel_benches () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json)                                    *)
+
+let table_json t =
+  Json.Obj
+    [
+      ("title", Json.String (Table.title t));
+      ("columns", Json.List (List.map (fun c -> Json.String c) (Table.columns t)));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r -> Json.List (List.map (fun c -> Json.String c) r))
+             (Table.rows t)) );
+    ]
+
+let bench_doc ~figure ~scale ~wall_s tables =
+  Json.Obj
+    [
+      ("schema", Json.String "winefs-bench/1");
+      ("figure", Json.String figure);
+      ("scale", Json.Int scale);
+      ("wall_s", Json.Float wall_s);
+      ("tables", Json.List (List.map table_json tables));
+      ("stats", Stats.to_json ());
+      ("makespan_ns", Json.Int (Stats.Registry.makespan_ns Stats.global));
+    ]
+
+let write_file path doc =
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" path
+
+(* ------------------------------------------------------------------ *)
+
+let usage_and_exit () =
+  Printf.eprintf
+    "usage: main.exe [--scale N] [--json PATH] [EXPERIMENT...]\n\
+     \  --scale N     grow workload sizes toward paper scale (positive integer)\n\
+     \  --json PATH   PATH ending in .json: write the single selected experiment's\n\
+     \                document there; otherwise treat PATH as a directory and write\n\
+     \                one BENCH_<name>.json per experiment\n\
+     \  experiments: %s\n\
+     \  'bechamel' runs the wall-clock substrate microbenchmarks\n"
+    (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+  exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1 in
+  let json_path = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
-    | "--scale" :: n :: rest ->
-        scale := max 1 (int_of_string n);
+    | "--scale" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            scale := v;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "main.exe: invalid --scale value %S (expected a positive integer)\n" n;
+            usage_and_exit ())
+    | [ "--scale" ] ->
+        Printf.eprintf "main.exe: --scale requires a value\n";
+        usage_and_exit ()
+    | "--json" :: p :: rest ->
+        json_path := Some p;
         parse acc rest
+    | [ "--json" ] ->
+        Printf.eprintf "main.exe: --json requires a path\n";
+        usage_and_exit ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        Printf.eprintf "main.exe: unknown flag %S\n" a;
+        usage_and_exit ()
     | a :: rest -> parse (a :: acc) rest
   in
   let selected = parse [] args in
@@ -157,10 +265,28 @@ let () =
           match List.find_opt (fun (n, _, _) -> n = name) experiments with
           | Some e -> Some e
           | None ->
-              Printf.eprintf "unknown experiment %S (known: %s)\n" name
+              Printf.eprintf "main.exe: unknown experiment %S (known: %s)\n" name
                 (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
-              exit 2)
+              usage_and_exit ())
         selected
+  in
+  let json_single =
+    match !json_path with
+    | Some p when Filename.check_suffix p ".json" ->
+        if List.length to_run <> 1 then begin
+          Printf.eprintf
+            "main.exe: --json %s names a single file; select exactly one experiment\n" p;
+          usage_and_exit ()
+        end;
+        true
+    | Some p ->
+        if not (Sys.file_exists p) then Unix.mkdir p 0o755
+        else if not (Sys.is_directory p) then begin
+          Printf.eprintf "main.exe: --json %s exists and is not a directory\n" p;
+          usage_and_exit ()
+        end;
+        false
+    | None -> false
   in
   let seen = Hashtbl.create 8 in
   Printf.printf "WineFS reproduction benchmark harness (scale %d)\n" !scale;
@@ -170,10 +296,20 @@ let () =
       if not (Hashtbl.mem seen descr) then begin
         Hashtbl.replace seen descr ();
         Printf.printf "### %s — %s\n%!" name descr;
+        Stats.reset ();
+        Stats.set_enabled true;
         let t0 = Unix.gettimeofday () in
         let tables = run ~scale:!scale () in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        Stats.set_enabled false;
         List.iter Table.print tables;
-        Printf.printf "(%s took %.1fs wall)\n\n%!" name (Unix.gettimeofday () -. t0)
+        Printf.printf "(%s took %.1fs wall)\n\n%!" name wall_s;
+        match !json_path with
+        | None -> ()
+        | Some p ->
+            let doc = bench_doc ~figure:name ~scale:!scale ~wall_s tables in
+            let path = if json_single then p else Filename.concat p ("BENCH_" ^ name ^ ".json") in
+            write_file path doc
       end)
     to_run;
   if run_bechamel || (selected = [] && not run_bechamel) then bechamel_benches ()

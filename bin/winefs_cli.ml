@@ -139,6 +139,47 @@ let df_cmd =
   Cmd.v (Cmd.info "df" ~doc:"Show space and hugepage-supply statistics")
     Term.(const run $ image_arg)
 
+let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry snapshot as JSON")
+  in
+  let run image json =
+    handle_errors (fun () ->
+        let module Stats = Repro_stats.Stats in
+        Stats.reset ();
+        Stats.set_enabled true;
+        let dev = Device.load_file image in
+        let fs = Fs.mount dev (Types.config ()) in
+        let c = cpu () in
+        (* Walk the mounted tree read-only — stat directories, read every
+           file — so per-op latencies and device counters populate.  The
+           host image file is deliberately not rewritten. *)
+        let rec walk path =
+          List.iter
+            (fun name ->
+              let p = if path = "/" then "/" ^ name else path ^ "/" ^ name in
+              let st = Fs.stat fs c p in
+              match st.Types.st_kind with
+              | Types.Directory -> walk p
+              | Types.Regular ->
+                  let fd = Fs.openf fs c p Types.o_rdonly in
+                  ignore (Fs.pread fs c fd ~off:0 ~len:(min st.st_size (4 * Units.mib)));
+                  Fs.close fs c fd)
+            (Fs.readdir fs c path)
+        in
+        walk "/";
+        Stats.set_enabled false;
+        if json then print_endline (Repro_stats.Json.to_string (Stats.to_json ()))
+        else Format.printf "%a@?" Stats.pp Stats.global)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Mount an image, replay a read-only walk, and dump the metrics registry")
+    Term.(const run $ image_arg $ json)
+
 let () =
   let info = Cmd.info "winefs_cli" ~doc:"Operate WineFS images on simulated PM" in
-  exit (Cmd.eval' (Cmd.group info [ init_cmd; ls_cmd; mkdir_cmd; put_cmd; cat_cmd; rm_cmd; stat_cmd; df_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ init_cmd; ls_cmd; mkdir_cmd; put_cmd; cat_cmd; rm_cmd; stat_cmd; df_cmd; stats_cmd ]))

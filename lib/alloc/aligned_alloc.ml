@@ -1,5 +1,6 @@
 open Repro_util
 module Extent_tree = Repro_rbtree.Extent_tree
+module Stats = Repro_stats.Stats
 
 type extent = { off : int; len : int }
 
@@ -23,8 +24,22 @@ type pool = {
   stripe_off : int;
   stripe_len : int;
   aligned : int Queue.t; (* bases of free 2MB aligned extents *)
+  aligned_set : (int, unit) Hashtbl.t; (* mirror of [aligned] for O(1) overlap checks *)
   holes : Extent_tree.t;
 }
+
+(* Every mutation of the aligned FIFO goes through these two, keeping the
+   membership set in sync with the queue. *)
+let aligned_push pool base =
+  Queue.add base pool.aligned;
+  Hashtbl.replace pool.aligned_set base ()
+
+let aligned_pop pool =
+  match Queue.take_opt pool.aligned with
+  | None -> None
+  | Some base ->
+      Hashtbl.remove pool.aligned_set base;
+      Some base
 
 type t = { pools : pool array }
 
@@ -40,6 +55,26 @@ let cpu_of_offset t off =
   in
   find 0
 
+let free_bytes t =
+  Array.fold_left
+    (fun acc p -> acc + (Queue.length p.aligned * huge) + Extent_tree.total_free p.holes)
+    0 t.pools
+
+let free_aligned_extents t =
+  Array.fold_left (fun acc p -> acc + Queue.length p.aligned) 0 t.pools
+
+let hole_bytes t =
+  Array.fold_left (fun acc p -> acc + Extent_tree.total_free p.holes) 0 t.pools
+
+let publish_gauges t =
+  if Stats.enabled () then begin
+    Stats.gauge_set "alloc.free_aligned_extents" (free_aligned_extents t);
+    Stats.gauge_set "alloc.hole_bytes" (hole_bytes t);
+    Stats.gauge_set "alloc.free_bytes" (free_bytes t)
+  end
+
+let stat_incr name = if Stats.enabled () then Stats.counter_add name 1
+
 (* Promote any fully-covered aligned 2MB regions of the hole containing
    [off] into the aligned pool. *)
 let promote pool ~off =
@@ -50,16 +85,31 @@ let promote pool ~off =
       let last = Units.round_down (e_off + e_len) huge in
       let base = ref first in
       while !base < last do
-        if Extent_tree.alloc_exact pool.holes ~off:!base ~len:huge then
-          Queue.add !base pool.aligned;
+        if Extent_tree.alloc_exact pool.holes ~off:!base ~len:huge then begin
+          aligned_push pool !base;
+          stat_incr "alloc.promotes"
+        end;
         base := !base + huge
       done
 
 let free t ~off ~len =
   if len <= 0 then invalid_arg "Aligned_alloc.free: non-positive length";
   let pool = t.pools.(cpu_of_offset t off) in
+  (* [Extent_tree.insert_free] rejects overlap with free holes, but a range
+     overlapping a promoted 2MB base parked in the aligned FIFO is invisible
+     to the tree — that double free would hand the same extent out twice. *)
+  let base = ref (Units.round_down off huge) in
+  while !base < off + len do
+    if Hashtbl.mem pool.aligned_set !base then
+      invalid_arg
+        (Printf.sprintf
+           "Aligned_alloc.free: double free — [%d,%d) overlaps free aligned extent [%d,%d)" off
+           (off + len) !base (!base + huge));
+    base := !base + huge
+  done;
   Extent_tree.insert_free pool.holes ~off ~len;
-  promote pool ~off
+  promote pool ~off;
+  publish_gauges t
 
 let restore ~cpus ~regions ~free:free_list =
   if cpus <= 0 || Array.length regions <> cpus then
@@ -67,7 +117,13 @@ let restore ~cpus ~regions ~free:free_list =
   let pools =
     Array.map
       (fun (off, len) ->
-        { stripe_off = off; stripe_len = len; aligned = Queue.create (); holes = Extent_tree.create () })
+        {
+          stripe_off = off;
+          stripe_len = len;
+          aligned = Queue.create ();
+          aligned_set = Hashtbl.create 64;
+          holes = Extent_tree.create ();
+        })
       regions
   in
   let t = { pools } in
@@ -76,14 +132,6 @@ let restore ~cpus ~regions ~free:free_list =
 
 let create ~cpus ~regions =
   restore ~cpus ~regions ~free:(Array.to_list regions)
-
-let free_bytes t =
-  Array.fold_left
-    (fun acc p -> acc + (Queue.length p.aligned * huge) + Extent_tree.total_free p.holes)
-    0 t.pools
-
-let free_aligned_extents t =
-  Array.fold_left (fun acc p -> acc + Queue.length p.aligned) 0 t.pools
 
 let aligned_region_count t =
   Array.fold_left
@@ -123,11 +171,16 @@ let _richest_holes t =
 
 let take_aligned t ~cpu =
   let local = t.pools.(cpu) in
-  match Queue.take_opt local.aligned with
+  match aligned_pop local with
   | Some off -> Some off
   | None -> (
       match richest_aligned t with
-      | Some rich -> Queue.take_opt t.pools.(rich).aligned
+      | Some rich -> (
+          match aligned_pop t.pools.(rich) with
+          | Some off ->
+              stat_incr "alloc.steals";
+              Some off
+          | None -> None)
       | None -> None)
 
 (* Serve [len] < 2MB from hole pools: local first-fit, else break a local
@@ -139,6 +192,7 @@ let hole_take t ~cpu ~len acc =
   let carve base =
     (* Use the front of a broken aligned extent; the tail becomes a hole
        in its origin pool. *)
+    stat_incr "alloc.breaks";
     if len < huge then free t ~off:(base + len) ~len:(huge - len);
     Some ({ off = base; len } :: acc)
   in
@@ -161,15 +215,21 @@ let hole_take t ~cpu ~len acc =
         scan 0
       in
       match stolen with
-      | Some off -> Some ({ off; len } :: acc)
+      | Some off ->
+          stat_incr "alloc.steals";
+          Some ({ off; len } :: acc)
       | None -> (
-          match Queue.take_opt local.aligned with
+          match aligned_pop local with
           | Some base -> carve base
           | None -> (
               (* Break a remote aligned extent. *)
               match richest_aligned t with
-              | Some rich when Queue.length t.pools.(rich).aligned > 0 ->
-                  carve (Queue.take t.pools.(rich).aligned)
+              | Some rich -> (
+                  match aligned_pop t.pools.(rich) with
+                  | Some base ->
+                      stat_incr "alloc.steals";
+                      carve base
+                  | None -> None)
               | _ ->
                   (* Fragment-gathering fallback: consume the largest free
                      extents anywhere until the request is covered. *)
@@ -194,7 +254,10 @@ let hole_take t ~cpu ~len acc =
                   in
                   gather len acc)))
 
-let alloc_hugepage t ~cpu = take_aligned t ~cpu
+let alloc_hugepage t ~cpu =
+  let r = take_aligned t ~cpu in
+  if r <> None then publish_gauges t;
+  r
 
 let undo t exts = List.iter (fun e -> free t ~off:e.off ~len:e.len) exts
 
@@ -215,48 +278,52 @@ let alloc ?contig_after t ~cpu ~len ~prefer_aligned =
           | exception Invalid_argument _ -> None)
       | _ -> None
     in
-    match contig with
-    | Some off -> Some [ { off; len } ]
-    | None ->
-    (* Split into hugepage-sized chunks plus a small remainder (§3.4). *)
-    let rec take_chunks remaining acc =
-      if remaining >= huge then
-        match take_aligned t ~cpu with
-        | Some off -> take_chunks (remaining - huge) ({ off; len = huge } :: acc)
-        | None -> (
-            (* Aligned pools dry: serve the rest from holes. *)
-            match hole_big remaining acc with Some acc -> Some (0, acc) | None -> None)
-      else Some (remaining, acc)
-    and hole_big remaining acc =
-      (* Serve >= 2MB leftovers from holes in sub-2MB pieces. *)
-      if remaining = 0 then Some acc
-      else
-        let piece = min remaining (huge - Units.base_page) in
-        match hole_take t ~cpu ~len:piece acc with
-        | Some acc -> hole_big (remaining - piece) acc
-        | None -> None
+    let result =
+      match contig with
+      | Some off -> Some [ { off; len } ]
+      | None ->
+      (* Split into hugepage-sized chunks plus a small remainder (§3.4). *)
+      let rec take_chunks remaining acc =
+        if remaining >= huge then
+          match take_aligned t ~cpu with
+          | Some off -> take_chunks (remaining - huge) ({ off; len = huge } :: acc)
+          | None -> (
+              (* Aligned pools dry: serve the rest from holes. *)
+              match hole_big remaining acc with Some acc -> Some (0, acc) | None -> None)
+        else Some (remaining, acc)
+      and hole_big remaining acc =
+        (* Serve >= 2MB leftovers from holes in sub-2MB pieces. *)
+        if remaining = 0 then Some acc
+        else
+          let piece = min remaining (huge - Units.base_page) in
+          match hole_take t ~cpu ~len:piece acc with
+          | Some acc -> hole_big (remaining - piece) acc
+          | None -> None
+      in
+      match take_chunks len [] with
+      | None -> None
+      | Some (0, acc) -> Some (List.rev acc)
+      | Some (remainder, acc) ->
+          let small =
+            if prefer_aligned then
+              match take_aligned t ~cpu with
+              | Some base ->
+                  (* Use the front of a fresh aligned extent; the tail goes
+                     back to the hole pool (xattr-aligned files, §3.6). *)
+                  if huge - remainder > 0 then
+                    free t ~off:(base + remainder) ~len:(huge - remainder);
+                  Some ({ off = base; len = remainder } :: acc)
+              | None -> hole_take t ~cpu ~len:remainder acc
+            else hole_take t ~cpu ~len:remainder acc
+          in
+          (match small with
+          | Some acc -> Some (List.rev acc)
+          | None ->
+              undo t acc;
+              None)
     in
-    match take_chunks len [] with
-    | None -> None
-    | Some (0, acc) -> Some (List.rev acc)
-    | Some (remainder, acc) ->
-        let small =
-          if prefer_aligned then
-            match take_aligned t ~cpu with
-            | Some base ->
-                (* Use the front of a fresh aligned extent; the tail goes
-                   back to the hole pool (xattr-aligned files, §3.6). *)
-                if huge - remainder > 0 then
-                  free t ~off:(base + remainder) ~len:(huge - remainder);
-                Some ({ off = base; len = remainder } :: acc)
-            | None -> hole_take t ~cpu ~len:remainder acc
-          else hole_take t ~cpu ~len:remainder acc
-        in
-        (match small with
-        | Some acc -> Some (List.rev acc)
-        | None ->
-            undo t acc;
-            None)
+    if result <> None then publish_gauges t;
+    result
   end
 
 let snapshot t =
@@ -274,12 +341,20 @@ let check_invariants t =
     let shadow = Extent_tree.create () in
     Array.iteri
       (fun i p ->
+        if Queue.length p.aligned <> Hashtbl.length p.aligned_set then
+          raise
+            (Bad
+               (Printf.sprintf "cpu %d: aligned queue (%d) / set (%d) size mismatch" i
+                  (Queue.length p.aligned)
+                  (Hashtbl.length p.aligned_set)));
         Queue.iter
           (fun off ->
             if not (Units.is_aligned off huge) then
               raise (Bad (Printf.sprintf "cpu %d: unaligned extent %d in aligned pool" i off));
             if off < p.stripe_off || off + huge > p.stripe_off + p.stripe_len then
               raise (Bad (Printf.sprintf "cpu %d: aligned extent %d outside stripe" i off));
+            if not (Hashtbl.mem p.aligned_set off) then
+              raise (Bad (Printf.sprintf "cpu %d: aligned extent %d missing from set" i off));
             Extent_tree.insert_free shadow ~off ~len:huge)
           p.aligned;
         (match Extent_tree.check_invariants p.holes with

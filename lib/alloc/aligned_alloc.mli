@@ -46,7 +46,10 @@ val alloc_hugepage : t -> cpu:int -> int option
 (** One aligned 2MB extent. *)
 
 val free : t -> off:int -> len:int -> unit
-(** Return an extent; the origin CPU is derived from the offset. *)
+(** Return an extent; the origin CPU is derived from the offset.
+    Raises [Invalid_argument] when the range is already free — including
+    the case invisible to the hole tree, where it overlaps a promoted 2MB
+    extent parked in the aligned pool (double free). *)
 
 val free_bytes : t -> int
 val free_aligned_extents : t -> int

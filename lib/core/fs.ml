@@ -20,6 +20,7 @@ module Cost = Repro_vfs.Fs_intf.Cost
 module Journal = Repro_journal.Undo_journal
 module Alloc = Repro_alloc.Aligned_alloc
 module Int_map = Repro_rbtree.Rbtree.Int_map
+module Stats = Repro_stats.Stats
 
 let name = "WineFS"
 let huge = Units.huge_page
@@ -836,6 +837,7 @@ let counters t = t.counters
 (* Namespace operations                                                *)
 
 let mkdir t cpu path =
+  Stats.span ~op:"mkdir" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let parent, name = resolve_parent t cpu path in
   Sched.with_lock parent.lock (fun () ->
@@ -843,6 +845,7 @@ let mkdir t cpu path =
   Counters.incr t.counters "fs.mkdir"
 
 let create t cpu path =
+  Stats.span ~op:"create" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let parent, name = resolve_parent t cpu path in
   let f =
@@ -857,6 +860,7 @@ let free_file_space t f =
   List.iter (fun blk -> free_any t ~off:blk ~len:block) f.overflow
 
 let unlink t cpu path =
+  Stats.span ~op:"unlink" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let parent, name = resolve_parent t cpu path in
   Sched.with_lock parent.lock (fun () ->
@@ -886,6 +890,7 @@ let unlink t cpu path =
   Counters.incr t.counters "fs.unlink"
 
 let rmdir t cpu path =
+  Stats.span ~op:"rmdir" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let parent, name = resolve_parent t cpu path in
   Sched.with_lock parent.lock (fun () ->
@@ -910,6 +915,7 @@ let rmdir t cpu path =
   Counters.incr t.counters "fs.rmdir"
 
 let rename t cpu ~old_path ~new_path =
+  Stats.span ~op:"rename" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let src_parent, src_name = resolve_parent t cpu old_path in
   let dst_parent, dst_name = resolve_parent t cpu new_path in
@@ -975,6 +981,7 @@ let rename t cpu ~old_path ~new_path =
   Counters.incr t.counters "fs.rename"
 
 let readdir t cpu path =
+  Stats.span ~op:"readdir" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let ino = resolve t cpu path in
   let f = find_file t ino in
@@ -986,6 +993,7 @@ let readdir t cpu path =
       List.map fst (Dir_index.entries idx)
 
 let stat t cpu path =
+  Stats.span ~op:"stat" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let ino = resolve t cpu path in
   let f = find_file t ino in
@@ -1005,6 +1013,7 @@ let exists t cpu path =
   | exception Types.Error ((ENOENT | ENOTDIR), _) -> false
 
 let openf t cpu path (flags : Types.open_flags) =
+  Stats.span ~op:"open" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   match resolve t cpu path with
   | ino ->
@@ -1027,6 +1036,7 @@ let openf t cpu path (flags : Types.open_flags) =
       Fd_table.alloc t.fds ~ino:f.ino ~flags
 
 let close t cpu fd =
+  Stats.span ~op:"close" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   Fd_table.close t.fds fd
 
@@ -1190,6 +1200,7 @@ let zero_uncovered t cpu f holes ~off ~len =
     holes
 
 let pwrite t cpu fd ~off ~src =
+  Stats.span ~op:"pwrite" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
@@ -1309,6 +1320,7 @@ let append t cpu fd ~src =
   pwrite t cpu fd ~off:f.size ~src
 
 let pread t cpu fd ~off ~len =
+  Stats.span ~op:"pread" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   if not e.flags.rd then Types.err EBADF "fd %d not readable" fd;
@@ -1340,6 +1352,7 @@ let pread t cpu fd ~off ~len =
   end
 
 let fsync t cpu fd =
+  Stats.span ~op:"fsync" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   let f = find_file t e.ino in
@@ -1355,6 +1368,7 @@ let fsync t cpu fd =
   Counters.incr t.counters "fs.fsync"
 
 let fallocate t cpu fd ~off ~len =
+  Stats.span ~op:"fallocate" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   let f = find_file t e.ino in
@@ -1370,6 +1384,7 @@ let fallocate t cpu fd ~off ~len =
   Counters.incr t.counters "fs.fallocate"
 
 let ftruncate t cpu fd new_size =
+  Stats.span ~op:"ftruncate" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   let f = find_file t e.ino in
@@ -1461,6 +1476,7 @@ let mmap_backing t fd : Vmem.backing =
     end
 
 let set_xattr_align t cpu path v =
+  Stats.span ~op:"set_xattr_align" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let ino = resolve t cpu path in
   let f = find_file t ino in

@@ -2,6 +2,7 @@ open Repro_util
 module Device = Repro_pmem.Device
 module Site = Repro_pmem.Site
 module Sched = Repro_sched.Sched
+module Stats = Repro_stats.Stats
 
 let site_header = Site.v "redo" "header"
 let site_format = Site.v "redo" "format"
@@ -97,7 +98,10 @@ let write_record t cpu ~seq ~ty ~addr ~data =
   Device.with_site t.dev site_record @@ fun () ->
   let dlen = String.length data in
   let total = record_size dlen in
-  if t.head + total > t.size then t.head <- 0 (* wrap; records never straddle *);
+  if t.head + total > t.size then begin
+    t.head <- 0 (* wrap; records never straddle *);
+    if Stats.enabled () then Stats.counter_add "journal.redo.wraps" 1
+  end;
   let off = t.base + header_bytes + t.head in
   let buf = Bytes.make rec_header_bytes '\000' in
   Bytes.set_int64_le buf 0 rec_magic;
@@ -145,6 +149,11 @@ let commit t cpu =
         Device.with_site t.dev site_header (fun () ->
             Device.annotate t.dev (Txn_commit { txn }));
         write_header t cpu;
+        if Stats.enabled () then begin
+          Stats.counter_add "journal.redo.commits" 1;
+          Stats.counter_add "journal.redo.records" (List.length records);
+          Stats.gauge_set "journal.redo.head_bytes" t.head
+        end;
         Hashtbl.reset t.running;
         t.running_order <- [])
 
@@ -221,4 +230,6 @@ let recover t cpu =
     else continue_scan := false
   done;
   if !replayed > 0 then write_header t cpu;
+  if Stats.enabled () && !replayed > 0 then
+    Stats.counter_add "journal.redo.replayed_txns" !replayed;
   !replayed

@@ -1,5 +1,11 @@
 module Device = Repro_pmem.Device
 module Site = Repro_pmem.Site
+module Stats = Repro_stats.Stats
+
+(* Registry metrics (global, gated on {!Stats.enabled}): commit/abort/wrap
+   counters plus a ring-occupancy gauge, so bench artifacts expose journal
+   traffic and pressure without a device event hook. *)
+let stat n = if Stats.enabled () then Stats.counter_add n 1
 
 let site_header = Site.v "journal" "header"
 let site_format = Site.v "journal" "format"
@@ -133,9 +139,14 @@ let write_entry t cpu ~ty ~txn_id ~addr ~len ~copy ~inline =
   Device.persist t.dev cpu ~off:(slot_off t i) ~len:entry_bytes;
   t.head <- t.head + 1;
   t.slots_since_reclaim <- t.slots_since_reclaim + 1;
+  if Stats.enabled () then begin
+    Stats.counter_add "journal.undo.entries" 1;
+    Stats.gauge_set "journal.undo.occupancy_slots" t.slots_since_reclaim
+  end;
   if t.head >= t.slots then begin
     t.head <- 0;
-    t.wrap <- t.wrap + 1
+    t.wrap <- t.wrap + 1;
+    stat "journal.undo.wraps"
   end
 
 (* Space reclamation runs in the background in WineFS (§5.7): commits
@@ -147,7 +158,11 @@ let reclaim t cpu =
   t.open_txn <- false;
   write_header t cpu;
   t.unreclaimed <- 0;
-  t.slots_since_reclaim <- 0
+  t.slots_since_reclaim <- 0;
+  if Stats.enabled () then begin
+    Stats.counter_add "journal.undo.reclaims" 1;
+    Stats.gauge_set "journal.undo.occupancy_slots" 0
+  end
 
 let invalidate_head_slot_fwd t cpu =
   Device.write t.dev cpu ~off:(slot_off t t.head) ~src:(Bytes.make entry_bytes '\000')
@@ -198,6 +213,7 @@ let commit t cpu txn =
       Device.fence t.dev cpu;
       Device.annotate t.dev (Txn_commit { txn = txn.id }));
   write_entry t cpu ~ty:Commit ~txn_id:txn.id ~addr:0 ~len:0 ~copy:0 ~inline:"";
+  stat "journal.undo.commits";
   t.open_txn <- false;
   t.unreclaimed <- t.unreclaimed + 1;
   if t.unreclaimed >= reclaim_threshold then begin
@@ -216,6 +232,7 @@ let abort t cpu txn =
   (* Aborts reclaim eagerly: the ring must not rescan the dead entries. *)
   invalidate_head_slot_fwd t cpu;
   reclaim t cpu;
+  stat "journal.undo.aborts";
   Device.annotate t.dev (Txn_abort { txn = txn.id })
 
 type pending = { txn_id : int; records : (int * string) list }

@@ -165,10 +165,32 @@ let charge_write t (cpu : Cpu.t) ~off ~len =
   end;
   Counters.add t.counters "pm.bytes_written" len
 
+(* Global stats registry wiring: when {!Repro_stats.Stats.enabled}, every
+   store/flush/fence is also counted per ambient {!Site} label, so bench
+   artifacts can attribute device traffic to the layer that issued it.
+   Disabled (the default), the cost is one boolean check per access. *)
+module Stats = Repro_stats.Stats
+
+let record_stat site ev =
+  let labels = [ ("site", Site.to_string site) ] in
+  match ev with
+  | Store { len; nt; _ } ->
+      Stats.counter_add ~labels (if nt then "pm.nt_store_bytes" else "pm.store_bytes") len
+  | Load { len; _ } -> Stats.counter_add ~labels "pm.load_bytes" len
+  | Flush { off; len } ->
+      if len > 0 then begin
+        let lo, hi = lines_touched off len in
+        Stats.counter_add ~labels "pm.flush_lines" (hi - lo + 1)
+      end
+  | Fence -> Stats.counter_add ~labels "pm.fences" 1
+  | Protocol _ -> ()
+
 (* Event-stream instrumentation: an installed hook observes every charged
    access plus the protocol annotations, tagged with the ambient site.
    Uninstrumented devices pay one option check per access. *)
-let emit t ev = match t.event_hook with Some hook -> hook t.site ev | None -> ()
+let emit t ev =
+  (match t.event_hook with Some hook -> hook t.site ev | None -> ());
+  if Stats.enabled () then record_stat t.site ev
 
 let current_site t = t.site
 

@@ -165,8 +165,23 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
      current := None;
      raise e);
   active := false;
-  let stuck = Array.exists (fun t -> not t.finished) threads in
-  if stuck then invalid_arg "Sched.run: deadlock — some threads never finished";
+  let stuck = Array.to_list threads |> List.filter (fun t -> not t.finished) in
+  if stuck <> [] then begin
+    (* Name the stuck threads: which are parked on a mutex, and for how
+       long they have been blocked relative to the latest clock. *)
+    let now = Array.fold_left (fun acc t -> max acc (Simclock.now t.cpu.clock)) 0 threads in
+    let describe t =
+      if t.parked <> None then
+        Printf.sprintf "thread %d (blocked on mutex since %dns, stuck for %dns)" t.cpu.id
+          t.blocked_since
+          (max 0 (now - t.blocked_since))
+      else Printf.sprintf "thread %d (not runnable)" t.cpu.id
+    in
+    invalid_arg
+      (Printf.sprintf "Sched.run: deadlock — %d of %d threads never finished: %s"
+         (List.length stuck) nthreads
+         (String.concat ", " (List.map describe stuck)))
+  end;
   let makespan = Array.fold_left (fun acc t -> max acc (Simclock.now t.cpu.clock)) 0 threads in
   let busy = Array.fold_left (fun acc t -> acc + Simclock.now t.cpu.clock) 0 threads in
   { makespan_ns = makespan; total_busy_ns = busy; lock_wait_ns = !lock_wait_total }

@@ -1,0 +1,31 @@
+(** Minimal JSON document type with an emitter and a strict parser.
+
+    The bench harness writes machine-readable [BENCH_*.json] artifacts and
+    the smoke test re-parses them; no external JSON dependency is
+    available in the build image, so this module carries both directions.
+    Integers are kept distinct from floats on emit (counters must
+    round-trip exactly); the parser returns [Int] for numbers with no
+    fraction or exponent. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize; [indent] (default true) pretty-prints with 2-space
+    indentation so artifacts diff cleanly across PRs. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete document; trailing garbage is an error.
+    Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int] directly, or an integral [Float]. *)

@@ -96,9 +96,11 @@ let percentile_bucketed t p =
   walk 0 0
 
 let percentile t p =
-  if t.n = 0 then invalid_arg "Histogram.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Histogram.percentile: out of range";
-  if p = 0. then t.min_v
+  (* Empty histograms answer 0 everywhere: min_v is still its max_int
+     sentinel, and leaking it renders as garbage in tables. *)
+  if t.n = 0 then 0
+  else if p = 0. then t.min_v
   else if t.exact then percentile_exact t p
   else percentile_bucketed t p
 

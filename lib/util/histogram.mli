@@ -19,8 +19,10 @@ val min_value : t -> int
 val max_value : t -> int
 
 val percentile : t -> float -> int
-(** [percentile t 50.0] is the median.  Raises [Invalid_argument] on an
-    empty histogram or a percentile outside [0, 100]. *)
+(** [percentile t 50.0] is the median.  Returns 0 on an empty histogram
+    (an unpopulated instrument renders as zeros, never as [max_int]
+    garbage from the untouched [min] field).  Raises [Invalid_argument]
+    on a percentile outside [0, 100]. *)
 
 val cdf : t -> points:int -> (int * float) list
 (** [cdf t ~points] returns [points] (value, cumulative-fraction) pairs

@@ -10,6 +10,10 @@ let add_row t cells =
 let add_float_row t label values =
   add_row t (label :: List.map (Printf.sprintf "%.2f") values)
 
+let title t = t.title
+let columns t = t.columns
+let rows t = t.rows
+
 let render t =
   let all = t.columns :: t.rows in
   let ncols = List.length t.columns in

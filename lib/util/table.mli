@@ -10,5 +10,10 @@ val add_row : t -> string list -> unit
 val add_float_row : t -> string -> float list -> unit
 (** First cell is a label, the rest are formatted with %.2f. *)
 
+val title : t -> string
+val columns : t -> string list
+val rows : t -> string list list
+(** Accessors for machine-readable export (the bench harness's --json). *)
+
 val render : t -> string
 val print : t -> unit

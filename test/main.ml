@@ -4,6 +4,7 @@ let () =
   Alcotest.run "winefs-repro"
     [
       ("util", Test_util.suite);
+      ("stats", Test_stats.suite);
       ("pmem", Test_pmem.suite);
       ("rbtree", Test_rbtree.suite);
       ("memsim", Test_memsim.suite);

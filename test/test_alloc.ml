@@ -168,9 +168,33 @@ let test_pool_fragmented_multi_extent () =
       Alcotest.(check bool) "multiple fragments" true (List.length exts > 1)
   | None -> Alcotest.fail "fragmented alloc failed"
 
+let raises_invalid f =
+  match f () with () -> false | exception Invalid_argument _ -> true
+
+let test_double_free_detected () =
+  (* The hole tree always rejected overlap with free holes, but a range
+     overlapping a promoted 2MB base parked in the aligned FIFO was
+     invisible to it: the same space could silently be handed out twice. *)
+  let a = mk () in
+  Alcotest.(check bool) "free of a pooled aligned extent raises" true
+    (raises_invalid (fun () -> A.free a ~off:0 ~len:huge));
+  Alcotest.(check bool) "partial overlap with a pooled extent raises" true
+    (raises_invalid (fun () -> A.free a ~off:4096 ~len:4096));
+  (* Legitimate churn still works, and a later double free of the same
+     range is caught whether it merged into a hole or got re-promoted. *)
+  (match A.alloc a ~cpu:0 ~len:4096 ~prefer_aligned:false with
+  | Some [ e ] ->
+      A.free a ~off:e.off ~len:e.len;
+      Alcotest.(check bool) "hole double free raises" true
+        (raises_invalid (fun () -> A.free a ~off:e.off ~len:e.len))
+  | _ -> Alcotest.fail "small alloc failed");
+  Alcotest.(check bool) "invariants hold after rejections" true
+    (A.check_invariants a = Ok ())
+
 let suite =
   [
     Alcotest.test_case "hugepage alloc aligned" `Quick test_hugepage_alloc_aligned;
+    Alcotest.test_case "double free detected" `Quick test_double_free_detected;
     Alcotest.test_case "large request aligned chunks" `Quick test_large_request_gets_aligned_chunks;
     Alcotest.test_case "small requests spare aligned pool" `Quick test_small_requests_avoid_aligned_pool;
     Alcotest.test_case "prefer_aligned (xattr) start" `Quick test_prefer_aligned_start;

@@ -96,9 +96,32 @@ let test_outside_scheduler () =
   Sched.with_lock m (fun () -> ());
   Alcotest.(check pass) "no scheduler needed" () ()
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_deadlock_names_threads () =
+  (* Thread 0 finishes while holding the mutex; thread 1 parks forever.
+     The error must identify the stuck thread and how long it was
+     blocked, not just say "deadlock". *)
+  let m = Sched.create_mutex () in
+  let msg =
+    match
+      Sched.run ~threads:2 (fun cpu -> if cpu.Cpu.id = 0 then Sched.lock m else Sched.lock m)
+    with
+    | _ -> Alcotest.fail "deadlock not detected"
+    | exception Invalid_argument msg -> msg
+  in
+  Alcotest.(check bool) "counts stuck threads" true (contains msg "1 of 2 threads");
+  Alcotest.(check bool) "names the stuck thread" true (contains msg "thread 1");
+  Alcotest.(check bool) "reports the mutex park" true (contains msg "blocked on mutex since");
+  Alcotest.(check bool) "reports blocked duration" true (contains msg "stuck for")
+
 let suite =
   [
     Alcotest.test_case "all threads run" `Quick test_all_run;
+    Alcotest.test_case "deadlock names stuck threads" `Quick test_deadlock_names_threads;
     Alcotest.test_case "clock isolation" `Quick test_clock_isolation;
     Alcotest.test_case "makespan" `Quick test_makespan_is_max;
     Alcotest.test_case "mutex exclusion" `Quick test_mutex_exclusion;

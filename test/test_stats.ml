@@ -1,0 +1,176 @@
+(* The metrics/tracing subsystem: registry round-trips, span nesting and
+   self-time attribution, JSON snapshot shape, and the hand-rolled JSON
+   parser itself. *)
+
+open Repro_util
+module Stats = Repro_stats.Stats
+module Json = Repro_stats.Json
+
+let test_counter_gauge_roundtrip () =
+  let r = Stats.Registry.create () in
+  let c = Stats.Counter.v ~registry:r "journal.commits" in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 (Stats.Counter.get c);
+  Alcotest.(check int) "same (name, labels) shares the instrument" 5
+    (Stats.Counter.get (Stats.Counter.v ~registry:r "journal.commits"));
+  let g = Stats.Gauge.v ~registry:r "alloc.free_bytes" in
+  Stats.Gauge.set g 100;
+  Stats.Gauge.add g (-30);
+  Alcotest.(check int) "gauge moves both ways" 70 (Stats.Gauge.get g);
+  (* Labels distinguish instruments; order of the pairs must not. *)
+  let a = Stats.Counter.v ~registry:r ~labels:[ ("site", "x"); ("op", "y") ] "pm.fences" in
+  let b = Stats.Counter.v ~registry:r ~labels:[ ("op", "y"); ("site", "x") ] "pm.fences" in
+  let other = Stats.Counter.v ~registry:r ~labels:[ ("site", "z") ] "pm.fences" in
+  Stats.Counter.incr a;
+  Alcotest.(check int) "label order canonicalised" 1 (Stats.Counter.get b);
+  Alcotest.(check int) "different labels, different instrument" 0 (Stats.Counter.get other)
+
+let test_histogram_instrument () =
+  let r = Stats.Registry.create () in
+  let h = Stats.Hist.v ~registry:r "op.latency_ns" in
+  for i = 1 to 100 do
+    Stats.Hist.observe h i
+  done;
+  Alcotest.(check int) "count" 100 (Stats.Hist.count h);
+  Alcotest.(check bool) "p50 in range" true
+    (let p = Stats.Hist.percentile h 50. in
+     p >= 40 && p <= 70);
+  let empty = Stats.Hist.v ~registry:r "op.latency_ns.empty" in
+  Alcotest.(check int) "empty percentile is 0" 0 (Stats.Hist.percentile empty 99.)
+
+let test_span_nesting_self_time () =
+  let r = Stats.Registry.create () in
+  let cpu = Cpu.make ~id:0 () in
+  Stats.span ~registry:r ~op:"outer" cpu (fun () ->
+      Simclock.advance cpu.clock 100;
+      Stats.span ~registry:r ~op:"inner" cpu (fun () -> Simclock.advance cpu.clock 40);
+      Simclock.advance cpu.clock 10);
+  let get name op = Stats.Counter.get (Stats.Counter.v ~registry:r ~labels:[ ("op", op) ] name) in
+  Alcotest.(check int) "outer total" 150 (get "op.total_ns" "outer");
+  Alcotest.(check int) "inner total" 40 (get "op.total_ns" "inner");
+  Alcotest.(check int) "outer self excludes child" 110 (get "op.self_ns" "outer");
+  Alcotest.(check int) "inner self" 40 (get "op.self_ns" "inner");
+  Alcotest.(check int) "counts" 1 (get "op.count" "outer");
+  Alcotest.(check int) "makespan tracks the clock" 150 (Stats.Registry.makespan_ns r)
+
+let test_span_exception_closes () =
+  let r = Stats.Registry.create () in
+  let cpu = Cpu.make ~id:1 () in
+  (try
+     Stats.span ~registry:r ~op:"boom" cpu (fun () ->
+         Simclock.advance cpu.clock 7;
+         failwith "boom")
+   with Failure _ -> ());
+  let c = Stats.Counter.v ~registry:r ~labels:[ ("op", "boom") ] "op.count" in
+  Alcotest.(check int) "span recorded despite exception" 1 (Stats.Counter.get c);
+  (* A following span must not inherit a dangling frame. *)
+  Stats.span ~registry:r ~op:"after" cpu (fun () -> Simclock.advance cpu.clock 5);
+  let self = Stats.Counter.v ~registry:r ~labels:[ ("op", "after") ] "op.self_ns" in
+  Alcotest.(check int) "stack popped" 5 (Stats.Counter.get self)
+
+let test_global_gating () =
+  Stats.reset ();
+  Stats.set_enabled false;
+  let cpu = Cpu.make ~id:0 () in
+  Stats.counter_add "gated.counter" 1;
+  Stats.span ~op:"gated" cpu (fun () -> Simclock.advance cpu.clock 3);
+  (* counter_add on the global registry is unconditional (callers gate on
+     [enabled]); spans short-circuit themselves. *)
+  let s = Stats.snapshot () in
+  Alcotest.(check bool) "no span instruments while disabled" true
+    (not (List.exists (fun (n, _, _) -> n = "op.count") s.Stats.s_counters));
+  Stats.set_enabled true;
+  Stats.span ~op:"gated" cpu (fun () -> Simclock.advance cpu.clock 3);
+  let s = Stats.snapshot () in
+  Alcotest.(check bool) "span recorded once enabled" true
+    (List.exists (fun (n, _, _) -> n = "op.count") s.Stats.s_counters);
+  Stats.set_enabled false;
+  Stats.reset ()
+
+let test_json_snapshot_shape () =
+  let r = Stats.Registry.create () in
+  let cpu = Cpu.make ~id:0 () in
+  Stats.counter_add ~registry:r ~labels:[ ("site", "journal.commit") ] "pm.fences" 3;
+  Stats.gauge_set ~registry:r "alloc.free_bytes" 4096;
+  Stats.span ~registry:r ~op:"create" cpu (fun () -> Simclock.advance cpu.clock 11);
+  let doc = Stats.to_json ~registry:r () in
+  (* The document must survive its own emitter + parser round-trip. *)
+  let reparsed =
+    match Json.of_string (Json.to_string doc) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+  in
+  Alcotest.(check bool) "round-trip preserves structure" true (reparsed = doc);
+  let section name =
+    match Json.member name reparsed with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.failf "missing %s" name
+  in
+  let names l =
+    List.filter_map
+      (fun o -> match Json.member "name" o with Some (Json.String s) -> Some s | _ -> None)
+      l
+  in
+  Alcotest.(check bool) "counters include pm.fences" true
+    (List.mem "pm.fences" (names (section "counters")));
+  Alcotest.(check bool) "gauges include alloc.free_bytes" true
+    (List.mem "alloc.free_bytes" (names (section "gauges")));
+  let hists = section "histograms" in
+  Alcotest.(check bool) "histograms include op.latency_ns" true
+    (List.mem "op.latency_ns" (names hists));
+  List.iter
+    (fun h ->
+      List.iter
+        (fun f ->
+          match Option.bind (Json.member f h) Json.to_int with
+          | Some _ -> ()
+          | None -> Alcotest.failf "histogram lacks %s" f)
+        [ "count"; "min"; "max"; "p50"; "p90"; "p99"; "p999" ])
+    hists;
+  match Option.bind (Json.member "makespan_ns" reparsed) Json.to_int with
+  | Some m -> Alcotest.(check int) "makespan serialized" 11 m
+  | None -> Alcotest.fail "missing makespan_ns"
+
+let test_json_parser () =
+  let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.failf "%S: %s" s e in
+  Alcotest.(check bool) "atoms" true
+    (ok "[null, true, false, 1, -2, 3.5, \"x\"]"
+    = Json.List
+        [ Json.Null; Json.Bool true; Json.Bool false; Json.Int 1; Json.Int (-2);
+          Json.Float 3.5; Json.String "x" ]);
+  Alcotest.(check bool) "escapes" true
+    (ok {|"a\n\t\"\\A"|} = Json.String "a\n\t\"\\A");
+  Alcotest.(check bool) "nested object" true
+    (ok {|{"a": {"b": [1, 2]}}|}
+    = Json.Obj [ ("a", Json.Obj [ ("b", Json.List [ Json.Int 1; Json.Int 2 ]) ]) ]);
+  Alcotest.(check bool) "exponent parses as float" true
+    (match ok "[1e3]" with Json.List [ Json.Float f ] -> f = 1000. | _ -> false);
+  let bad s = match Json.of_string s with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "trailing garbage rejected" true (bad "{} x");
+  Alcotest.(check bool) "unterminated string rejected" true (bad "\"abc");
+  Alcotest.(check bool) "bare word rejected" true (bad "nope");
+  Alcotest.(check bool) "trailing comma rejected" true (bad "[1,]")
+
+let test_registry_reset () =
+  let r = Stats.Registry.create () in
+  Stats.counter_add ~registry:r "x" 1;
+  let cpu = Cpu.make ~id:0 () in
+  Stats.span ~registry:r ~op:"y" cpu (fun () -> Simclock.advance cpu.clock 9);
+  Stats.Registry.reset r;
+  let s = Stats.snapshot ~registry:r () in
+  Alcotest.(check int) "no counters" 0 (List.length s.Stats.s_counters);
+  Alcotest.(check int) "no histograms" 0 (List.length s.Stats.s_hists);
+  Alcotest.(check int) "makespan zeroed" 0 (Stats.Registry.makespan_ns r)
+
+let suite =
+  [
+    Alcotest.test_case "counter/gauge round-trip" `Quick test_counter_gauge_roundtrip;
+    Alcotest.test_case "histogram instrument" `Quick test_histogram_instrument;
+    Alcotest.test_case "span nesting self-time" `Quick test_span_nesting_self_time;
+    Alcotest.test_case "span closes on exception" `Quick test_span_exception_closes;
+    Alcotest.test_case "global enabled gating" `Quick test_global_gating;
+    Alcotest.test_case "JSON snapshot shape" `Quick test_json_snapshot_shape;
+    Alcotest.test_case "JSON parser" `Quick test_json_parser;
+    Alcotest.test_case "registry reset" `Quick test_registry_reset;
+  ]

@@ -56,6 +56,20 @@ let test_histogram_percentiles () =
   Alcotest.(check int) "min" 1 (Histogram.min_value h);
   Alcotest.(check (float 0.01)) "mean" 50.5 (Histogram.mean h)
 
+let test_histogram_empty () =
+  (* An unpopulated histogram must render as zeros, not leak the max_int
+     sentinel from the untouched min field. *)
+  List.iter
+    (fun exact ->
+      let h = Histogram.create ~exact () in
+      Alcotest.(check int) "count" 0 (Histogram.count h);
+      Alcotest.(check int) "min" 0 (Histogram.min_value h);
+      Alcotest.(check int) "p0" 0 (Histogram.percentile h 0.);
+      Alcotest.(check int) "p50" 0 (Histogram.percentile h 50.);
+      Alcotest.(check int) "p99.9" 0 (Histogram.percentile h 99.9);
+      Alcotest.(check (float 0.001)) "mean" 0. (Histogram.mean h))
+    [ true; false ]
+
 let test_histogram_cdf () =
   let h = Histogram.create () in
   List.iter (Histogram.add h) [ 10; 20; 30; 40 ];
@@ -215,6 +229,7 @@ let suite =
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle;
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram empty renders zeros" `Quick test_histogram_empty;
     Alcotest.test_case "histogram cdf" `Quick test_histogram_cdf;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "counters" `Quick test_counters;
