@@ -1,19 +1,27 @@
-(* pmcheck — persistence-ordering lint over the simulated PM device.
+(* pmcheck — concurrency + persistence checkers over the simulated PM stack.
 
-   Runs the ACE workload corpus (and a micro-workload suite) against
-   WineFS with the durability sanitizer attached, and reports every
-   flush/fence-ordering violation with the site that caused it.
+   The default command is the persistence-ordering lint: it runs the ACE
+   workload corpus (and a micro-workload suite) against WineFS with the
+   durability sanitizer attached, and reports every flush/fence-ordering
+   violation with the site that caused it.
+
+   `pmcheck racecheck` runs the data-race detector over the concurrency
+   scenario suite, exploring seeded thread schedules.
 
    Examples:
-     pmcheck                     # all ACE workloads + micro suite, report
-     pmcheck --seq 2             # only two-op ACE sequences
-     pmcheck --strict            # exit at the first violation
-     pmcheck --rules R1,R4       # check a subset of the rules *)
+     pmcheck                       # all ACE workloads + micro suite, report
+     pmcheck --seq 2               # only two-op ACE sequences
+     pmcheck --strict              # exit at the first violation
+     pmcheck --rules R1,R4        # check a subset of the rules
+     pmcheck racecheck             # explore 50 schedules per scenario
+     pmcheck racecheck --seed 7    # replay the single schedule seed 7 picks *)
 
 open Cmdliner
 module Ace = Repro_crashcheck.Ace
 module Sanitize = Repro_crashcheck.Sanitize
 module Sanitizer = Sanitize.Sanitizer
+module Race = Repro_race.Race
+module Scenarios = Repro_race.Scenarios
 module Table = Repro_util.Table
 
 let parse_rules s =
@@ -33,7 +41,7 @@ let parse_rules s =
              Printf.eprintf "unknown rule %S (expected R1..R5)\n" r;
              exit 2)
 
-let run seq strict no_micro relaxed rules verbose =
+let run_lint seq strict no_micro relaxed rules verbose =
   let rules = match rules with "" -> Sanitizer.all_rules | s -> parse_rules s in
   let workloads =
     match seq with
@@ -98,7 +106,58 @@ let run seq strict no_micro relaxed rules verbose =
       end
       else 1
 
-let () =
+(* racecheck: run every scenario under the detector.  Clean scenarios must
+   stay silent across all explored schedules; planted-bug scenarios must
+   be flagged.  Exit 0 only when both hold, so the runtest alias catches a
+   detector that goes blind as loudly as a discipline regression. *)
+let run_racecheck schedules base_seed replay_seed scenario_filter verbose =
+  let scenarios =
+    match scenario_filter with
+    | "" -> Scenarios.all
+    | name -> (
+        match Scenarios.find name with
+        | Some s -> [ s ]
+        | None ->
+            Printf.eprintf "unknown scenario %S (have: %s)\n" name
+              (String.concat ", " (List.map (fun s -> s.Race.sc_name) Scenarios.all));
+            exit 2)
+  in
+  let expect_racy s = List.exists (fun r -> r.Race.sc_name = s.Race.sc_name) Scenarios.racy in
+  (match replay_seed with
+  | Some s -> Printf.printf "pmcheck racecheck: replaying schedule seed %d\n%!" s
+  | None ->
+      Printf.printf "pmcheck racecheck: %d scenarios x %d schedules (base seed %d)\n%!"
+        (List.length scenarios) schedules base_seed);
+  let failures = ref 0 in
+  List.iter
+    (fun sc ->
+      let races, explored =
+        match replay_seed with
+        | Some seed -> (Race.check ~seed sc, 1)
+        | None ->
+            let o = Race.explore ~schedules ~seed:base_seed sc in
+            (o.o_races, o.o_schedules)
+      in
+      let racy = expect_racy sc in
+      let ok = if racy then races <> [] else races = [] in
+      if not ok then incr failures;
+      Printf.printf "  %-16s %-8s %d race(s) over %d schedule(s)%s\n" sc.Race.sc_name
+        (if racy then "[racy]" else "[clean]")
+        (List.length races) explored
+        (if ok then "" else "  <-- UNEXPECTED");
+      if verbose || not ok then
+        List.iter (fun r -> Printf.printf "      %s\n" (Race.race_to_string r)) races)
+    scenarios;
+  if !failures = 0 then begin
+    print_endline "racecheck: all scenarios behaved as expected.";
+    0
+  end
+  else begin
+    Printf.printf "racecheck: %d scenario(s) misbehaved.\n" !failures;
+    1
+  end
+
+let lint_term =
   let seq = Arg.(value & opt int 0 & info [ "seq" ] ~doc:"ACE workload length (1-3; 0 = all)") in
   let strict =
     Arg.(value & flag & info [ "strict" ] ~doc:"Raise at the first violating access")
@@ -111,9 +170,29 @@ let () =
     Arg.(value & opt string "" & info [ "rules" ] ~doc:"Comma-separated rule subset (R1..R5)")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print each workload") in
-  let cmd =
-    Cmd.v
-      (Cmd.info "pmcheck" ~doc:"Persistence-ordering lint for the WineFS PM stack")
-      Term.(const run $ seq $ strict $ no_micro $ relaxed $ rules $ verbose)
+  Term.(const run_lint $ seq $ strict $ no_micro $ relaxed $ rules $ verbose)
+
+let racecheck_cmd =
+  let schedules =
+    Arg.(value & opt int 50 & info [ "schedules" ] ~doc:"Seeded schedules to explore per scenario")
   in
-  exit (Cmd.eval' cmd)
+  let base_seed =
+    Arg.(value & opt int 42 & info [ "base-seed" ] ~doc:"Seed deriving the explored schedules")
+  in
+  let replay_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Replay the single schedule this seed determines")
+  in
+  let scenario =
+    Arg.(value & opt string "" & info [ "scenario" ] ~doc:"Run only the named scenario")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every reported race") in
+  Cmd.v
+    (Cmd.info "racecheck" ~doc:"Data-race detector over the concurrency scenario suite")
+    Term.(const run_racecheck $ schedules $ base_seed $ replay_seed $ scenario $ verbose)
+
+let () =
+  let info = Cmd.info "pmcheck" ~doc:"Concurrency and persistence checkers for the WineFS PM stack" in
+  exit (Cmd.eval' (Cmd.group ~default:lint_term info [ racecheck_cmd ]))

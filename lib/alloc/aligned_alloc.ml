@@ -1,5 +1,6 @@
 open Repro_util
 module Extent_tree = Repro_rbtree.Extent_tree
+module Sched = Repro_sched.Sched
 module Stats = Repro_stats.Stats
 
 type extent = { off : int; len : int }
@@ -28,13 +29,25 @@ type pool = {
   holes : Extent_tree.t;
 }
 
+(* Race-detector annotation for one pool's free structures (aligned FIFO
+   + hole tree).  Pools are per-CPU; stealing crosses pools deliberately,
+   so in the concurrent file system all pool mutation must happen under
+   a lock the detector can see.  Aggregate queries ([free_bytes],
+   [richest_aligned], the gather scan) stay unannotated: racy-by-design
+   heuristics whose staleness costs a retry, not corruption. *)
+let note p ~write ~site =
+  if Sched.monitored () then
+    Sched.access ~obj:(Printf.sprintf "alloc.aligned[%#x]" p.stripe_off) ~write ~site
+
 (* Every mutation of the aligned FIFO goes through these two, keeping the
    membership set in sync with the queue. *)
 let aligned_push pool base =
+  note pool ~write:true ~site:"aligned_alloc.push";
   Queue.add base pool.aligned;
   Hashtbl.replace pool.aligned_set base ()
 
 let aligned_pop pool =
+  note pool ~write:true ~site:"aligned_alloc.pop";
   match Queue.take_opt pool.aligned with
   | None -> None
   | Some base ->
@@ -95,6 +108,7 @@ let promote pool ~off =
 let free t ~off ~len =
   if len <= 0 then invalid_arg "Aligned_alloc.free: non-positive length";
   let pool = t.pools.(cpu_of_offset t off) in
+  note pool ~write:true ~site:"aligned_alloc.free";
   (* [Extent_tree.insert_free] rejects overlap with free holes, but a range
      overlapping a promoted 2MB base parked in the aligned FIFO is invisible
      to the tree — that double free would hand the same extent out twice. *)
@@ -196,6 +210,7 @@ let hole_take t ~cpu ~len acc =
     if len < huge then free t ~off:(base + len) ~len:(huge - len);
     Some ({ off = base; len } :: acc)
   in
+  note local ~write:true ~site:"aligned_alloc.hole";
   match Extent_tree.alloc_first_fit local.holes ~len with
   | Some off -> Some ({ off; len } :: acc)
   | None -> (
@@ -207,10 +222,12 @@ let hole_take t ~cpu ~len acc =
         let rec scan i =
           if i >= n then None
           else if i = cpu then scan (i + 1)
-          else
+          else begin
+            note t.pools.(i) ~write:true ~site:"aligned_alloc.steal";
             match Extent_tree.alloc_first_fit t.pools.(i).holes ~len with
             | Some off -> Some off
             | None -> scan (i + 1)
+          end
         in
         scan 0
       in
@@ -248,6 +265,7 @@ let hole_take t ~cpu ~len acc =
                       | None -> None
                       | Some (p, l) ->
                           let take = min need l in
+                          note p ~write:true ~site:"aligned_alloc.gather";
                           (match Extent_tree.alloc_best_fit p.holes ~len:take with
                           | Some off -> gather (need - take) ({ off; len = take } :: acc)
                           | None -> None)
@@ -273,7 +291,9 @@ let alloc ?contig_after t ~cpu ~len ~prefer_aligned =
       match contig_after with
       | Some g when len < huge -> (
           match cpu_of_offset t g with
-          | c when Extent_tree.alloc_exact t.pools.(c).holes ~off:g ~len -> Some g
+          | c
+            when (note t.pools.(c) ~write:true ~site:"aligned_alloc.contig";
+                  Extent_tree.alloc_exact t.pools.(c).holes ~off:g ~len) -> Some g
           | _ -> None
           | exception Invalid_argument _ -> None)
       | _ -> None

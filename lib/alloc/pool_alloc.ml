@@ -1,5 +1,6 @@
 open Repro_util
 module Extent_tree = Repro_rbtree.Extent_tree
+module Sched = Repro_sched.Sched
 
 type policy = First_fit | Best_fit | Goal of (unit -> int)
 
@@ -17,6 +18,16 @@ let huge = Units.huge_page
 type pool = { stripe_off : int; stripe_len : int; tree : Extent_tree.t }
 
 type t = { cfg : config; pools : pool array }
+
+(* Race-detector annotation for a pool's free tree.  Per-CPU pools must
+   stay thread-exclusive (cross-CPU stealing aside); a shared pool needs
+   a consistent caller-held lock.  Aggregate read-only queries
+   ([free_bytes], [largest_free], the fallback largest-fragment scan) are
+   deliberately {e not} annotated: they are racy-by-design heuristics
+   whose staleness only costs a retry, never corruption. *)
+let note p ~write ~site =
+  if Sched.monitored () then
+    Sched.access ~obj:(Printf.sprintf "alloc.pool[%#x]" p.stripe_off) ~write ~site
 
 let restore cfg ~cpus ~regions ~free:free_list =
   if cpus <= 0 || Array.length regions <> cpus then
@@ -69,7 +80,10 @@ let pool_of_offset t off =
     find 0
   end
 
-let free t ~off ~len = Extent_tree.insert_free (pool_of_offset t off).tree ~off ~len
+let free t ~off ~len =
+  let p = pool_of_offset t off in
+  note p ~write:true ~site:"pool_alloc.free";
+  Extent_tree.insert_free p.tree ~off ~len
 
 let free_bytes t = Array.fold_left (fun acc p -> acc + Extent_tree.total_free p.tree) 0 t.pools
 
@@ -102,6 +116,7 @@ let normalize len =
 
 let try_once ?goal ?(request_exact_2m = false) t ~cpu ~len =
   let p = pool_of t ~cpu in
+  note p ~write:true ~site:"pool_alloc.alloc";
   let from_tree tree =
     match (t.cfg.policy, goal) with
     | _, Some g -> Extent_tree.alloc_near tree ~goal:g ~len
@@ -145,10 +160,12 @@ let try_once ?goal ?(request_exact_2m = false) t ~cpu ~len =
             let rec steal i =
               if i >= n then None
               else if i = cpu mod n then steal (i + 1)
-              else
+              else begin
+                note t.pools.(i) ~write:true ~site:"pool_alloc.steal";
                 match from_tree t.pools.(i).tree with
                 | Some off -> Some off
                 | None -> steal (i + 1)
+              end
             in
             steal 0
           end
@@ -194,6 +211,7 @@ let alloc ?goal t ~cpu ~len =
                 None
             | Some (p, l) ->
                 let take = min remaining l in
+                note p ~write:true ~site:"pool_alloc.gather";
                 (match Extent_tree.alloc_best_fit p.tree ~len:take with
                 | Some off -> go (remaining - take) ({ off; len = take } :: acc)
                 | None ->

@@ -162,7 +162,15 @@ let with_txn t cpu ~reserve body =
           Journal.abort pc.journal cpu txn;
           raise e)
 
+(* Race-detector annotations (see {!Repro_race}) for the file system's
+   shared DRAM structures: the inode table, per-CPU inode free lists, the
+   metadata-block pool and the rewrite queue.  These are the cross-CPU
+   mutable state the per-CPU design is supposed to confine; the detector
+   checks every access happens under a lock it can observe. *)
+let note ~obj ~write ~site = if Sched.monitored () then Sched.access ~obj ~write ~site
+
 let find_file t ino =
+  note ~obj:"fs.files" ~write:false ~site:"fs.find_file";
   match Hashtbl.find_opt t.files ino with
   | Some f -> f
   | None -> Types.err EBADF "stale inode %d" ino
@@ -176,6 +184,7 @@ let in_meta_region t off =
   off >= t.layout.meta_pool_off && off < t.layout.meta_pool_off + t.layout.meta_pool_len
 
 let alloc_meta_block t cpu =
+  note ~obj:"fs.meta_free" ~write:true ~site:"fs.alloc_meta_block";
   match Repro_rbtree.Extent_tree.alloc_first_fit t.meta_free ~len:block with
   | Some off -> off
   | None -> (
@@ -187,7 +196,10 @@ let alloc_meta_block t cpu =
       | None -> Types.err ENOSPC "no space for a metadata block")
 
 let free_any t ~off ~len =
-  if in_meta_region t off then Repro_rbtree.Extent_tree.insert_free t.meta_free ~off ~len
+  if in_meta_region t off then begin
+    note ~obj:"fs.meta_free" ~write:true ~site:"fs.free_meta_block";
+    Repro_rbtree.Extent_tree.insert_free t.meta_free ~off ~len
+  end
   else Alloc.free t.alloc ~off ~len
 
 (* ------------------------------------------------------------------ *)
@@ -196,6 +208,7 @@ let free_any t ~off ~len =
 let alloc_ino t (cpu : Cpu.t) =
   let try_cpu c =
     let pc = t.pcpu.(c) in
+    note ~obj:(Printf.sprintf "fs.inodes[%d]" c) ~write:true ~site:"fs.alloc_ino";
     match pc.free_inodes with
     | idx :: rest ->
         pc.free_inodes <- rest;
@@ -215,6 +228,7 @@ let alloc_ino t (cpu : Cpu.t) =
 
 let release_ino t ino =
   let c = Layout.cpu_of_ino t.layout ino in
+  note ~obj:(Printf.sprintf "fs.inodes[%d]" c) ~write:true ~site:"fs.release_ino";
   t.pcpu.(c).free_inodes <- Layout.idx_of_ino t.layout ino :: t.pcpu.(c).free_inodes
 
 (* ------------------------------------------------------------------ *)
@@ -521,6 +535,7 @@ let new_file t ino kind =
       dirty_bytes = 0;
     }
   in
+  note ~obj:"fs.files" ~write:true ~site:"fs.install_file";
   Hashtbl.replace t.files ino f;
   f
 
@@ -559,6 +574,7 @@ let create_node t cpu parent name kind ~xattr_align =
            persist_header t cpu txn parent
          end)
    with e ->
+     note ~obj:"fs.files" ~write:true ~site:"fs.create_undo";
      Hashtbl.remove t.files ino;
      release_ino t ino;
      raise e);
@@ -884,6 +900,7 @@ let unlink t cpu path =
               parent.free_dentries <- slot_phys :: parent.free_dentries;
               if f.nlink = 0 then begin
                 free_file_space t f;
+                note ~obj:"fs.files" ~write:true ~site:"fs.unlink";
                 Hashtbl.remove t.files ino;
                 release_ino t ino
               end));
@@ -910,6 +927,7 @@ let rmdir t cpu path =
           Dir_index.remove idx cpu name;
           parent.free_dentries <- slot_phys :: parent.free_dentries;
           free_file_space t f;
+          note ~obj:"fs.files" ~write:true ~site:"fs.rmdir";
           Hashtbl.remove t.files ino;
           release_ino t ino);
   Counters.incr t.counters "fs.rmdir"
@@ -975,6 +993,7 @@ let rename t cpu ~old_path ~new_path =
           (match replaced with
           | Some victim when victim.nlink = 0 ->
               free_file_space t victim;
+              note ~obj:"fs.files" ~write:true ~site:"fs.rename";
               Hashtbl.remove t.files victim.ino;
               release_ino t victim.ino
           | _ -> ()));
@@ -1429,6 +1448,7 @@ let mmap_backing t fd : Vmem.backing =
           if covered then begin
             (* Unaligned or fragmented backing: fall back to base pages,
                and queue the file for reactive rewriting (§3.6). *)
+            note ~obj:"fs.rewrite_queue" ~write:true ~site:"fs.fault_queue";
             if not (List.mem ino t.rewrite_queue) then
               t.rewrite_queue <- ino :: t.rewrite_queue;
             match lookup_run f ~file_off with
@@ -1551,12 +1571,14 @@ let rewrite_one t cpu f =
             nf.parent <- f.parent;
             nf.dname <- f.dname;
             free_file_space t f;
+            note ~obj:"fs.files" ~write:true ~site:"fs.rewrite_one";
             Hashtbl.remove t.files f.ino;
             release_ino t f.ino;
             Counters.incr t.counters "fs.reactive_rewrites";
             true)
 
 let run_rewriter t cpu =
+  note ~obj:"fs.rewrite_queue" ~write:true ~site:"fs.run_rewriter";
   let queue = t.rewrite_queue in
   t.rewrite_queue <- [];
   let rewritten = ref 0 in

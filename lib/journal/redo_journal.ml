@@ -39,6 +39,13 @@ type t = {
 
 let bytes_needed ~size = header_bytes + size
 
+(* Race-detector annotation for the journal's shared DRAM state (running
+   table, order list, seq/head cursors).  The redo journal is one shared
+   instance serving every CPU, so all mutation happens under [t.lock]. *)
+let note t ~write ~site =
+  if Sched.monitored () then
+    Sched.access ~obj:(Printf.sprintf "journal.redo[%#x]" t.base) ~write ~site
+
 let write_header t cpu =
   Device.with_site t.dev site_header @@ fun () ->
   let buf = Bytes.make header_bytes '\000' in
@@ -87,10 +94,17 @@ let attach dev ~off ~size =
 
 let add t _cpu ~addr ~data =
   if String.length data = 0 then invalid_arg "Redo_journal.add: empty record";
-  if not (Hashtbl.mem t.running addr) then t.running_order <- addr :: t.running_order;
-  Hashtbl.replace t.running addr data
+  (* The running table is shared across CPUs; mutating it outside [t.lock]
+     would race with a concurrent [commit] draining it. *)
+  Sched.with_lock t.lock (fun () ->
+      note t ~write:true ~site:"redo.add";
+      if not (Hashtbl.mem t.running addr) then t.running_order <- addr :: t.running_order;
+      Hashtbl.replace t.running addr data)
 
-let running_records t = Hashtbl.length t.running
+let running_records t =
+  Sched.with_lock t.lock (fun () ->
+      note t ~write:false ~site:"redo.running_records";
+      Hashtbl.length t.running)
 
 let record_size data_len = rec_header_bytes + Units.round_up data_len 64
 
@@ -115,8 +129,9 @@ let write_record t cpu ~seq ~ty ~addr ~data =
   t.head <- t.head + total
 
 let commit t cpu =
-  if Hashtbl.length t.running > 0 then
-    Sched.with_lock t.lock (fun () ->
+  Sched.with_lock t.lock (fun () ->
+      note t ~write:true ~site:"redo.commit";
+      if Hashtbl.length t.running > 0 then begin
         let seq = t.seq + 1 in
         let records =
           List.rev_map (fun addr -> (addr, Hashtbl.find t.running addr)) t.running_order
@@ -155,7 +170,8 @@ let commit t cpu =
           Stats.gauge_set "journal.redo.head_bytes" t.head
         end;
         Hashtbl.reset t.running;
-        t.running_order <- [])
+        t.running_order <- []
+      end)
 
 let read_record t cpu ~pos ~expected_seq =
   if pos + rec_header_bytes > t.size then None
@@ -179,6 +195,7 @@ let read_record t cpu ~pos ~expected_seq =
         Some (ty, addr, data, record_size dlen)
 
 let recover t cpu =
+  note t ~write:true ~site:"redo.recover";
   Device.with_site t.dev site_recovery @@ fun () ->
   (* Scan forward from the persisted head for transactions that were
      journalled but whose header update (or checkpoint) was lost. *)

@@ -1,5 +1,6 @@
 module Device = Repro_pmem.Device
 module Site = Repro_pmem.Site
+module Sched = Repro_sched.Sched
 module Stats = Repro_stats.Stats
 
 (* Registry metrics (global, gated on {!Stats.enabled}): commit/abort/wrap
@@ -16,16 +17,28 @@ let site_abort = Site.v "journal" "abort"
 let site_recovery = Site.v "journal" "recovery"
 
 module Txn_counter = struct
-  type t = { mutable next : int }
+  (* One counter is shared by every per-CPU journal (§3.6), so unlike the
+     journals themselves it is cross-CPU mutable state and takes a lock.
+     Outside the scheduler the lock degrades to a no-op, so single-
+     threaded callers are unaffected. *)
+  type t = { mutable next : int; mu : Sched.mutex }
 
-  let create () = { next = 1 }
+  let create () = { next = 1; mu = Sched.create_mutex () }
+
+  let note ~write ~site =
+    if Sched.monitored () then Sched.access ~obj:"journal.txn_counter" ~write ~site
 
   let take t =
-    let id = t.next in
-    t.next <- t.next + 1;
-    id
+    Sched.with_lock t.mu (fun () ->
+        note ~write:true ~site:"txn_counter.take";
+        let id = t.next in
+        t.next <- t.next + 1;
+        id)
 
-  let peek t = t.next
+  let peek t =
+    Sched.with_lock t.mu (fun () ->
+        note ~write:false ~site:"txn_counter.peek";
+        t.next)
 end
 
 let entry_bytes = 64
@@ -73,6 +86,13 @@ type txn = {
   mutable undo : (int * string) list; (* addr, old bytes — for abort *)
 }
 
+(* Race-detector annotation for the journal's DRAM cursor state (head,
+   wrap, open_txn).  A journal belongs to one CPU in WineFS, so these
+   must stay thread-exclusive — the detector flags any cross-CPU use. *)
+let note t ~write ~site =
+  if Sched.monitored () then
+    Sched.access ~obj:(Printf.sprintf "journal.undo[%#x]" t.base) ~write ~site
+
 let bytes_needed ~entries ~copy_bytes = header_bytes + (entries * entry_bytes) + copy_bytes
 
 let entries_capacity t = t.slots
@@ -119,6 +139,7 @@ let attach dev counter ~off ~entries ~copy_bytes =
 
 let write_entry t cpu ~ty ~txn_id ~addr ~len ~copy ~inline =
   Device.with_site t.dev site_entry @@ fun () ->
+  note t ~write:true ~site:"undo.write_entry";
   let i = t.head in
   let buf = Bytes.make entry_bytes '\000' in
   Bytes.set_int64_le buf 0 (Int64.of_int txn_id);
@@ -155,6 +176,7 @@ let write_entry t cpu ~ty ~txn_id ~addr ~len ~copy ~inline =
 let reclaim_threshold = 24
 
 let reclaim t cpu =
+  note t ~write:true ~site:"undo.reclaim";
   t.open_txn <- false;
   write_header t cpu;
   t.unreclaimed <- 0;
@@ -170,6 +192,7 @@ let invalidate_head_slot_fwd t cpu =
   Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes
 
 let begin_txn t cpu ~reserve =
+  note t ~write:true ~site:"undo.begin_txn";
   if t.open_txn then invalid_arg "Undo_journal: transaction already open";
   if reserve + 2 > t.slots then invalid_arg "Undo_journal: reservation exceeds capacity";
   (* The ring must never lap its own unreclaimed entries: reclaim now if
@@ -206,6 +229,7 @@ let log_range t cpu txn ~addr ~len =
   txn.used <- txn.used + 1
 
 let commit t cpu txn =
+  note t ~write:true ~site:"undo.commit";
   if not t.open_txn then invalid_arg "Undo_journal.commit: no open transaction";
   (* All flushed in-place updates must be durable strictly before the
      COMMIT entry is: fence first, then persist the COMMIT. *)
@@ -222,6 +246,7 @@ let commit t cpu txn =
   end
 
 let abort t cpu txn =
+  note t ~write:true ~site:"undo.abort";
   if not t.open_txn then invalid_arg "Undo_journal.abort: no open transaction";
   Device.with_site t.dev site_abort (fun () ->
       List.iter
@@ -271,6 +296,7 @@ let parse_slot t cpu i ~expected_wrap =
             }
 
 let scan_pending t cpu =
+  note t ~write:false ~site:"undo.scan_pending";
   Device.with_site t.dev site_recovery @@ fun () ->
   let buf = Bytes.create header_bytes in
   Device.read t.dev cpu ~off:t.base ~len:header_bytes ~dst:buf ~dst_off:0;
@@ -325,6 +351,7 @@ let invalidate_head_slot t cpu =
   Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes
 
 let rollback_pending t cpu (p : pending) =
+  note t ~write:true ~site:"undo.rollback_pending";
   Device.with_site t.dev site_recovery (fun () ->
       List.iter
         (fun (addr, old) ->
@@ -336,6 +363,7 @@ let rollback_pending t cpu (p : pending) =
   write_header t cpu
 
 let reset t cpu =
+  note t ~write:true ~site:"undo.reset";
   t.open_txn <- false;
   invalidate_head_slot t cpu;
   write_header t cpu

@@ -20,7 +20,10 @@
 
 open Repro_util
 
-(** Global transaction-ID counter shared by a set of journals. *)
+(** Global transaction-ID counter shared by a set of journals.  The
+    counter is the one piece of journal state shared across CPUs, so it
+    takes an internal [Sched] mutex around each draw (a plain lock
+    outside a scheduler run). *)
 module Txn_counter : sig
   type t
 

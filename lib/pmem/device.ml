@@ -71,6 +71,9 @@ type event =
   | Fence
   | Protocol of protocol
 
+type hook = Cpu.t option -> Site.t -> event -> unit
+type hook_id = int
+
 type t = {
   data : bytes;
   size : int;
@@ -83,7 +86,9 @@ type t = {
   mutable fence_seq : int;
   mutable fence_hook : (int -> unit) option;
   mutable site : Site.t;
-  mutable event_hook : (Site.t -> event -> unit) option;
+  mutable hooks : (hook_id * hook) list; (* installation order *)
+  mutable next_hook_id : int;
+  mutable legacy_hook : hook_id option; (* the set_event_hook slot *)
 }
 
 let cl = Units.cacheline
@@ -104,7 +109,9 @@ let create ?(cost = Cost.optane) ?(numa_nodes = 1) ~size () =
     fence_seq = 0;
     fence_hook = None;
     site = Site.unknown;
-    event_hook = None;
+    hooks = [];
+    next_hook_id = 0;
+    legacy_hook = None;
   }
 
 let size t = t.size
@@ -185,11 +192,16 @@ let record_stat site ev =
   | Fence -> Stats.counter_add ~labels "pm.fences" 1
   | Protocol _ -> ()
 
-(* Event-stream instrumentation: an installed hook observes every charged
-   access plus the protocol annotations, tagged with the ambient site.
-   Uninstrumented devices pay one option check per access. *)
-let emit t ev =
-  (match t.event_hook with Some hook -> hook t.site ev | None -> ());
+(* Event-stream instrumentation: every installed hook observes every
+   charged access plus the protocol annotations, tagged with the ambient
+   site and (for data movement) the accessing CPU — the race detector
+   needs to see which simulated thread issued each store.  Hooks run in
+   installation order; uninstrumented devices pay one list check per
+   access. *)
+let emit ?cpu t ev =
+  (match t.hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun (_, h) -> h cpu t.site ev) hooks);
   if Stats.enabled () then record_stat t.site ev
 
 let current_site t = t.site
@@ -199,7 +211,22 @@ let with_site t site f =
   t.site <- site;
   Fun.protect ~finally:(fun () -> t.site <- prev) f
 
-let set_event_hook t hook = t.event_hook <- hook
+let add_event_hook t hook =
+  let id = t.next_hook_id in
+  t.next_hook_id <- id + 1;
+  t.hooks <- t.hooks @ [ (id, hook) ];
+  id
+
+let remove_event_hook t id = t.hooks <- List.filter (fun (i, _) -> i <> id) t.hooks
+
+let set_event_hook t hook =
+  (match t.legacy_hook with
+  | Some id ->
+      remove_event_hook t id;
+      t.legacy_hook <- None
+  | None -> ());
+  match hook with None -> () | Some h -> t.legacy_hook <- Some (add_event_hook t h)
+
 let annotate t p = emit t (Protocol p)
 
 let track_store ?(nt = false) t off len =
@@ -218,19 +245,19 @@ let read t cpu ~off ~len ~dst ~dst_off =
   check_range t off len;
   charge_read t cpu ~off ~len;
   Bytes.blit t.data off dst dst_off len;
-  emit t (Load { off; len })
+  emit ~cpu t (Load { off; len })
 
 let write t cpu ~off ~src ~src_off ~len =
   check_range t off len;
   track_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit src src_off t.data off len;
-  emit t (Store { off; len; nt = false })
+  emit ~cpu t (Store { off; len; nt = false })
 
 let read_string t cpu ~off ~len =
   check_range t off len;
   charge_read t cpu ~off ~len;
-  emit t (Load { off; len });
+  emit ~cpu t (Load { off; len });
   Bytes.sub_string t.data off len
 
 let write_string t cpu ~off s =
@@ -239,7 +266,7 @@ let write_string t cpu ~off s =
   track_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit_string s 0 t.data off len;
-  emit t (Store { off; len; nt = false })
+  emit ~cpu t (Store { off; len; nt = false })
 
 (* Non-temporal stores: bypass the cache and become durable at the next
    fence without explicit clwb (the fast path PM file systems use for bulk
@@ -249,7 +276,7 @@ let write_nt t cpu ~off ~src ~src_off ~len =
   track_store ~nt:true t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit src src_off t.data off len;
-  emit t (Store { off; len; nt = true })
+  emit ~cpu t (Store { off; len; nt = true })
 
 let write_string_nt t cpu ~off s =
   let len = String.length s in
@@ -257,14 +284,14 @@ let write_string_nt t cpu ~off s =
   track_store ~nt:true t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit_string s 0 t.data off len;
-  emit t (Store { off; len; nt = true })
+  emit ~cpu t (Store { off; len; nt = true })
 
 let memset_nt t cpu ~off ~len c =
   check_range t off len;
   track_store ~nt:true t off len;
   charge_write t cpu ~off ~len;
   Bytes.fill t.data off len c;
-  emit t (Store { off; len; nt = true })
+  emit ~cpu t (Store { off; len; nt = true })
 
 let copy_within_nt t cpu ~src ~dst ~len =
   check_range t src len;
@@ -273,15 +300,15 @@ let copy_within_nt t cpu ~src ~dst ~len =
   track_store ~nt:true t dst len;
   charge_write t cpu ~off:dst ~len;
   Bytes.blit t.data src t.data dst len;
-  emit t (Load { off = src; len });
-  emit t (Store { off = dst; len; nt = true })
+  emit ~cpu t (Load { off = src; len });
+  emit ~cpu t (Store { off = dst; len; nt = true })
 
 let memset t cpu ~off ~len c =
   check_range t off len;
   track_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.fill t.data off len c;
-  emit t (Store { off; len; nt = false })
+  emit ~cpu t (Store { off; len; nt = false })
 
 let copy_within t cpu ~src ~dst ~len =
   check_range t src len;
@@ -290,13 +317,13 @@ let copy_within t cpu ~src ~dst ~len =
   track_store t dst len;
   charge_write t cpu ~off:dst ~len;
   Bytes.blit t.data src t.data dst len;
-  emit t (Load { off = src; len });
-  emit t (Store { off = dst; len; nt = false })
+  emit ~cpu t (Load { off = src; len });
+  emit ~cpu t (Store { off = dst; len; nt = false })
 
 let read_u64 t cpu ~off =
   check_range t off 8;
   charge_read t cpu ~off ~len:8;
-  emit t (Load { off; len = 8 });
+  emit ~cpu t (Load { off; len = 8 });
   Bytes.get_int64_le t.data off
 
 let write_u64 t cpu ~off v =
@@ -304,7 +331,7 @@ let write_u64 t cpu ~off v =
   track_store t off 8;
   charge_write t cpu ~off ~len:8;
   Bytes.set_int64_le t.data off v;
-  emit t (Store { off; len = 8; nt = false })
+  emit ~cpu t (Store { off; len = 8; nt = false })
 
 let peek t ~off ~len ~dst ~dst_off =
   check_range t off len;
@@ -313,7 +340,7 @@ let peek t ~off ~len ~dst ~dst_off =
 let touch_read t cpu ~off ~len =
   check_range t off len;
   charge_read t cpu ~off ~len;
-  emit t (Load { off; len })
+  emit ~cpu t (Load { off; len })
 
 let flush t (cpu : Cpu.t) ~off ~len =
   check_range t off len;
@@ -327,7 +354,7 @@ let flush t (cpu : Cpu.t) ~off ~len =
         | Some p -> p.flushed <- true
         | None -> ()
       done;
-    emit t (Flush { off; len })
+    emit ~cpu t (Flush { off; len })
   end
 
 let fence t (cpu : Cpu.t) =
@@ -335,7 +362,7 @@ let fence t (cpu : Cpu.t) =
   Simclock.advance cpu.clock (int_of_float t.cost.fence_ns);
   t.fence_seq <- t.fence_seq + 1;
   (match t.fence_hook with Some hook -> hook t.fence_seq | None -> ());
-  emit t Fence;
+  emit ~cpu t Fence;
   if t.tracking then begin
     let durable =
       Hashtbl.fold (fun line p acc -> if p.flushed then line :: acc else acc) t.pending []
@@ -369,7 +396,9 @@ let crash_image t ~persisted =
       fence_seq = 0;
       fence_hook = None;
       site = Site.unknown;
-      event_hook = None;
+      hooks = [];
+      next_hook_id = 0;
+      legacy_hook = None;
     }
   in
   Hashtbl.iter

@@ -152,14 +152,32 @@ val with_site : t -> Site.t -> (unit -> 'a) -> 'a
 
 val current_site : t -> Site.t
 
-val set_event_hook : t -> (Site.t -> event -> unit) option -> unit
-(** Install/uninstall the single event observer.  The hook runs inside the
-    access, after the data movement and cost accounting; an exception it
-    raises aborts the caller (how the sanitizer's strict mode stops on the
-    first violation). *)
+type hook = Repro_util.Cpu.t option -> Site.t -> event -> unit
+(** An event observer.  Data-movement events ([Store]/[Load]/[Flush]/
+    [Fence]) carry [Some cpu] — the accessing CPU, which is how the race
+    detector sees cross-CPU stores to the same cache line; [Protocol]
+    annotations carry [None].  Hooks run inside the access, after the
+    data movement and cost accounting; an exception a hook raises aborts
+    the caller (how the sanitizer's strict mode stops on the first
+    violation). *)
+
+type hook_id
+
+val add_event_hook : t -> hook -> hook_id
+(** Install an observer without disturbing the others.  Every installed
+    hook sees every event, in installation order — the sanitizer, the
+    race detector and ad-hoc tracing compose. *)
+
+val remove_event_hook : t -> hook_id -> unit
+(** Uninstall one observer; unknown ids are ignored. *)
+
+val set_event_hook : t -> hook option -> unit
+(** Legacy single-slot interface: [Some h] replaces only the hook this
+    function previously installed (other {!add_event_hook} observers are
+    untouched); [None] removes it. *)
 
 val annotate : t -> protocol -> unit
-(** Forward a protocol annotation to the observer (no-op when none). *)
+(** Forward a protocol annotation to the observers (no-op when none). *)
 
 (** {3 Crash-point injection}  The crash explorer aborts an operation at a
     chosen fence by raising from the hook; the pending-store set at that

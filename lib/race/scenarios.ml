@@ -1,0 +1,164 @@
+open Repro_util
+module Device = Repro_pmem.Device
+module Sched = Repro_sched.Sched
+module Journal = Repro_journal.Undo_journal
+module Pool_alloc = Repro_alloc.Pool_alloc
+
+(* Concurrency scenarios exercised under the race detector.  The clean
+   suite encodes the per-CPU discipline the paper's design relies on
+   (per-CPU journals and allocator pools, shared state behind locks) and
+   must stay silent under every explored schedule; the racy suite plants
+   known discipline violations — an unlocked shared allocator, an
+   unannotated shared PM line — that the detector must flag. *)
+
+let threads = 3
+
+(* Per-CPU undo journals: each thread runs transactions against its own
+   journal and its own data page.  The only shared state is the global
+   transaction counter, which takes its internal lock — the clean pattern
+   of §3.6. *)
+let journal_bytes = 32 * 1024
+let data_base = threads * journal_bytes
+
+let pcpu_journal =
+  {
+    Race.sc_name = "pcpu-journal";
+    sc_threads = threads;
+    sc_prepare =
+      (fun () ->
+        let size = data_base + (threads * Units.base_page) in
+        let dev = Device.create ~cost:Device.Cost.free ~size () in
+        let counter = Journal.Txn_counter.create () in
+        let setup = Cpu.make ~id:0 () in
+        let js =
+          Array.init threads (fun c ->
+              Journal.format dev setup counter ~off:(c * journal_bytes) ~entries:64
+                ~copy_bytes:4096)
+        in
+        let body (cpu : Cpu.t) =
+          let j = js.(cpu.id) in
+          let addr = data_base + (cpu.id * Units.base_page) in
+          for i = 1 to 4 do
+            let txn = Journal.begin_txn j cpu ~reserve:2 in
+            Journal.log_range j cpu txn ~addr ~len:64;
+            Device.write_u64 dev cpu ~off:addr (Int64.of_int i);
+            Sched.yield ();
+            Journal.commit j cpu txn;
+            Sched.yield ()
+          done
+        in
+        (dev, body));
+  }
+
+(* Per-CPU allocator pools: each pool is large enough that no thread ever
+   steals, so every pool stays thread-exclusive. *)
+let pcpu_alloc =
+  {
+    Race.sc_name = "pcpu-alloc";
+    sc_threads = threads;
+    sc_prepare =
+      (fun () ->
+        let dev = Device.create ~cost:Device.Cost.free ~size:Units.base_page () in
+        let stripe = 4 * Units.mib in
+        let regions = Array.init threads (fun c -> (c * stripe, stripe)) in
+        let alloc =
+          Pool_alloc.create
+            { per_cpu = true; policy = First_fit; align_exact_2m = false; normalize_pow2 = false }
+            ~cpus:threads ~regions
+        in
+        let body (cpu : Cpu.t) =
+          for _ = 1 to 8 do
+            (match Pool_alloc.alloc alloc ~cpu:cpu.id ~len:(2 * Units.base_page) with
+            | Some exts ->
+                Sched.yield ();
+                List.iter
+                  (fun (e : Pool_alloc.extent) -> Pool_alloc.free alloc ~off:e.off ~len:e.len)
+                  exts
+            | None -> ());
+            Sched.yield ()
+          done
+        in
+        (dev, body));
+  }
+
+(* Shared DRAM counter consistently protected by one mutex, with a yield
+   inside the critical section so schedules genuinely interleave; the
+   release→acquire edges order every access. *)
+let locked_counter =
+  {
+    Race.sc_name = "locked-counter";
+    sc_threads = threads;
+    sc_prepare =
+      (fun () ->
+        let dev = Device.create ~cost:Device.Cost.free ~size:Units.base_page () in
+        let m = Sched.create_mutex () in
+        let counter = ref 0 in
+        let body (_ : Cpu.t) =
+          for _ = 1 to 5 do
+            Sched.with_lock m (fun () ->
+                Sched.access ~obj:"demo.counter" ~write:false ~site:"locked_counter.read";
+                let v = !counter in
+                Sched.yield ();
+                Sched.access ~obj:"demo.counter" ~write:true ~site:"locked_counter.write";
+                counter := v + 1);
+            Sched.yield ()
+          done
+        in
+        (dev, body));
+  }
+
+(* Planted bug: one {e shared} allocator pool ([per_cpu = false]) updated
+   from every CPU with no lock at all — the unlocked cross-CPU update the
+   detector exists to catch. *)
+let unlocked_alloc =
+  {
+    Race.sc_name = "unlocked-alloc";
+    sc_threads = threads;
+    sc_prepare =
+      (fun () ->
+        let dev = Device.create ~cost:Device.Cost.free ~size:Units.base_page () in
+        let regions = Array.init threads (fun c -> (c * Units.mib, Units.mib)) in
+        let alloc =
+          Pool_alloc.create
+            { per_cpu = false; policy = First_fit; align_exact_2m = false; normalize_pow2 = false }
+            ~cpus:threads ~regions
+        in
+        let body (cpu : Cpu.t) =
+          for _ = 1 to 4 do
+            (match Pool_alloc.alloc alloc ~cpu:cpu.id ~len:Units.base_page with
+            | Some exts ->
+                Sched.yield ();
+                List.iter
+                  (fun (e : Pool_alloc.extent) -> Pool_alloc.free alloc ~off:e.off ~len:e.len)
+                  exts
+            | None -> ());
+            Sched.yield ()
+          done
+        in
+        (dev, body));
+  }
+
+(* Planted bug: every thread stores to the same PM cache line without
+   synchronisation; caught through the device event stream rather than
+   an annotation. *)
+let pm_shared_line =
+  {
+    Race.sc_name = "pm-shared-line";
+    sc_threads = threads;
+    sc_prepare =
+      (fun () ->
+        let dev = Device.create ~cost:Device.Cost.free ~size:Units.base_page () in
+        let body (cpu : Cpu.t) =
+          for i = 1 to 3 do
+            Device.write_u64 dev cpu ~off:0 (Int64.of_int ((cpu.id * 10) + i));
+            Sched.yield ()
+          done
+        in
+        (dev, body));
+  }
+
+let clean = [ pcpu_journal; pcpu_alloc; locked_counter ]
+let racy = [ unlocked_alloc; pm_shared_line ]
+let all = clean @ racy
+
+let find name = List.find_opt (fun s -> s.Race.sc_name = name) all

@@ -56,6 +56,7 @@ type txn = { begin_era : int; mutable covered : (int * int) list }
 
 type t = {
   dev : Device.t;
+  mutable hook : Device.hook_id option;
   strict : bool;
   enabled : bool array; (* indexed by rule_code *)
   (* Shadow per-line state machine.  A line is {e durable} when absent
@@ -249,7 +250,7 @@ let on_protocol t site (p : Device.protocol) =
   | Recovery_begin -> t.recovering <- true
   | Recovery_end -> t.recovering <- false
 
-let on_event t site (ev : Device.event) =
+let on_event t _cpu site (ev : Device.event) =
   match ev with
   | Store { off; len; nt } -> if len > 0 then on_store t site ~off ~len ~nt
   | Load { off; len } -> if len > 0 then on_load t site ~off ~len
@@ -263,6 +264,7 @@ let attach ?(strict = false) ?(rules = all_rules) dev =
   let t =
     {
       dev;
+      hook = None;
       strict;
       enabled;
       shadow = Hashtbl.create 1024;
@@ -278,10 +280,15 @@ let attach ?(strict = false) ?(rules = all_rules) dev =
       redundant = Hashtbl.create 32;
     }
   in
-  Device.set_event_hook dev (Some (on_event t));
+  t.hook <- Some (Device.add_event_hook dev (on_event t));
   t
 
-let detach t = Device.set_event_hook t.dev None
+let detach t =
+  match t.hook with
+  | Some id ->
+      Device.remove_event_hook t.dev id;
+      t.hook <- None
+  | None -> ()
 
 let diags t = List.rev t.diags_rev
 let error_count t = t.error_count

@@ -55,12 +55,15 @@ exception Violation of diag
 type t
 
 val attach : ?strict:bool -> ?rules:rule list -> Repro_pmem.Device.t -> t
-(** Install the sanitizer as the device's event observer.  [strict]
-    (default false) raises {!Violation} at the first [Error]-severity
-    diagnostic; [rules] (default {!all_rules}) selects the checks. *)
+(** Install the sanitizer as one of the device's event observers (via
+    {!Repro_pmem.Device.add_event_hook}, so it composes with the race
+    detector and other hooks).  [strict] (default false) raises
+    {!Violation} at the first [Error]-severity diagnostic; [rules]
+    (default {!all_rules}) selects the checks. *)
 
 val detach : t -> unit
-(** Remove the observer; accumulated diagnostics remain readable. *)
+(** Remove the observer (other hooks on the device are untouched);
+    accumulated diagnostics remain readable. *)
 
 val finish : t -> diag list
 (** Run end-of-stream checks (R2 unfenced lines, R3 aggregation) and

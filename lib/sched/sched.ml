@@ -3,8 +3,8 @@ open Effect
 open Effect.Deep
 
 (* A thread is a fiber suspended either in the ready set or on a mutex's
-   wait queue.  The scheduler trampoline always resumes the runnable
-   thread with the smallest clock; handlers never [continue] inline, so
+   wait queue.  The scheduler trampoline always resumes a runnable thread
+   chosen by the active {!policy}; handlers never [continue] inline, so
    native stack depth stays bounded no matter how many effects a thread
    performs. *)
 
@@ -14,9 +14,11 @@ type thread = {
   mutable parked : (unit -> unit) option; (* continuation while blocked on a mutex *)
   mutable finished : bool;
   mutable blocked_since : int;
+  mutable prio : int; (* PCT priority; unused by other policies *)
 }
 
 type mutex = {
+  mid : int;
   mutable holder : thread option;
   waiters : thread Queue.t;
   mutable held_outside : bool; (* degraded single-threaded mode *)
@@ -27,20 +29,69 @@ type _ Effect.t +=
   | Unlock : mutex -> unit Effect.t
   | Yield : unit Effect.t
 
-let create_mutex () = { holder = None; waiters = Queue.create (); held_outside = false }
+(* Mutex ids are process-unique so concurrency diagnostics (the race
+   detector's lockset reports) can name locks stably; the counter is
+   deliberately never reset. *)
+let next_mutex_id = ref 0
+
+let create_mutex () =
+  let mid = !next_mutex_id in
+  incr next_mutex_id;
+  { mid; holder = None; waiters = Queue.create (); held_outside = false }
+
+let mutex_id m = m.mid
 
 let default_cpu = Cpu.make ~id:0 ()
 
 (* Scheduler state; the simulator is single-OS-threaded so globals are
-   safe. *)
+   safe.  Everything mutable and per-run is reset in {!reset_run_state}
+   so sequential [run] calls can never observe each other's leftovers. *)
 let active = ref false
 let current : thread option ref = ref None
 let lock_wait_total = ref 0
+
+let reset_run_state () =
+  active := false;
+  current := None;
+  lock_wait_total := 0
 
 let uncontended_lock_ns = 18
 let handoff_ns = 40
 
 let self () = match !current with Some t -> t.cpu | None -> default_cpu
+let running () = !active
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation: one monitor observes thread lifecycle, lock
+   transfers and annotated shared-state accesses.  Events fire only
+   inside [run] (the degraded outside-scheduler lock mode is single
+   threaded, so there is nothing to observe). *)
+
+type monitor = {
+  on_spawn : thread:int -> unit;
+  on_finish : thread:int -> unit;
+  on_acquire : thread:int -> mutex:int -> unit;
+  on_release : thread:int -> mutex:int -> unit;
+  on_yield : thread:int -> unit;
+  on_access : thread:int -> obj:string -> write:bool -> site:string -> unit;
+}
+
+let monitor : monitor option ref = ref None
+
+let set_monitor m = monitor := m
+let monitored () = !active && Option.is_some !monitor
+
+let mon f = match !monitor with Some m -> f m | None -> ()
+
+let access ~obj ~write ~site =
+  if !active then
+    match !monitor with
+    | None -> ()
+    | Some m ->
+        let thread = match !current with Some t -> t.cpu.id | None -> default_cpu.id in
+        m.on_access ~thread ~obj ~write ~site
+
+(* ------------------------------------------------------------------ *)
 
 let lock m =
   if !active then perform (Lock m)
@@ -67,11 +118,23 @@ let with_lock m f =
 
 let yield () = if !active then perform Yield
 
+type policy =
+  | Earliest_clock
+  | Random_walk of { seed : int }
+  | Pct of { seed : int }
+
 type stats = { makespan_ns : int; total_busy_ns : int; lock_wait_ns : int }
 
-let run ?(numa_nodes = 1) ~threads:nthreads body =
-  if !active then invalid_arg "Sched.run: not reentrant";
+(* PCT-lite demotion rate: at each scheduling step the chosen thread's
+   priority drops below every other with probability 1/16, approximating
+   PCT's d random priority-change points without knowing the step count
+   in advance. *)
+let pct_demote_one_in = 16
+
+let run ?(numa_nodes = 1) ?(policy = Earliest_clock) ~threads:nthreads body =
+  if !active then invalid_arg "Sched.run: already running";
   if nthreads <= 0 then invalid_arg "Sched.run: non-positive thread count";
+  reset_run_state ();
   let threads =
     Array.init nthreads (fun i ->
         let node = if numa_nodes <= 1 then 0 else i * numa_nodes / nthreads in
@@ -81,10 +144,10 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
           parked = None;
           finished = false;
           blocked_since = 0;
+          prio = 0;
         })
   in
   active := true;
-  lock_wait_total := 0;
   let start t =
     t.resume <-
       Some
@@ -93,7 +156,10 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
             (fun () -> body t.cpu)
             ()
             {
-              retc = (fun () -> t.finished <- true);
+              retc =
+                (fun () ->
+                  t.finished <- true;
+                  mon (fun m -> m.on_finish ~thread:t.cpu.id));
               exnc = (fun e -> raise e);
               effc =
                 (fun (type a) (eff : a Effect.t) ->
@@ -104,6 +170,7 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
                           Simclock.advance t.cpu.clock uncontended_lock_ns;
                           if m.holder = None && Queue.is_empty m.waiters then begin
                             m.holder <- Some t;
+                            mon (fun mo -> mo.on_acquire ~thread:t.cpu.id ~mutex:m.mid);
                             t.resume <- Some (fun () -> continue k ())
                           end
                           else begin
@@ -118,9 +185,14 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
                           | Some h when h == t -> ()
                           | _ -> invalid_arg "Sched.unlock: not held by caller");
                           m.holder <- None;
+                          mon (fun mo -> mo.on_release ~thread:t.cpu.id ~mutex:m.mid);
                           (match Queue.take_opt m.waiters with
                           | Some w ->
                               m.holder <- Some w;
+                              (* FIFO handoff: the longest-blocked waiter
+                                 acquires at release time plus a fixed
+                                 transfer cost. *)
+                              mon (fun mo -> mo.on_acquire ~thread:w.cpu.id ~mutex:m.mid);
                               let wake = Simclock.now t.cpu.clock + handoff_ns in
                               let waited = max 0 (wake - w.blocked_since) in
                               lock_wait_total := !lock_wait_total + waited;
@@ -132,24 +204,67 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
                   | Yield ->
                       Some
                         (fun (k : (a, unit) continuation) ->
+                          mon (fun mo -> mo.on_yield ~thread:t.cpu.id);
                           t.resume <- Some (fun () -> continue k ()))
                   | _ -> None);
             })
   in
   Array.iter start threads;
-  (* Trampoline: run the earliest-clock runnable thread. *)
+  Array.iter (fun t -> mon (fun m -> m.on_spawn ~thread:t.cpu.id)) threads;
+  (* Trampoline: run the runnable thread chosen by the policy.
+     [Earliest_clock] (the default) picks the smallest simulated clock,
+     which makes contention effects fall out naturally and every run
+     reproducible.  The exploration policies deliberately break that
+     tiebreak to surface schedule-dependent bugs; both are fully
+     deterministic functions of their seed. *)
+  let rng =
+    match policy with
+    | Earliest_clock -> Rng.create 0 (* unused *)
+    | Random_walk { seed } | Pct { seed } -> Rng.create seed
+  in
+  (match policy with
+  | Pct _ ->
+      let prios = Array.init nthreads (fun i -> i) in
+      Rng.shuffle rng prios;
+      Array.iteri (fun i p -> threads.(i).prio <- p) prios
+  | _ -> ());
+  let pct_low = ref (-1) in
+  let runnable t = t.resume <> None && not t.finished in
+  let pick () =
+    match policy with
+    | Earliest_clock ->
+        let next = ref None in
+        Array.iter
+          (fun t ->
+            if runnable t then
+              match !next with
+              | Some b when Simclock.now b.cpu.clock <= Simclock.now t.cpu.clock -> ()
+              | _ -> next := Some t)
+          threads;
+        !next
+    | Random_walk _ ->
+        let ready = Array.of_seq (Seq.filter runnable (Array.to_seq threads)) in
+        if Array.length ready = 0 then None else Some ready.(Rng.int rng (Array.length ready))
+    | Pct _ ->
+        let next = ref None in
+        Array.iter
+          (fun t ->
+            if runnable t then
+              match !next with
+              | Some b when b.prio >= t.prio -> ()
+              | _ -> next := Some t)
+          threads;
+        (match !next with
+        | Some t when Rng.int rng pct_demote_one_in = 0 ->
+            (* Priority-change point: drop the running thread below
+               everyone so another thread preempts at the next step. *)
+            t.prio <- !pct_low;
+            decr pct_low
+        | _ -> ());
+        !next
+  in
   let rec loop () =
-    let next = ref None in
-    Array.iter
-      (fun t ->
-        match t.resume with
-        | Some _ when not t.finished -> (
-            match !next with
-            | Some b when Simclock.now b.cpu.clock <= Simclock.now t.cpu.clock -> ()
-            | _ -> next := Some t)
-        | _ -> ())
-      threads;
-    match !next with
+    match pick () with
     | None -> ()
     | Some t ->
         let k = Option.get t.resume in
@@ -161,10 +276,8 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
   in
   (try loop ()
    with e ->
-     active := false;
-     current := None;
+     reset_run_state ();
      raise e);
-  active := false;
   let stuck = Array.to_list threads |> List.filter (fun t -> not t.finished) in
   if stuck <> [] then begin
     (* Name the stuck threads: which are parked on a mutex, and for how
@@ -177,6 +290,7 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
           (max 0 (now - t.blocked_since))
       else Printf.sprintf "thread %d (not runnable)" t.cpu.id
     in
+    reset_run_state ();
     invalid_arg
       (Printf.sprintf "Sched.run: deadlock — %d of %d threads never finished: %s"
          (List.length stuck) nthreads
@@ -184,4 +298,6 @@ let run ?(numa_nodes = 1) ~threads:nthreads body =
   end;
   let makespan = Array.fold_left (fun acc t -> max acc (Simclock.now t.cpu.clock)) 0 threads in
   let busy = Array.fold_left (fun acc t -> acc + Simclock.now t.cpu.clock) 0 threads in
-  { makespan_ns = makespan; total_busy_ns = busy; lock_wait_ns = !lock_wait_total }
+  let stats = { makespan_ns = makespan; total_busy_ns = busy; lock_wait_ns = !lock_wait_total } in
+  reset_run_state ();
+  stats

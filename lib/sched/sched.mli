@@ -3,10 +3,15 @@
     Multi-threaded experiments (the paper's Figure 10 scalability study,
     Filebench, the per-CPU journal contention model) run simulated threads
     whose clocks advance as they touch PM, fault, and wait on locks.  The
-    scheduler is a discrete-event loop: it always resumes the runnable
-    thread with the smallest simulated clock, so lock-contention effects
-    (global JBD2 commit lock vs per-CPU journals) fall out naturally and
-    every run is reproducible.
+    scheduler is a discrete-event loop: under the default
+    {!Earliest_clock} policy it always resumes the runnable thread with
+    the smallest simulated clock, so lock-contention effects (global JBD2
+    commit lock vs per-CPU journals) fall out naturally and every run is
+    reproducible.  The exploration policies ({!Random_walk}, {!Pct})
+    replace that tiebreak with a seeded random or priority-based (PCT-lite)
+    choice so the race detector ({!Repro_race}) can shake alternative
+    interleavings; both are deterministic functions of their seed, so any
+    failing schedule replays exactly.
 
     Threads are OCaml effect-based fibers; they must only block through
     {!lock}/{!yield} (cooperative).  Outside {!run}, {!lock} and {!unlock}
@@ -19,6 +24,10 @@ type mutex
 
 val create_mutex : unit -> mutex
 
+val mutex_id : mutex -> int
+(** Process-unique id, stable for the lifetime of the mutex.  Concurrency
+    diagnostics use it to name locks ("m3") in lockset reports. *)
+
 val lock : mutex -> unit
 (** Acquire; blocks the calling simulated thread while held by another.
     FIFO handoff.  Charges a small uncontended-acquisition cost. *)
@@ -29,14 +38,78 @@ val unlock : mutex -> unit
 val with_lock : mutex -> (unit -> 'a) -> 'a
 
 val yield : unit -> unit
-(** Let other runnable threads with earlier clocks run. *)
+(** Let other runnable threads run (a scheduling point, not a
+    happens-before edge). *)
 
 val self : unit -> Cpu.t
 (** The calling thread's CPU context.  Outside {!run}, a process-wide
     default CPU 0. *)
 
+val running : unit -> bool
+(** [true] while inside {!run} (i.e. the caller is a simulated thread). *)
+
 val default_cpu : Cpu.t
 (** The CPU used outside {!run}; its clock keeps advancing across calls. *)
+
+val uncontended_lock_ns : int
+(** Simulated cost charged to every {!lock} attempt. *)
+
+val handoff_ns : int
+(** Simulated cost of transferring a contended mutex to the next waiter
+    (FIFO).  A waiter that blocked at [b] and is handed the lock when the
+    holder releases at [r] acquires at [r + handoff_ns] and accrues
+    [r + handoff_ns - b] of lock wait. *)
+
+(** {2 Instrumentation}
+
+    A single monitor observes thread lifecycle, lock transfers, and
+    annotated shared-state accesses; the dynamic race detector
+    ({!Repro_race.Race}) is the intended client.  Events only fire inside
+    {!run} — the degraded outside-scheduler mode is single-threaded.
+    [on_acquire] fires when the lock is actually transferred: immediately
+    for an uncontended {!lock}, at handoff time (during the releasing
+    thread's {!unlock}) for a blocked waiter, always after the matching
+    [on_release]. *)
+
+type monitor = {
+  on_spawn : thread:int -> unit;  (** thread (= CPU id) exists and is runnable *)
+  on_finish : thread:int -> unit;  (** thread's body returned *)
+  on_acquire : thread:int -> mutex:int -> unit;
+  on_release : thread:int -> mutex:int -> unit;
+  on_yield : thread:int -> unit;
+  on_access : thread:int -> obj:string -> write:bool -> site:string -> unit;
+}
+
+val set_monitor : monitor option -> unit
+(** Install/uninstall the monitor.  One slot: installing replaces any
+    previous monitor. *)
+
+val monitored : unit -> bool
+(** [true] when a monitor is installed and a run is active.  Annotation
+    sites use it to skip building [obj]/[site] strings on the hot path:
+    [if Sched.monitored () then Sched.access ~obj:(...) ...]. *)
+
+val access : obj:string -> write:bool -> site:string -> unit
+(** Declare an access to a shared DRAM object (allocator pool, journal
+    cursor, index) for the monitor.  [obj] names the object instance
+    ("alloc.pool[2]"), [site] the accessing code ("alloc.alloc").  A no-op
+    outside {!run} or without a monitor. *)
+
+(** {2 Scheduling policies} *)
+
+type policy =
+  | Earliest_clock
+      (** Deterministic default: resume the runnable thread with the
+          smallest simulated clock (ties to the lowest thread id). *)
+  | Random_walk of { seed : int }
+      (** At every scheduling point pick uniformly among runnable
+          threads, seeded; deterministic given the seed. *)
+  | Pct of { seed : int }
+      (** PCT-lite: seeded random thread priorities, always run the
+          highest-priority runnable thread, and at each step demote the
+          running thread below everyone with probability 1/16 (the
+          priority-change points of PCT without knowing the step count
+          in advance).  Deterministic given the seed. *)
 
 type stats = {
   makespan_ns : int;  (** max thread clock at completion *)
@@ -44,7 +117,11 @@ type stats = {
   lock_wait_ns : int;  (** total time threads spent blocked on mutexes *)
 }
 
-val run : ?numa_nodes:int -> threads:int -> (Cpu.t -> unit) -> stats
+val run : ?numa_nodes:int -> ?policy:policy -> threads:int -> (Cpu.t -> unit) -> stats
 (** [run ~threads body] starts [threads] fibers, thread [i] on CPU [i]
     (NUMA node [i * numa_nodes / threads]), and executes them to
-    completion.  Not reentrant. *)
+    completion.  Not reentrant: calling it from inside a fiber raises
+    [Invalid_argument "Sched.run: already running"].  All global
+    scheduler state (active flag, current thread, lock-wait accounting)
+    is reset on entry and on every exit path, so sequential runs in one
+    process cannot leak state into each other. *)

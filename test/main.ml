@@ -22,4 +22,5 @@ let () =
       ("fs-contract", Test_fs_contract.suite);
       ("baselines", Test_baselines.suite);
       ("sanitizer", Test_sanitizer.suite);
+      ("race", Test_race.suite);
     ]

@@ -128,9 +128,71 @@ let test_save_load () =
     (Device.read_string d2 c ~off:4000 ~len:10);
   Sys.remove path
 
+let test_multi_hook () =
+  (* Several observers on one device: all must see every event, in
+     installation order; removing one leaves the others untouched. *)
+  let d = Device.create ~cost:Device.Cost.free ~size:4096 () in
+  let c = cpu () in
+  let a = ref 0 and b = ref 0 and order = ref [] in
+  let ha = Device.add_event_hook d (fun _ _ _ -> incr a; order := `A :: !order) in
+  let hb = Device.add_event_hook d (fun _ _ _ -> incr b; order := `B :: !order) in
+  Device.write_u64 d c ~off:0 7L;
+  Device.persist d c ~off:0 ~len:8;
+  Alcotest.(check int) "both hooks saw every event" !a !b;
+  Alcotest.(check bool) "events flowed" true (!a = 3) (* store, flush, fence *);
+  (match !order with
+  | `B :: `A :: _ -> ()
+  | _ -> Alcotest.fail "hooks must run in installation order");
+  Device.remove_event_hook d ha;
+  Device.write_u64 d c ~off:64 8L;
+  Alcotest.(check int) "removed hook silent" 3 !a;
+  Alcotest.(check int) "remaining hook still fires" 4 !b;
+  Device.remove_event_hook d ha (* unknown/stale ids are ignored *);
+  Device.remove_event_hook d hb;
+  Device.write_u64 d c ~off:128 9L;
+  Alcotest.(check int) "all hooks removed" 4 !b
+
+let test_hook_cpu_tagging () =
+  (* Data events carry the accessing CPU; protocol annotations carry
+     [None]. *)
+  let d = Device.create ~cost:Device.Cost.free ~size:4096 () in
+  let seen = ref [] in
+  let id =
+    Device.add_event_hook d (fun cpu _ ev ->
+        let tag = match cpu with Some (c : Cpu.t) -> c.id | None -> -1 in
+        seen := (tag, ev) :: !seen)
+  in
+  let c3 = Cpu.make ~id:3 () in
+  Device.write_u64 d c3 ~off:0 1L;
+  Device.annotate d Device.Recovery_begin;
+  Device.remove_event_hook d id;
+  (match !seen with
+  | [ (-1, Device.Protocol _); (3, Device.Store _) ] -> ()
+  | _ -> Alcotest.fail "expected a cpu-tagged store then an untagged protocol event")
+
+let test_legacy_set_event_hook () =
+  (* The single-slot interface replaces only its own hook and leaves
+     add_event_hook observers alone. *)
+  let d = Device.create ~cost:Device.Cost.free ~size:4096 () in
+  let c = cpu () in
+  let multi = ref 0 and legacy1 = ref 0 and legacy2 = ref 0 in
+  ignore (Device.add_event_hook d (fun _ _ _ -> incr multi));
+  Device.set_event_hook d (Some (fun _ _ _ -> incr legacy1));
+  Device.write_u64 d c ~off:0 1L;
+  Device.set_event_hook d (Some (fun _ _ _ -> incr legacy2));
+  Device.write_u64 d c ~off:0 2L;
+  Device.set_event_hook d None;
+  Device.write_u64 d c ~off:0 3L;
+  Alcotest.(check int) "first legacy hook saw one store" 1 !legacy1;
+  Alcotest.(check int) "second legacy hook replaced the first" 1 !legacy2;
+  Alcotest.(check int) "multi hook saw all three" 3 !multi
+
 let suite =
   [
     Alcotest.test_case "read/write" `Quick test_rw;
+    Alcotest.test_case "multi hook fan-out" `Quick test_multi_hook;
+    Alcotest.test_case "hook cpu tagging" `Quick test_hook_cpu_tagging;
+    Alcotest.test_case "legacy set_event_hook" `Quick test_legacy_set_event_hook;
     Alcotest.test_case "bounds" `Quick test_bounds;
     Alcotest.test_case "cost accounting" `Quick test_cost_charged;
     Alcotest.test_case "crash: unflushed lost" `Quick test_crash_unflushed_lost;

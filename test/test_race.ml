@@ -1,0 +1,249 @@
+(* Race detector: FastTrack happens-before + Eraser lockset over the
+   scheduler monitor and the device event stream, plus seeded schedule
+   exploration with deterministic replay. *)
+
+open Repro_util
+module Device = Repro_pmem.Device
+module Sched = Repro_sched.Sched
+module Sanitizer = Repro_sanitizer.Sanitizer
+module Stats = Repro_stats.Stats
+module Race = Repro_race.Race
+module Scenarios = Repro_race.Scenarios
+
+let free_dev () = Device.create ~cost:Device.Cost.free ~size:Units.base_page ()
+
+(* An inline two-thread scenario over one annotated DRAM object. *)
+let obj_scenario ?(name = "inline") body =
+  { Race.sc_name = name; sc_threads = 2; sc_prepare = (fun () -> (free_dev (), body)) }
+
+(* -------------------------------------------------------------- *)
+(* Core detection                                                  *)
+
+let test_unlocked_write_write () =
+  let races =
+    Race.check
+      (obj_scenario (fun _cpu ->
+           Sched.access ~obj:"shared" ~write:true ~site:"t.write";
+           Sched.yield ();
+           Sched.access ~obj:"shared" ~write:true ~site:"t.write"))
+  in
+  Alcotest.(check bool) "flagged" true (races <> []);
+  let r = List.hd races in
+  Alcotest.(check string) "location" "shared" r.Race.r_loc;
+  Alcotest.(check bool) "two distinct threads" true
+    (r.r_first.a_thread <> r.r_second.a_thread);
+  Alcotest.(check (list int)) "first lockset empty" [] r.r_first.a_locks;
+  Alcotest.(check (list int)) "second lockset empty" [] r.r_second.a_locks;
+  Alcotest.(check string) "first site" "t.write" r.r_first.a_site;
+  Alcotest.(check string) "second site" "t.write" r.r_second.a_site
+
+let test_read_write_race () =
+  let races =
+    Race.check
+      (obj_scenario (fun cpu ->
+           if cpu.Cpu.id = 0 then Sched.access ~obj:"rw" ~write:true ~site:"t.write"
+           else Sched.access ~obj:"rw" ~write:false ~site:"t.read";
+           Sched.yield ()))
+  in
+  Alcotest.(check bool) "read/write flagged" true (races <> []);
+  let has_read =
+    List.exists
+      (fun (r : Race.race) -> (not r.r_first.a_write) || not r.r_second.a_write)
+      races
+  in
+  Alcotest.(check bool) "one side is the read" true has_read
+
+let test_common_lock_is_clean () =
+  let races =
+    Race.check
+      { Race.sc_name = "hb-lock";
+        sc_threads = 2;
+        sc_prepare =
+          (fun () ->
+            let m = Sched.create_mutex () in
+            ( free_dev (),
+              fun _cpu ->
+                Sched.with_lock m (fun () ->
+                    Sched.access ~obj:"guarded" ~write:true ~site:"t.guarded";
+                    Sched.yield ()) ));
+      }
+  in
+  Alcotest.(check int) "no races under a common lock" 0 (List.length races)
+
+let test_hb_catches_distinct_locks () =
+  (* Two threads write the same object under two different mutexes: the
+     Eraser intersection is empty AND no happens-before edge orders the
+     writes — both passes must agree it is a race, and the report must
+     carry the (non-empty but disjoint) locksets. *)
+  let races =
+    Race.check
+      { Race.sc_name = "two-locks";
+        sc_threads = 2;
+        sc_prepare =
+          (fun () ->
+            let ms = [| Sched.create_mutex (); Sched.create_mutex () |] in
+            ( free_dev (),
+              fun (cpu : Cpu.t) ->
+                Sched.with_lock ms.(cpu.id) (fun () ->
+                    Sched.access ~obj:"split" ~write:true ~site:"t.split";
+                    Sched.yield ()) ));
+      }
+  in
+  Alcotest.(check bool) "flagged" true (races <> []);
+  let r = List.hd races in
+  Alcotest.(check int) "first holds one lock" 1 (List.length r.Race.r_first.a_locks);
+  Alcotest.(check int) "second holds one lock" 1 (List.length r.r_second.a_locks);
+  Alcotest.(check bool) "locks differ" true (r.r_first.a_locks <> r.r_second.a_locks)
+
+let test_pm_same_line_race () =
+  let races = Race.check Scenarios.pm_shared_line in
+  Alcotest.(check bool) "PM line race flagged" true (races <> []);
+  let r = List.hd races in
+  Alcotest.(check bool) "location names the PM range" true
+    (String.length r.Race.r_loc > 3 && String.sub r.r_loc 0 3 = "pm:")
+
+let test_pm_disjoint_lines_clean () =
+  let races =
+    Race.check
+      { Race.sc_name = "pm-disjoint";
+        sc_threads = 3;
+        sc_prepare =
+          (fun () ->
+            let dev = free_dev () in
+            ( dev,
+              fun (cpu : Cpu.t) ->
+                for i = 1 to 3 do
+                  Device.write_u64 dev cpu ~off:(cpu.id * Units.cacheline) (Int64.of_int i);
+                  Sched.yield ()
+                done ));
+      }
+  in
+  Alcotest.(check int) "disjoint cache lines are clean" 0 (List.length races)
+
+(* -------------------------------------------------------------- *)
+(* Scenario suite + exploration                                    *)
+
+let test_clean_suite_50_schedules () =
+  List.iter
+    (fun sc ->
+      let o = Race.explore ~schedules:50 ~seed:42 sc in
+      Alcotest.(check int)
+        (sc.Race.sc_name ^ " clean over 50 schedules")
+        0 (List.length o.o_races);
+      Alcotest.(check int) "schedules counted" 51 o.o_schedules)
+    Scenarios.clean
+
+let test_unlocked_alloc_flagged_with_seed () =
+  (* The seeded planted bug: an unlocked cross-CPU update to a shared
+     allocator structure.  Every report must name both sites, the held
+     locksets, and carry a reproducing seed (baseline reports excepted). *)
+  let o = Race.explore ~schedules:10 ~seed:42 Scenarios.unlocked_alloc in
+  Alcotest.(check bool) "flagged" true (o.o_races <> []);
+  Alcotest.(check bool) "failing seeds recorded" true (o.o_failing_seeds <> []);
+  List.iter
+    (fun (r : Race.race) ->
+      Alcotest.(check bool) "both sites named" true
+        (r.r_first.a_site <> "" && r.r_second.a_site <> "");
+      let s = Race.race_to_string r in
+      Alcotest.(check bool) "report prints locksets" true
+        (String.length s > 0 && String.contains s '{'))
+    o.o_races
+
+let test_replay_is_deterministic () =
+  let o = Race.explore ~schedules:10 ~seed:7 Scenarios.unlocked_alloc in
+  let seed =
+    match o.o_failing_seeds with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "no failing seed to replay"
+  in
+  let norm races = List.map Race.race_to_string races in
+  let a = norm (Race.check ~seed Scenarios.unlocked_alloc) in
+  let b = norm (Race.check ~seed Scenarios.unlocked_alloc) in
+  Alcotest.(check bool) "replay reproduces the race" true (a <> []);
+  Alcotest.(check (list string)) "identical reports from the same seed" a b
+
+let test_policy_of_seed_covers_both () =
+  (match Race.policy_of_seed 4 with
+  | Sched.Random_walk { seed = 4 } -> ()
+  | _ -> Alcotest.fail "even seed should map to Random_walk");
+  match Race.policy_of_seed 7 with
+  | Sched.Pct { seed = 7 } -> ()
+  | _ -> Alcotest.fail "odd seed should map to Pct"
+
+let test_detach_restores_hooks () =
+  let dev = free_dev () in
+  let det = Race.attach dev in
+  Race.detach det;
+  Alcotest.(check bool) "monitor uninstalled" false (Sched.monitored ());
+  (* A post-detach run must observe nothing new. *)
+  let before = Race.accesses_checked det in
+  ignore
+    (Sched.run ~threads:2 (fun cpu -> Device.write_u64 dev cpu ~off:0 1L));
+  Alcotest.(check int) "no events after detach" before (Race.accesses_checked det)
+
+(* -------------------------------------------------------------- *)
+(* Hook composition + stats                                        *)
+
+let test_hooks_compose () =
+  (* Sanitizer + race detector + an ad-hoc counting hook on one device:
+     each must observe every event.  The counting hooks are installed
+     before and after the other observers and must agree exactly. *)
+  let dev = free_dev () in
+  let first = ref 0 and last = ref 0 in
+  let h1 = Device.add_event_hook dev (fun _ _ _ -> incr first) in
+  let san = Sanitizer.attach dev in
+  let det = Race.attach dev in
+  let h2 = Device.add_event_hook dev (fun _ _ _ -> incr last) in
+  ignore
+    (Sched.run ~threads:2 (fun (cpu : Cpu.t) ->
+         let off = cpu.id * Units.cacheline in
+         Device.write_u64 dev cpu ~off 99L;
+         Device.persist dev cpu ~off ~len:8;
+         Sched.yield ()));
+  Race.detach det;
+  let diags = Sanitizer.finish san in
+  Sanitizer.detach san;
+  Device.remove_event_hook dev h1;
+  Device.remove_event_hook dev h2;
+  Alcotest.(check bool) "events flowed" true (!first > 0);
+  Alcotest.(check int) "all hooks saw every event" !first !last;
+  Alcotest.(check bool) "race detector observed the stores" true
+    (Race.accesses_checked det > 0);
+  Alcotest.(check int) "race detector found nothing" 0 (Race.races_found det);
+  Alcotest.(check int) "sanitizer ran clean" 0
+    (List.length (List.filter (fun (d : Sanitizer.diag) -> d.severity = Sanitizer.Error) diags))
+
+let test_stats_counters_published () =
+  Stats.reset ();
+  Stats.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Stats.set_enabled false;
+      Stats.reset ())
+    (fun () ->
+      let o = Race.explore ~schedules:3 ~seed:11 Scenarios.unlocked_alloc in
+      Alcotest.(check bool) "sanity: explore found the bug" true (o.o_races <> []);
+      Alcotest.(check bool) "accesses counted" true
+        (Stats.Counter.get (Stats.Counter.v "race.accesses_checked") > 0);
+      Alcotest.(check bool) "races counted" true
+        (Stats.Counter.get (Stats.Counter.v "race.races_found") > 0);
+      Alcotest.(check int) "schedules counted" 4
+        (Stats.Counter.get (Stats.Counter.v "race.schedules_explored")))
+
+let suite =
+  [
+    Alcotest.test_case "unlocked write/write race" `Quick test_unlocked_write_write;
+    Alcotest.test_case "read/write race" `Quick test_read_write_race;
+    Alcotest.test_case "common lock is clean" `Quick test_common_lock_is_clean;
+    Alcotest.test_case "distinct locks still race" `Quick test_hb_catches_distinct_locks;
+    Alcotest.test_case "PM same-line race" `Quick test_pm_same_line_race;
+    Alcotest.test_case "PM disjoint lines clean" `Quick test_pm_disjoint_lines_clean;
+    Alcotest.test_case "clean suite over 50 schedules" `Slow test_clean_suite_50_schedules;
+    Alcotest.test_case "planted allocator race flagged" `Quick
+      test_unlocked_alloc_flagged_with_seed;
+    Alcotest.test_case "seed replay deterministic" `Quick test_replay_is_deterministic;
+    Alcotest.test_case "policy_of_seed covers both" `Quick test_policy_of_seed_covers_both;
+    Alcotest.test_case "detach restores hooks" `Quick test_detach_restores_hooks;
+    Alcotest.test_case "device hooks compose" `Quick test_hooks_compose;
+    Alcotest.test_case "stats counters published" `Quick test_stats_counters_published;
+  ]

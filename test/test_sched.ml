@@ -118,9 +118,160 @@ let test_deadlock_names_threads () =
   Alcotest.(check bool) "reports the mutex park" true (contains msg "blocked on mutex since");
   Alcotest.(check bool) "reports blocked duration" true (contains msg "stuck for")
 
+let test_run_reentrancy_rejected () =
+  (* Calling run from inside a fiber must fail loudly, and the failed
+     attempt must not poison the outer run or the next one. *)
+  let saw = ref "" in
+  let outer_ran = ref 0 in
+  let _ =
+    Sched.run ~threads:1 (fun _cpu ->
+        incr outer_ran;
+        match Sched.run ~threads:1 (fun _ -> ()) with
+        | _ -> Alcotest.fail "nested run accepted"
+        | exception Invalid_argument m -> saw := m)
+  in
+  Alcotest.(check string) "exact error" "Sched.run: already running" !saw;
+  Alcotest.(check int) "outer body ran" 1 !outer_ran;
+  Alcotest.(check bool) "scheduler idle again" false (Sched.running ());
+  let s = Sched.run ~threads:2 (fun _ -> ()) in
+  Alcotest.(check bool) "scheduler usable afterwards" true (s.makespan_ns >= 0)
+
+let test_fifo_handoff_fairness () =
+  (* Three threads contend one mutex, each holding it for H ns.  FIFO
+     handoff means acquisition in block order, and the analytic wait is
+     exact: thread 1 waits H + handoff, thread 2 waits 2H + 2*handoff
+     (both blocked at the same instant, after charging the lock cost). *)
+  let m = Sched.create_mutex () in
+  let h = 1000 in
+  let order = ref [] in
+  let stats =
+    Sched.run ~threads:3 (fun cpu ->
+        Sched.with_lock m (fun () ->
+            order := cpu.Cpu.id :: !order;
+            Simclock.advance cpu.Cpu.clock h;
+            Sched.yield ()))
+  in
+  Alcotest.(check (list int)) "acquire in block order" [ 0; 1; 2 ] (List.rev !order);
+  Alcotest.(check int) "analytic lock wait" ((3 * h) + (3 * Sched.handoff_ns)) stats.lock_wait_ns
+
+let test_sequential_runs_reset_state () =
+  (* lock_wait accounting and scheduler globals must reset between runs,
+     including after a deadlock error and after a fiber exception. *)
+  let run_once () =
+    let m = Sched.create_mutex () in
+    Sched.run ~threads:3 (fun cpu ->
+        Sched.with_lock m (fun () ->
+            Simclock.advance cpu.Cpu.clock 1000;
+            Sched.yield ()))
+  in
+  let a = run_once () in
+  let b = run_once () in
+  Alcotest.(check int) "lock_wait does not accumulate" a.lock_wait_ns b.lock_wait_ns;
+  (* Deadlocked run: raises, but must leave the scheduler reusable. *)
+  let m = Sched.create_mutex () in
+  (match Sched.run ~threads:2 (fun _ -> Sched.lock m) with
+  | _ -> Alcotest.fail "deadlock not detected"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "idle after deadlock" false (Sched.running ());
+  (* Fiber exception: same guarantee. *)
+  (match Sched.run ~threads:2 (fun _ -> failwith "boom") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "idle after exception" false (Sched.running ());
+  let c = run_once () in
+  Alcotest.(check int) "clean accounting after failures" a.lock_wait_ns c.lock_wait_ns
+
+let test_monitor_observes_everything () =
+  let spawns = ref 0 and finishes = ref 0 in
+  let acquires = ref [] and releases = ref [] and yields = ref 0 in
+  let accesses = ref [] in
+  let monitor =
+    {
+      Sched.on_spawn = (fun ~thread:_ -> incr spawns);
+      on_finish = (fun ~thread:_ -> incr finishes);
+      on_acquire = (fun ~thread ~mutex -> acquires := (thread, mutex) :: !acquires);
+      on_release = (fun ~thread ~mutex -> releases := (thread, mutex) :: !releases);
+      on_yield = (fun ~thread:_ -> incr yields);
+      on_access = (fun ~thread ~obj ~write ~site -> accesses := (thread, obj, write, site) :: !accesses);
+    }
+  in
+  Alcotest.(check bool) "not monitored outside run" false (Sched.monitored ());
+  Sched.access ~obj:"ignored" ~write:true ~site:"outside" (* must be a no-op *);
+  Sched.set_monitor (Some monitor);
+  Fun.protect
+    ~finally:(fun () -> Sched.set_monitor None)
+    (fun () ->
+      let m = Sched.create_mutex () in
+      let _ =
+        Sched.run ~threads:2 (fun _cpu ->
+            Sched.with_lock m (fun () ->
+                Sched.access ~obj:"x" ~write:true ~site:"mon.test");
+            Sched.yield ())
+      in
+      Alcotest.(check int) "spawns" 2 !spawns;
+      Alcotest.(check int) "finishes" 2 !finishes;
+      Alcotest.(check int) "acquires" 2 (List.length !acquires);
+      Alcotest.(check int) "releases" 2 (List.length !releases);
+      Alcotest.(check int) "yields" 2 !yields;
+      Alcotest.(check int) "accesses" 2 (List.length !accesses);
+      let _, obj, write, site = List.hd !accesses in
+      Alcotest.(check string) "access obj" "x" obj;
+      Alcotest.(check bool) "access is a write" true write;
+      Alcotest.(check string) "access site" "mon.test" site;
+      List.iter
+        (fun (th, mx) ->
+          Alcotest.(check int) "acquire names the mutex" (Sched.mutex_id m) mx;
+          Alcotest.(check bool) "thread id valid" true (th = 0 || th = 1))
+        !acquires);
+  Alcotest.(check bool) "ignored pre-run access" true
+    (List.for_all (fun (_, obj, _, _) -> obj <> "ignored") !accesses)
+
+let test_exploration_policies_complete () =
+  (* Random_walk and Pct must run every thread to completion even under
+     lock contention, and be deterministic functions of their seed. *)
+  let trace policy =
+    let m = Sched.create_mutex () in
+    let buf = Buffer.create 64 in
+    let _ =
+      Sched.run ~policy ~threads:4 (fun cpu ->
+          for _ = 1 to 3 do
+            Sched.with_lock m (fun () ->
+                Buffer.add_string buf (string_of_int cpu.Cpu.id);
+                Sched.yield ())
+          done)
+    in
+    Buffer.contents buf
+  in
+  let rw = trace (Sched.Random_walk { seed = 5 }) in
+  Alcotest.(check int) "random walk ran all work" 12 (String.length rw);
+  Alcotest.(check string) "random walk deterministic" rw
+    (trace (Sched.Random_walk { seed = 5 }));
+  let pct = trace (Sched.Pct { seed = 5 }) in
+  Alcotest.(check int) "pct ran all work" 12 (String.length pct);
+  Alcotest.(check string) "pct deterministic" pct (trace (Sched.Pct { seed = 5 }));
+  (* At least one seed must deviate from the earliest-clock order. *)
+  let base = trace Sched.Earliest_clock in
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let deviates =
+    List.exists (fun s -> trace (Sched.Random_walk { seed = s }) <> base) seeds
+    || List.exists (fun s -> trace (Sched.Pct { seed = s }) <> base) seeds
+  in
+  Alcotest.(check bool) "exploration perturbs the schedule" true deviates
+
+let test_mutex_ids_distinct () =
+  let a = Sched.create_mutex () and b = Sched.create_mutex () in
+  Alcotest.(check bool) "fresh mutexes get fresh ids" true
+    (Sched.mutex_id a <> Sched.mutex_id b)
+
 let suite =
   [
     Alcotest.test_case "all threads run" `Quick test_all_run;
+    Alcotest.test_case "run reentrancy rejected" `Quick test_run_reentrancy_rejected;
+    Alcotest.test_case "FIFO handoff fairness" `Quick test_fifo_handoff_fairness;
+    Alcotest.test_case "sequential runs reset state" `Quick test_sequential_runs_reset_state;
+    Alcotest.test_case "monitor observes everything" `Quick test_monitor_observes_everything;
+    Alcotest.test_case "exploration policies complete" `Quick test_exploration_policies_complete;
+    Alcotest.test_case "mutex ids distinct" `Quick test_mutex_ids_distinct;
     Alcotest.test_case "deadlock names stuck threads" `Quick test_deadlock_names_threads;
     Alcotest.test_case "clock isolation" `Quick test_clock_isolation;
     Alcotest.test_case "makespan" `Quick test_makespan_is_max;
