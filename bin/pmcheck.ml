@@ -8,16 +8,23 @@
    `pmcheck racecheck` runs the data-race detector over the concurrency
    scenario suite, exploring seeded thread schedules.
 
+   `pmcheck faultcheck` runs the media-fault campaign: seeded bit flips,
+   poisoned lines and torn words planted in WineFS images, verifying each
+   one is repaired or safely refused — never silently absorbed.
+
    Examples:
      pmcheck                       # all ACE workloads + micro suite, report
      pmcheck --seq 2               # only two-op ACE sequences
      pmcheck --strict              # exit at the first violation
      pmcheck --rules R1,R4        # check a subset of the rules
      pmcheck racecheck             # explore 50 schedules per scenario
-     pmcheck racecheck --seed 7    # replay the single schedule seed 7 picks *)
+     pmcheck racecheck --seed 7    # replay the single schedule seed 7 picks
+     pmcheck faultcheck            # fault campaign over the ACE seq-1 corpus
+     pmcheck faultcheck --seed 9   # replay the campaign seed 9 determines *)
 
 open Cmdliner
 module Ace = Repro_crashcheck.Ace
+module Faultcheck = Repro_crashcheck.Faultcheck
 module Sanitize = Repro_crashcheck.Sanitize
 module Sanitizer = Sanitize.Sanitizer
 module Race = Repro_race.Race
@@ -157,6 +164,49 @@ let run_racecheck schedules base_seed replay_seed scenario_filter verbose =
     1
   end
 
+(* faultcheck: plant seeded media faults and verify each is repaired or
+   safely refused.  Exit 0 clean, 1 when any fault was silently absorbed
+   or mishandled, 2 on usage errors — so the runtest alias treats a lost
+   detection exactly like a failing test. *)
+let run_faultcheck seed seq torn_fences verbose =
+  let workloads =
+    match seq with
+    | 0 -> Ace.all
+    | 1 -> Ace.seq1
+    | 2 -> Ace.seq2
+    | 3 -> Ace.seq3
+    | n ->
+        Printf.eprintf "--seq must be 1, 2, 3, or 0 for all (got %d)\n" n;
+        exit 2
+  in
+  if torn_fences < 0 then begin
+    Printf.eprintf "--torn-fences must be non-negative (got %d)\n" torn_fences;
+    exit 2
+  end;
+  Printf.printf "pmcheck faultcheck: %d workloads, torn crashes at %d fences (seed %d)\n%!"
+    (List.length workloads) torn_fences seed;
+  let r = Faultcheck.run ~seed ~workloads ~torn_fences () in
+  if verbose || r.findings <> [] then
+    List.iter
+      (fun (f : Faultcheck.finding) ->
+        Printf.printf "  FINDING %s/%s: %s\n      %s\n" f.f_workload f.f_scenario f.f_fault
+          f.f_diagnosis)
+      r.findings;
+  Printf.printf
+    "faultcheck: %d scenarios, %d faults planted, %d repaired, %d refused, %d finding(s) \
+     (seed %d)\n"
+    r.scenarios_run r.faults_planted r.repaired r.refused
+    (List.length r.findings) r.seed;
+  if r.findings = [] then begin
+    Printf.printf "Every planted fault was repaired or safely refused (replay: --seed %d).\n"
+      r.seed;
+    0
+  end
+  else begin
+    Printf.printf "Silent or mishandled faults detected (replay: --seed %d).\n" r.seed;
+    1
+  end
+
 let lint_term =
   let seq = Arg.(value & opt int 0 & info [ "seq" ] ~doc:"ACE workload length (1-3; 0 = all)") in
   let strict =
@@ -193,6 +243,27 @@ let racecheck_cmd =
     (Cmd.info "racecheck" ~doc:"Data-race detector over the concurrency scenario suite")
     Term.(const run_racecheck $ schedules $ base_seed $ replay_seed $ scenario $ verbose)
 
+let faultcheck_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed (printed in every report)")
+  in
+  let seq =
+    Arg.(value & opt int 1 & info [ "seq" ] ~doc:"ACE workload length (1-3; 0 = all)")
+  in
+  let torn_fences =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "torn-fences" ] ~doc:"Torn-word crash points per workload (0 disables)")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every finding, even when clean")
+  in
+  Cmd.v
+    (Cmd.info "faultcheck"
+       ~doc:"Media-fault campaign: verify faults are repaired or safely refused")
+    Term.(const run_faultcheck $ seed $ seq $ torn_fences $ verbose)
+
 let () =
   let info = Cmd.info "pmcheck" ~doc:"Concurrency and persistence checkers for the WineFS PM stack" in
-  exit (Cmd.eval' (Cmd.group ~default:lint_term info [ racecheck_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default:lint_term info [ racecheck_cmd; faultcheck_cmd ]))

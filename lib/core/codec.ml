@@ -4,6 +4,8 @@ let max_name = 47
 let u64 buf off v = Bytes.set_int64_le buf off (Int64.of_int v)
 let g64 buf off = Int64.to_int (Bytes.get_int64_le buf off)
 
+module Crc = Repro_util.Crc32c
+
 module Superblock = struct
   type t = {
     size : int;
@@ -15,7 +17,10 @@ module Superblock = struct
 
   let magic = 0x57494E4546532121L (* "WINEFS!!" *)
   let bytes = 64
+  let csum_off = 40
 
+  (* CRC32C over the whole 64B block with the csum field zeroed: every
+     non-checksum bit is covered, so any single-bit flip is detected. *)
   let encode t =
     let b = Bytes.make bytes '\000' in
     Bytes.set_int64_le b 0 magic;
@@ -23,20 +28,27 @@ module Superblock = struct
     u64 b 16 t.cpus;
     u64 b 24 t.inodes_per_cpu;
     u64 b 32 ((if t.mode_strict then 1 else 0) lor if t.clean then 2 else 0);
+    Crc.set_zeroed b ~off:0 ~len:bytes ~csum_off;
     b
 
-  let decode b =
-    if Bytes.length b < bytes || Bytes.get_int64_le b 0 <> magic then None
-    else
-      let flags = g64 b 32 in
-      Some
-        {
-          size = g64 b 8;
-          cpus = g64 b 16;
-          inodes_per_cpu = g64 b 24;
-          mode_strict = flags land 1 <> 0;
-          clean = flags land 2 <> 0;
-        }
+  let decode_fields b =
+    let flags = g64 b 32 in
+    {
+      size = g64 b 8;
+      cpus = g64 b 16;
+      inodes_per_cpu = g64 b 24;
+      mode_strict = flags land 1 <> 0;
+      clean = flags land 2 <> 0;
+    }
+
+  (* Distinguishes "not a WineFS image" from "a WineFS superblock whose
+     checksum fails" — mount repairs the latter from the replica. *)
+  let decode_checked b =
+    if Bytes.length b < bytes || Bytes.get_int64_le b 0 <> magic then `Bad_magic
+    else if not (Crc.verify_zeroed b ~off:0 ~len:bytes ~csum_off) then `Bad_csum
+    else `Ok (decode_fields b)
+
+  let decode b = match decode_checked b with `Ok t -> Some t | `Bad_magic | `Bad_csum -> None
 end
 
 module Inode = struct
@@ -51,7 +63,13 @@ module Inode = struct
   }
 
   let header_bytes = 64
+  let csum_off = 56
 
+  (* The header is exactly one cache line; the CRC at offset 56 covers all
+     64 bytes (csum field zeroed), so a flipped [valid] bit cannot silently
+     vanish or resurrect an inode.  Freed inodes keep a valid checksum
+     (valid=false header), and never-used slots are all-zero — the scrub
+     treats any other non-verifying slot as corrupt. *)
   let encode_header h =
     let b = Bytes.make header_bytes '\000' in
     let flags =
@@ -64,7 +82,14 @@ module Inode = struct
     u64 b 16 h.nlink;
     u64 b 24 h.extent_count;
     u64 b 32 h.overflow;
+    Crc.set_zeroed b ~off:0 ~len:header_bytes ~csum_off;
     b
+
+  let header_csum_ok b = Crc.verify_zeroed b ~off:0 ~len:header_bytes ~csum_off
+
+  let header_is_blank b =
+    let rec blank i = i >= header_bytes || (Bytes.get b i = '\000' && blank (i + 1)) in
+    blank 0
 
   let decode_header b =
     let flags = g64 b 0 in

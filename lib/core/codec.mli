@@ -20,9 +20,20 @@ module Superblock : sig
   }
 
   val bytes : int
+
+  val csum_off : int
+  (** Byte offset of the CRC32C field (40); the checksum covers the whole
+      64B block with this field zeroed. *)
+
   val encode : t -> bytes
+  (** Includes the checksum. *)
+
   val decode : bytes -> t option
-  (** [None] on bad magic. *)
+  (** [None] on bad magic or bad checksum. *)
+
+  val decode_checked : bytes -> [ `Ok of t | `Bad_magic | `Bad_csum ]
+  (** Like {!decode} but distinguishes a foreign image from a corrupt
+      superblock, so mount can repair the latter from the replica. *)
 end
 
 module Inode : sig
@@ -39,8 +50,21 @@ module Inode : sig
   val header_bytes : int
   (** 64 — the journaled unit for inode updates. *)
 
+  val csum_off : int
+  (** Byte offset of the header CRC32C field (56). *)
+
   val encode_header : header -> bytes
+  (** Includes the checksum over all 64 bytes (csum field zeroed). *)
+
   val decode_header : bytes -> header
+  (** Does not verify the checksum; see {!header_csum_ok}. *)
+
+  val header_csum_ok : bytes -> bool
+  (** Does the stored CRC match the header bytes?  False for blank
+      (never-written) slots — test {!header_is_blank} first. *)
+
+  val header_is_blank : bytes -> bool
+  (** All 64 bytes zero: an inode slot that has never held a header. *)
 
   val extent_slot_off : int -> int
   (** Byte offset within the 256B inode of inline extent slot [i]. *)

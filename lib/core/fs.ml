@@ -88,7 +88,24 @@ type t = {
   txn_counter : Journal.Txn_counter.t;
   mutable rewrite_queue : int list; (* inos queued for reactive rewriting *)
   mutable recovery_ns : int;
+  mutable read_only : bool;
+      (* degraded mount: corruption was detected that could not be
+         repaired; every mutating operation fails with EROFS *)
+  bad_inos : (int, string) Hashtbl.t; (* ino -> why it was refused *)
 }
+
+(* fault.* counters: detections/repairs/refusals observed by the scrub and
+   by read paths hitting poisoned lines.  Mirrored into the global stats
+   registry so bench artifacts and [winefs_cli stats] surface them. *)
+let count_fault t name n =
+  if n > 0 then begin
+    Counters.add t.counters name n;
+    if Stats.enabled () then Stats.counter_add name n
+  end
+
+let require_writable t =
+  if t.read_only then
+    Types.err EROFS "file system is degraded (mounted read-only after media errors)"
 
 (* ------------------------------------------------------------------ *)
 (* Small helpers                                                       *)
@@ -132,13 +149,22 @@ let meta_write t cpu txn ~addr (data : bytes) =
 let persist_header t cpu txn f =
   meta_write t cpu txn ~addr:(inode_addr t f.ino) (Codec.Inode.encode_header (header_of f))
 
-(* Size-only update: one 8-byte in-place write with an inline undo entry —
-   the fine-grained journaling that keeps WineFS's append path cheap
-   (§3.5).  The size field lives at offset 8 of the header. *)
+(* Size-only update: the fine-grained journaling that keeps WineFS's
+   append path cheap (§3.5) — two 8-byte in-place writes with inline undo
+   entries (the size word at offset 8 and the checksum word at 56), not a
+   full header re-journal.  The checksum is recomputed over the header's
+   current device bytes so fields this path does not touch (extent_count
+   may lag the record map until the next full header persist) stay
+   covered exactly as stored. *)
 let persist_size t cpu txn f =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 (Int64.of_int f.size);
-  meta_write t cpu txn ~addr:(inode_addr t f.ino + 8) b
+  let addr = inode_addr t f.ino in
+  let hdr = Bytes.create Codec.Inode.header_bytes in
+  Device.read t.dev cpu ~off:addr ~len:Codec.Inode.header_bytes ~dst:hdr ~dst_off:0;
+  Bytes.set_int64_le hdr 8 (Int64.of_int f.size);
+  Crc32c.set_zeroed hdr ~off:0 ~len:Codec.Inode.header_bytes ~csum_off:Codec.Inode.csum_off;
+  meta_write t cpu txn ~addr:(addr + 8) (Bytes.sub hdr 8 8);
+  meta_write t cpu txn ~addr:(addr + Codec.Inode.csum_off)
+    (Bytes.sub hdr Codec.Inode.csum_off 8)
 
 let asrc_bit = 1 lsl 62
 
@@ -171,6 +197,9 @@ let note ~obj ~write ~site = if Sched.monitored () then Sched.access ~obj ~write
 
 let find_file t ino =
   note ~obj:"fs.files" ~write:false ~site:"fs.find_file";
+  (match Hashtbl.find_opt t.bad_inos ino with
+  | Some why -> Types.err EIO "inode %d refused by scrub: %s" ino why
+  | None -> ());
   match Hashtbl.find_opt t.files ino with
   | Some f -> f
   | None -> Types.err EBADF "stale inode %d" ino
@@ -596,9 +625,15 @@ let write_sb t cpu ~clean =
     }
   in
   let b = Codec.Superblock.encode sb in
+  (* Primary + replica, both persisted at write time: mount's recovery
+     reads must only ever see durable copies, and either copy can repair
+     the other. *)
   Device.with_site t.dev site_sb (fun () ->
       Device.write t.dev cpu ~off:0 ~src:b ~src_off:0 ~len:(Bytes.length b);
-      Device.persist t.dev cpu ~off:0 ~len:(Bytes.length b))
+      Device.persist t.dev cpu ~off:0 ~len:(Bytes.length b);
+      Device.write t.dev cpu ~off:Layout.sb_replica_off ~src:b ~src_off:0
+        ~len:(Bytes.length b);
+      Device.persist t.dev cpu ~off:Layout.sb_replica_off ~len:(Bytes.length b))
 
 let fresh_state dev cfg layout alloc txn_counter journals =
   let pcpu =
@@ -618,6 +653,8 @@ let fresh_state dev cfg layout alloc txn_counter journals =
     txn_counter;
     rewrite_queue = [];
     recovery_ns = 0;
+    read_only = false;
+    bad_inos = Hashtbl.create 8;
   }
 
 let invalidate_serial t cpu =
@@ -733,12 +770,42 @@ let mount dev cfg =
   (* Everything read from here until the state is rebuilt is recovery
      input: the lint flags any line that was not durable. *)
   Device.annotate dev Recovery_begin;
-  let sb_buf = Bytes.create Codec.Superblock.bytes in
-  Device.read dev cpu ~off:0 ~len:Codec.Superblock.bytes ~dst:sb_buf ~dst_off:0;
+  (* Scrub bookkeeping: every corruption the mount encounters is counted
+     as detected, then either repaired (from a redundant copy) or refused
+     (the affected object — or the whole mount — degrades). *)
+  let detected = ref 0 and repaired = ref 0 and refused = ref 0 in
+  let degraded = ref false in
+  (* Superblock: primary at 0, replica at Layout.sb_replica_off; a
+     poisoned line reads as a checksum-class failure.  Either good copy
+     repairs the other in place (a full-line store clears poison). *)
+  let sb_read off =
+    let b = Bytes.create Codec.Superblock.bytes in
+    match Device.read dev cpu ~off ~len:Codec.Superblock.bytes ~dst:b ~dst_off:0 with
+    | () -> Codec.Superblock.decode_checked b
+    | exception Device.Media_error _ -> `Bad_csum
+  in
+  let sb_repair off sb =
+    let b = Codec.Superblock.encode sb in
+    Device.write dev cpu ~off ~src:b ~src_off:0 ~len:(Bytes.length b);
+    Device.persist dev cpu ~off ~len:(Bytes.length b);
+    incr repaired
+  in
   let sb =
-    match Codec.Superblock.decode sb_buf with
-    | Some sb -> sb
-    | None -> Types.err EINVAL "not a WineFS image"
+    match (sb_read 0, sb_read Layout.sb_replica_off) with
+    | `Ok sb, `Ok _ -> sb
+    | `Ok sb, (`Bad_csum | `Bad_magic) ->
+        incr detected;
+        sb_repair Layout.sb_replica_off sb;
+        sb
+    | (`Bad_csum | `Bad_magic), `Ok sb ->
+        incr detected;
+        sb_repair 0 sb;
+        sb
+    | `Bad_magic, `Bad_magic -> Types.err EINVAL "not a WineFS image"
+    | _ ->
+        incr detected;
+        incr refused;
+        Types.err EIO "superblock corrupt in both copies"
   in
   let cfg = { cfg with Types.cpus = sb.cpus; inodes_per_cpu = sb.inodes_per_cpu } in
   let layout = Layout.compute ~size:sb.size ~cpus:sb.cpus ~inodes_per_cpu:sb.inodes_per_cpu in
@@ -746,17 +813,40 @@ let mount dev cfg =
      descending global txn-id order (§3.6 "Journal Recovery"). *)
   let txn_counter = Journal.Txn_counter.create () in
   let journals =
-    Array.init sb.cpus (fun c ->
-        Journal.attach dev txn_counter ~off:layout.journal_off.(c)
-          ~entries:layout.journal_entries ~copy_bytes:layout.journal_copy_bytes)
+    try
+      Array.init sb.cpus (fun c ->
+          Journal.attach dev txn_counter ~off:layout.journal_off.(c)
+            ~entries:layout.journal_entries ~copy_bytes:layout.journal_copy_bytes)
+    with
+    | Device.Media_error { off } ->
+        (* A poisoned journal header leaves no cursor to recover from. *)
+        Types.err EIO "journal header unreadable (media error at %#x)" off
+    | Invalid_argument _ -> Types.err EIO "journal header corrupt (bad magic)"
   in
   let pendings =
     Array.to_list journals
-    |> List.filter_map (fun j -> Journal.scan_pending j cpu |> Option.map (fun p -> (j, p)))
+    |> List.filter_map (fun j ->
+           match Journal.scan_pending j cpu with
+           | p -> Option.map (fun p -> (j, p)) p
+           | exception Device.Media_error _ ->
+               (* Poisoned journal area: recovery for this CPU's journal is
+                  impossible — refuse it and degrade rather than guess. *)
+               incr detected;
+               incr refused;
+               degraded := true;
+               None)
     |> List.sort (fun (_, a) (_, b) -> compare b.Journal.txn_id a.Journal.txn_id)
   in
   List.iter (fun (j, p) -> Journal.rollback_pending j cpu p) pendings;
   Array.iter (fun j -> Journal.reset j cpu) journals;
+  (* Entries the scans rejected by CRC: each is a detected corruption whose
+     transaction was demoted to uncommitted and rolled back — a repair. *)
+  Array.iter
+    (fun j ->
+      let n = Journal.csum_failures j in
+      detected := !detected + n;
+      repaired := !repaired + n)
+    journals;
   (* Phase 3 below needs the allocator last; build state with a placeholder
      then restore it. *)
   let alloc = Alloc.restore ~cpus:sb.cpus ~regions:layout.stripes ~free:[] in
@@ -764,34 +854,72 @@ let mount dev cfg =
   (* Phase 2: scan the per-CPU inode tables (parallel in the paper; the
      simulated cost model charges the reads). *)
   let used = ref [] in
+  let refuse_ino ino why =
+    incr detected;
+    incr refused;
+    degraded := true;
+    Hashtbl.replace t.bad_inos ino why
+  in
   for c = 0 to sb.cpus - 1 do
     let free = ref [] in
     for idx = 0 to layout.inodes_per_cpu - 1 do
       let ino = Layout.ino_of layout ~cpu:c ~idx in
       let hb = Bytes.create Codec.Inode.header_bytes in
-      Device.read dev cpu ~off:(Layout.inode_off layout ino) ~len:Codec.Inode.header_bytes
-        ~dst:hb ~dst_off:0;
-      let h = Codec.Inode.decode_header hb in
-      if h.valid then begin
-        let f = load_file t cpu ino h in
-        Int_map.iter f.records (fun _ r -> used := (r.phys, r.len) :: !used);
-        List.iter (fun blk -> used := (blk, block) :: !used) f.overflow
-      end
-      else free := idx :: !free
+      match
+        Device.read dev cpu ~off:(Layout.inode_off layout ino) ~len:Codec.Inode.header_bytes
+          ~dst:hb ~dst_off:0
+      with
+      | exception Device.Media_error _ -> refuse_ino ino "poisoned inode header"
+      | () ->
+          if Codec.Inode.header_is_blank hb then free := idx :: !free
+          else if not (Codec.Inode.header_csum_ok hb) then
+            (* A non-blank header failing its CRC cannot be trusted in any
+               field — the corrupt bit may be [valid] itself — so the slot
+               is never scrubbed or reused, only refused. *)
+            refuse_ino ino "inode header failed CRC"
+          else begin
+            let h = Codec.Inode.decode_header hb in
+            if h.valid then begin
+              match load_file t cpu ino h with
+              | f ->
+                  Int_map.iter f.records (fun _ r -> used := (r.phys, r.len) :: !used);
+                  List.iter (fun blk -> used := (blk, block) :: !used) f.overflow
+              | exception Device.Media_error _ ->
+                  note ~obj:"fs.files" ~write:true ~site:"fs.scrub";
+                  Hashtbl.remove t.files ino;
+                  refuse_ino ino "media error loading extent metadata"
+            end
+            else free := idx :: !free
+          end
     done;
     t.pcpu.(c).free_inodes <- List.rev !free
   done;
+  if Hashtbl.mem t.bad_inos root_ino then Types.err EIO "corrupt image: root inode refused";
   if not (Hashtbl.mem t.files root_ino) then Types.err EINVAL "corrupt image: no root";
-  (* Directory indexes. *)
-  Hashtbl.iter (fun _ f -> if f.dir <> None then load_dir_index t cpu f) t.files;
+  (* Directory indexes.  A dentry block on a poisoned line refuses the
+     directory (paths through it then fail with EIO) but not the mount. *)
+  Hashtbl.iter
+    (fun _ f ->
+      if f.dir <> None then
+        try load_dir_index t cpu f
+        with Device.Media_error _ ->
+          if f.ino = root_ino then Types.err EIO "corrupt image: root directory unreadable";
+          refuse_ino f.ino "media error reading directory blocks")
+    t.files;
   (* Phase 3: allocator — from the serialized free list when the unmount
      was clean, otherwise recomputed from the used-extent set. *)
   let serial_ok =
     if not sb.clean then None
     else begin
       let buf = Bytes.create layout.serial_len in
-      Device.read dev cpu ~off:layout.serial_off ~len:layout.serial_len ~dst:buf ~dst_off:0;
-      Codec.Serial.decode buf
+      match Device.read dev cpu ~off:layout.serial_off ~len:layout.serial_len ~dst:buf ~dst_off:0 with
+      | () -> Codec.Serial.decode buf
+      | exception Device.Media_error _ ->
+          (* The serialized free list is redundant with a scan: repair by
+             recomputing from the used-extent set. *)
+          incr detected;
+          incr repaired;
+          None
     end
   in
   (* Metadata-region blocks rebuild their own free list; data extents
@@ -827,12 +955,22 @@ let mount dev cfg =
   Repro_rbtree.Extent_tree.iter meta_shadow (fun ~off ~len ->
       Repro_rbtree.Extent_tree.insert_free t.meta_free ~off ~len);
   Device.annotate dev Recovery_end;
-  invalidate_serial t cpu;
-  write_sb t cpu ~clean:false;
+  t.read_only <- !degraded;
+  count_fault t "fault.detected" !detected;
+  count_fault t "fault.repaired" !repaired;
+  count_fault t "fault.refused" !refused;
+  (* A degraded mount must not write: the dirty-superblock stamp and the
+     serial-area invalidation are both mutations. *)
+  if not t.read_only then begin
+    invalidate_serial t cpu;
+    write_sb t cpu ~clean:false
+  end;
   t.recovery_ns <- Simclock.now cpu.clock - t0;
   t
 
 let unmount t cpu =
+  if t.read_only then ()
+  else begin
   (* Serialize the allocator free lists (§3.6 "Crash Recovery and
      unmount"); fall back to scan-on-mount when they do not fit. *)
   (match Codec.Serial.encode (Alloc.snapshot t.alloc) ~capacity_bytes:t.layout.serial_len with
@@ -843,11 +981,14 @@ let unmount t cpu =
           Device.persist t.dev cpu ~off:t.layout.serial_off ~len:(Bytes.length b))
   | None -> invalidate_serial t cpu);
   write_sb t cpu ~clean:true
+  end
 
 let recovery_ns t = t.recovery_ns
 let device t = t.dev
 let config t = t.cfg
 let counters t = t.counters
+let read_only t = t.read_only
+let refused_inodes t = Hashtbl.length t.bad_inos
 
 (* ------------------------------------------------------------------ *)
 (* Namespace operations                                                *)
@@ -855,6 +996,7 @@ let counters t = t.counters
 let mkdir t cpu path =
   Stats.span ~op:"mkdir" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let parent, name = resolve_parent t cpu path in
   Sched.with_lock parent.lock (fun () ->
       ignore (create_node t cpu parent name Types.Directory ~xattr_align:false));
@@ -863,6 +1005,7 @@ let mkdir t cpu path =
 let create t cpu path =
   Stats.span ~op:"create" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let parent, name = resolve_parent t cpu path in
   let f =
     Sched.with_lock parent.lock (fun () ->
@@ -878,6 +1021,7 @@ let free_file_space t f =
 let unlink t cpu path =
   Stats.span ~op:"unlink" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let parent, name = resolve_parent t cpu path in
   Sched.with_lock parent.lock (fun () ->
       let idx = Option.get parent.dir in
@@ -909,6 +1053,7 @@ let unlink t cpu path =
 let rmdir t cpu path =
   Stats.span ~op:"rmdir" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let parent, name = resolve_parent t cpu path in
   Sched.with_lock parent.lock (fun () ->
       let idx = Option.get parent.dir in
@@ -935,6 +1080,7 @@ let rmdir t cpu path =
 let rename t cpu ~old_path ~new_path =
   Stats.span ~op:"rename" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let src_parent, src_name = resolve_parent t cpu old_path in
   let dst_parent, dst_name = resolve_parent t cpu new_path in
   (* Lock ordering by inode number prevents ABBA deadlocks. *)
@@ -1034,6 +1180,7 @@ let exists t cpu path =
 let openf t cpu path (flags : Types.open_flags) =
   Stats.span ~op:"open" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  if flags.wr || flags.creat || flags.trunc then require_writable t;
   match resolve t cpu path with
   | ino ->
       if flags.creat && flags.excl then Types.err EEXIST "%s" path;
@@ -1221,6 +1368,7 @@ let zero_uncovered t cpu f holes ~off ~len =
 let pwrite t cpu fd ~off ~src =
   Stats.span ~op:"pwrite" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let e = Fd_table.get t.fds fd in
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
   let f = find_file t e.ino in
@@ -1355,7 +1503,14 @@ let pread t cpu fd ~off ~len =
       match lookup_run f ~file_off:!cur with
       | Some (phys, run) ->
           let n = min (off + len - !cur) run in
-          Device.read t.dev cpu ~off:phys ~len:n ~dst ~dst_off:(!cur - off);
+          (try Device.read t.dev cpu ~off:phys ~len:n ~dst ~dst_off:(!cur - off)
+           with Device.Media_error { off = bad } ->
+             (* Simulated MCE: never return made-up bytes — the read is
+                refused with EIO, as a DAX read of a poisoned line would
+                be. *)
+             count_fault t "fault.detected" 1;
+             count_fault t "fault.refused" 1;
+             Types.err EIO "media error at %#x reading ino %d" bad f.ino);
           cur := !cur + n
       | None ->
           (* Hole: zeros. *)
@@ -1389,6 +1544,7 @@ let fsync t cpu fd =
 let fallocate t cpu fd ~off ~len =
   Stats.span ~op:"fallocate" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let e = Fd_table.get t.fds fd in
   let f = find_file t e.ino in
   if off < 0 || len <= 0 then Types.err EINVAL "bad range";
@@ -1405,6 +1561,7 @@ let fallocate t cpu fd ~off ~len =
 let ftruncate t cpu fd new_size =
   Stats.span ~op:"ftruncate" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let e = Fd_table.get t.fds fd in
   let f = find_file t e.ino in
   if new_size < 0 then Types.err EINVAL "negative size";
@@ -1455,6 +1612,8 @@ let mmap_backing t fd : Vmem.backing =
             | Some (phys, run) when run >= block -> Vmem.Base phys
             | _ -> Vmem.Sigbus
           end
+          else if t.read_only then Vmem.Sigbus
+            (* degraded: faulting a hole would allocate — refuse *)
           else begin
             (* Hole: allocate a whole aligned extent at fault time so the
                chunk maps as a hugepage (LMDB-style sparse files win here). *)
@@ -1484,6 +1643,7 @@ let mmap_backing t fd : Vmem.backing =
     else begin
       match lookup_run f ~file_off with
       | Some (phys, _) -> Vmem.Base phys
+      | None when t.read_only -> Vmem.Sigbus
       | None -> (
           match Alloc.alloc t.alloc ~cpu:(acpu t cpu) ~len:block ~prefer_aligned:false with
           | Some [ ext ] ->
@@ -1498,6 +1658,7 @@ let mmap_backing t fd : Vmem.backing =
 let set_xattr_align t cpu path v =
   Stats.span ~op:"set_xattr_align" cpu @@ fun () ->
   Cost.charge_syscall cpu;
+  require_writable t;
   let ino = resolve t cpu path in
   let f = find_file t ino in
   Sched.with_lock f.lock (fun () ->
@@ -1578,6 +1739,8 @@ let rewrite_one t cpu f =
             true)
 
 let run_rewriter t cpu =
+  if t.read_only then 0
+  else begin
   note ~obj:"fs.rewrite_queue" ~write:true ~site:"fs.run_rewriter";
   let queue = t.rewrite_queue in
   t.rewrite_queue <- [];
@@ -1595,6 +1758,7 @@ let run_rewriter t cpu =
                 if rewrite_one t cpu f then incr rewritten))
     queue;
   !rewritten
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

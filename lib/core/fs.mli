@@ -19,3 +19,15 @@ val run_rewriter : t -> Repro_util.Cpu.t -> int
 val rewrite_queue_length : t -> int
 (** Files queued for rewriting (queued by the fault path when it finds a
     fragmented memory-mapped file). *)
+
+val read_only : t -> bool
+(** Did the mount-time scrub degrade this mount to read-only?  True when
+    corruption was detected that could not be repaired from a redundant
+    copy (superblock replica, journal rollback); every mutating operation
+    then fails with [EROFS], and reads of refused objects fail with
+    [EIO].  Scrub activity is counted under the [fault.detected] /
+    [fault.repaired] / [fault.refused] counters. *)
+
+val refused_inodes : t -> int
+(** Inodes the scrub refused (corrupt header, poisoned extent metadata or
+    directory blocks); accessing one fails with [EIO]. *)

@@ -21,6 +21,11 @@ let inode_bytes = 256
 let inline_extents = 8
 let sb_bytes = 4096
 
+(* The 64B superblock replica lives in the second half of the (otherwise
+   unused) 4K superblock page — no layout change, and far enough from the
+   primary that one corrupt line never takes out both copies. *)
+let sb_replica_off = sb_bytes / 2
+
 let compute ~size ~cpus ~inodes_per_cpu =
   if cpus <= 0 then invalid_arg "Layout.compute: non-positive cpus";
   (* Clamp metadata to at most a quarter of the partition. *)

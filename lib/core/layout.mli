@@ -28,6 +28,10 @@ type t = {
 val inode_bytes : int
 (** 256. *)
 
+val sb_replica_off : int
+(** Device offset of the superblock replica (2048): the second half of the
+    4K superblock page, so mount can repair either copy from the other. *)
+
 val inline_extents : int
 (** Extents stored inline in the inode (8); more spill to overflow blocks. *)
 

@@ -1,0 +1,312 @@
+(* Media-fault campaign: plant bit flips, torn words and poisoned lines in
+   WineFS images, remount (or crash-and-remount), and verify every fault
+   is either repaired from a redundant copy or safely refused — never
+   silently absorbed into a wrong answer.  Fully seeded: the same seed
+   replays the same campaign. *)
+
+open Repro_util
+module Device = Repro_pmem.Device
+module Fault = Repro_pmem.Fault
+module Types = Repro_vfs.Types
+module Fs_intf = Repro_vfs.Fs_intf
+module Fs = Winefs.Fs
+module Layout = Winefs.Layout
+module Codec = Winefs.Codec
+
+type finding = {
+  f_workload : string;
+  f_scenario : string;
+  f_fault : string;
+  f_diagnosis : string;
+}
+
+type report = {
+  seed : int;
+  scenarios_run : int;
+  faults_planted : int;
+  repaired : int;
+  refused : int;
+  findings : finding list;
+}
+
+let handle fs = Fs_intf.Handle ((module Fs : Fs_intf.S with type t = Fs.t), fs)
+
+let fresh ~device_size =
+  let dev = Device.create ~cost:Device.Cost.free ~size:device_size () in
+  let cfg = Types.config ~cpus:2 ~inodes_per_cpu:256 () in
+  let fs = Fs.format dev cfg in
+  (dev, cfg, fs)
+
+let rec collect_files fs cpu path acc =
+  List.fold_left
+    (fun acc name ->
+      let child = Repro_vfs.Path.concat path name in
+      let st = Fs.stat fs cpu child in
+      match st.Types.st_kind with
+      | Types.Directory -> collect_files fs cpu child acc
+      | Types.Regular -> (child, st.st_size) :: acc)
+    acc (Fs.readdir fs cpu path)
+
+(* Non-blank inode-table headers of a quiesced image: the slots a scrub
+   will checksum-verify, i.e. the interesting bit-flip targets. *)
+let nonblank_inode_headers dev (layout : Layout.t) =
+  let res = ref [] in
+  for c = 0 to layout.cpus - 1 do
+    for idx = 0 to layout.inodes_per_cpu - 1 do
+      let ino = Layout.ino_of layout ~cpu:c ~idx in
+      let off = Layout.inode_off layout ino in
+      let b = Bytes.create Codec.Inode.header_bytes in
+      Device.peek dev ~off ~len:Codec.Inode.header_bytes ~dst:b ~dst_off:0;
+      if not (Codec.Inode.header_is_blank b) then res := (ino, off) :: !res
+    done
+  done;
+  Array.of_list (List.rev !res)
+
+let shuffle rng arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let run ?(seed = 42) ?(workloads = Ace.seq1) ?(torn_fences = 4)
+    ?(device_size = 48 * Units.mib) () =
+  let rng = Rng.create seed in
+  let cpu = Cpu.make ~id:0 () in
+  let scenarios = ref 0 and planted = ref 0 in
+  let repaired = ref 0 and refused = ref 0 in
+  let findings = ref [] in
+  let finding w s fault diag =
+    findings :=
+      { f_workload = w; f_scenario = s; f_fault = fault; f_diagnosis = diag } :: !findings
+  in
+  (* Build the workload's final image, cleanly unmounted, plus everything
+     a scenario needs to aim and judge: the expected tree signature, a
+     data extent, and the image's layout. *)
+  let prepare (w : Ace.workload) =
+    let dev, cfg, fs = fresh ~device_size in
+    List.iter (Ace.apply (handle fs) cpu) (w.setup @ w.test);
+    let expect = Checker.signature_of (handle fs) cpu in
+    let files = collect_files fs cpu "/" [] in
+    let data =
+      List.find_map
+        (fun (p, size) ->
+          match Fs.file_extents fs cpu p with
+          | (file_off, phys, _) :: _ when file_off < size -> Some (p, file_off, phys, size)
+          | _ -> None)
+        files
+    in
+    let fcfg = Fs.config fs in
+    let layout =
+      Layout.compute ~size:(Device.size dev) ~cpus:fcfg.cpus
+        ~inodes_per_cpu:fcfg.inodes_per_cpu
+    in
+    Fs.unmount fs cpu;
+    (dev, cfg, expect, data, layout)
+  in
+  (* Verdict for a metadata fault planted on a quiesced image: the remount
+     must repair it (identical tree, writable) or refuse it (EIO mount, or
+     a read-only mount that rejects mutations) — anything else is a
+     finding. *)
+  let remount_check w s_name fault_str dev cfg expect =
+    incr scenarios;
+    incr planted;
+    match Fs.mount dev cfg with
+    | exception Types.Error (Types.EIO, _) -> incr refused
+    | exception e ->
+        finding w s_name fault_str
+          (Printf.sprintf "mount raised %s" (Printexc.to_string e))
+    | fs2 ->
+        let detected = Counters.get (Fs.counters fs2) "fault.detected" in
+        if Fs.read_only fs2 then begin
+          let safe = ref (detected > 0) in
+          if not !safe then
+            finding w s_name fault_str "mount degraded without counting a detection";
+          (match Fs.create fs2 cpu "/__faultcheck_probe" with
+          | _ ->
+              safe := false;
+              finding w s_name fault_str "degraded mount accepted create (expected EROFS)"
+          | exception Types.Error (Types.EROFS, _) -> ());
+          (* Surviving objects must still read; refused ones must fail
+             loudly with EIO, never with fabricated contents. *)
+          (match Checker.signature_of (handle fs2) cpu with
+          | _ -> ()
+          | exception Types.Error (Types.EIO, _) -> ()
+          | exception e ->
+              safe := false;
+              finding w s_name fault_str
+                (Printf.sprintf "degraded walk raised %s" (Printexc.to_string e)));
+          if !safe then incr refused
+        end
+        else if detected = 0 then
+          finding w s_name fault_str "fault silently absorbed (writable mount, no detection)"
+        else
+          match Checker.signature_of (handle fs2) cpu with
+          | s when s = expect -> incr repaired
+          | _ -> finding w s_name fault_str "repaired mount recovered a different tree"
+          | exception e ->
+              finding w s_name fault_str
+                (Printf.sprintf "post-repair walk raised %s" (Printexc.to_string e))
+  in
+  let static_campaign (w : Ace.workload) =
+    let sb_target = { Fault.label = "superblock"; off = 0; len = Codec.Superblock.bytes } in
+    (* Superblock bit flip: must be repaired from the replica. *)
+    let dev, cfg, expect, _, _ = prepare w in
+    let p = Fault.bit_flip rng sb_target in
+    Fault.apply dev p;
+    remount_check w.w_name "sb-flip" (Fault.to_string p) dev cfg expect;
+    (* Superblock poisoned line: simulated MCE on the primary. *)
+    let dev, cfg, expect, _, _ = prepare w in
+    let p = Fault.poison rng sb_target in
+    Fault.apply dev p;
+    remount_check w.w_name "sb-poison" (Fault.to_string p) dev cfg expect;
+    (* Inode-header bit flip: no replica exists, so the scrub must refuse
+       the inode (or the whole mount when it is the root's). *)
+    let dev, cfg, expect, _, layout = prepare w in
+    let headers = nonblank_inode_headers dev layout in
+    let ino, off = headers.(Rng.int rng (Array.length headers)) in
+    let target =
+      { Fault.label = Printf.sprintf "inode %d header" ino;
+        off;
+        len = Codec.Inode.header_bytes }
+    in
+    let p = Fault.bit_flip rng target in
+    Fault.apply dev p;
+    remount_check w.w_name "inode-flip" (Fault.to_string p) dev cfg expect;
+    (* Inode-header poison. *)
+    let dev, cfg, expect, _, layout = prepare w in
+    let headers = nonblank_inode_headers dev layout in
+    let ino, off = headers.(Rng.int rng (Array.length headers)) in
+    let target =
+      { Fault.label = Printf.sprintf "inode %d header" ino;
+        off;
+        len = Codec.Inode.header_bytes }
+    in
+    let p = Fault.poison rng target in
+    Fault.apply dev p;
+    remount_check w.w_name "inode-poison" (Fault.to_string p) dev cfg expect;
+    (* Poisoned file data: the mount stays clean and writable (data is not
+       scanned), but reading the line must refuse with EIO, never return
+       fabricated bytes. *)
+    let dev, cfg, _, data, _ = prepare w in
+    match data with
+    | None -> () (* workload leaves no file data to poison *)
+    | Some (path, file_off, phys, size) -> (
+        incr scenarios;
+        incr planted;
+        let p = Fault.poison rng { Fault.label = "data " ^ path; off = phys; len = 64 } in
+        Fault.apply dev p;
+        match Fs.mount dev cfg with
+        | exception e ->
+            finding w.w_name "data-poison" (Fault.to_string p)
+              (Printf.sprintf "mount raised %s" (Printexc.to_string e))
+        | fs2 -> (
+            let fd = Fs.openf fs2 cpu path Types.o_rdonly in
+            let len = min 64 (size - file_off) in
+            match Fs.pread fs2 cpu fd ~off:file_off ~len with
+            | _ ->
+                finding w.w_name "data-poison" (Fault.to_string p)
+                  "read of poisoned data returned bytes (silent absorption)"
+            | exception Types.Error (Types.EIO, _) -> incr refused
+            | exception e ->
+                finding w.w_name "data-poison" (Fault.to_string p)
+                  (Printf.sprintf "read raised %s (expected EIO)" (Printexc.to_string e))))
+  in
+  (* Torn-word scenarios: crash at a fence with a seeded 8-byte tear on one
+     in-flight line, persist everything else, remount.  Journal entry
+     checksums must demote a torn COMMIT to a rollback, so recovery lands
+     on one side of the in-flight operation. *)
+  let torn_campaign (w : Ace.workload) =
+    let _, _, ref_fs = fresh ~device_size in
+    List.iter (Ace.apply (handle ref_fs) cpu) w.setup;
+    let expected = ref [ Checker.signature_of (handle ref_fs) cpu ] in
+    List.iter
+      (fun op ->
+        Ace.apply (handle ref_fs) cpu op;
+        expected := Checker.signature_of (handle ref_fs) cpu :: !expected)
+      w.test;
+    let expected = Array.of_list (List.rev !expected) in
+    let fence_n = ref 1 in
+    let exploring = ref true in
+    while !exploring && !fence_n <= torn_fences do
+      let dev, cfg, fs = fresh ~device_size in
+      List.iter (Ace.apply (handle fs) cpu) w.setup;
+      Device.set_tracking dev true;
+      Device.reset_fence_seq dev;
+      let target = !fence_n in
+      let captured = ref None in
+      Device.set_fence_hook dev
+        (Some
+           (fun seq ->
+             if seq = target && !captured = None then begin
+               captured := Some (Device.pending_lines dev);
+               Device.set_fence_hook dev None;
+               raise Exit
+             end));
+      let op_index = ref 0 in
+      let crashed = ref false in
+      (try
+         List.iter
+           (fun op ->
+             Ace.apply (handle fs) cpu op;
+             incr op_index)
+           w.test
+       with Exit -> crashed := true);
+      Device.set_fence_hook dev None;
+      if not !crashed then exploring := false
+      else begin
+        let pending = Array.of_list (Option.value ~default:[] !captured) in
+        let lines = shuffle rng pending in
+        let p =
+          Array.fold_left
+            (fun acc line ->
+              match acc with Some _ -> acc | None -> Fault.torn_word rng dev ~line)
+            None lines
+        in
+        (match p with
+        | None -> () (* no pending word differs at this fence *)
+        | Some p -> (
+            incr scenarios;
+            incr planted;
+            Fault.apply dev p;
+            let img = Device.crash_image dev ~persisted:(fun _ -> true) in
+            let before = expected.(!op_index) and after = expected.(!op_index + 1) in
+            match Fs.mount img cfg with
+            | exception Types.Error ((Types.EIO | Types.EROFS), _) -> incr refused
+            | exception e ->
+                finding w.w_name "torn-word" (Fault.to_string p)
+                  (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
+            | fs2 -> (
+                if Fs.read_only fs2 then incr refused
+                else
+                  match Checker.signature_of (handle fs2) cpu with
+                  | s when s = before || s = after -> incr repaired
+                  | _ ->
+                      finding w.w_name "torn-word" (Fault.to_string p)
+                        (Printf.sprintf
+                           "fence %d: recovered state matches neither side of op %d"
+                           target !op_index)
+                  | exception e ->
+                      finding w.w_name "torn-word" (Fault.to_string p)
+                        (Printf.sprintf "post-recovery walk raised %s"
+                           (Printexc.to_string e)))));
+        incr fence_n
+      end
+    done
+  in
+  List.iter
+    (fun w ->
+      static_campaign w;
+      torn_campaign w)
+    workloads;
+  {
+    seed;
+    scenarios_run = !scenarios;
+    faults_planted = !planted;
+    repaired = !repaired;
+    refused = !refused;
+    findings = List.rev !findings;
+  }

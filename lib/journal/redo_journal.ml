@@ -23,8 +23,13 @@ let magic = 0x4A42443252494E47L (* "JBD2RING" *)
    8  seq   u64
    16 type  u64  (1 = descriptor, 2 = commit)
    24 addr  u64
-   32 len   u64 *)
+   32 len   u64
+   40 csum  u32  (CRC32C over the 64B header with this field zeroed,
+                  then the data payload — so a commit block is only
+                  honoured, and a descriptor only replayed, when every
+                  journalled byte verifies) *)
 let rec_magic = 0x4A524543L (* u64 literal *)
+let rec_csum_off = 40
 
 type t = {
   dev : Device.t;
@@ -35,7 +40,16 @@ type t = {
   mutable head : int; (* next free byte in ring *)
   running : (int, string) Hashtbl.t; (* addr -> new data *)
   mutable running_order : int list;
+  mutable csum_failures : int; (* records rejected by CRC during recovery *)
 }
+
+let record_csum header data =
+  let acc = Crc32c.update Crc32c.init header ~off:0 ~len:rec_header_bytes in
+  let acc =
+    if String.length data = 0 then acc
+    else Crc32c.update acc (Bytes.of_string data) ~off:0 ~len:(String.length data)
+  in
+  Crc32c.finish acc
 
 let bytes_needed ~size = header_bytes + size
 
@@ -67,6 +81,7 @@ let format dev cpu ~off ~size =
       head = 0;
       running = Hashtbl.create 64;
       running_order = [];
+      csum_failures = 0;
     }
   in
   (* The zeroed ring must be durable: recovery parses it, and a crash
@@ -90,6 +105,7 @@ let attach dev ~off ~size =
     head = Int64.to_int (Bytes.get_int64_le buf 16);
     running = Hashtbl.create 64;
     running_order = [];
+    csum_failures = 0;
   }
 
 let add t _cpu ~addr ~data =
@@ -123,6 +139,7 @@ let write_record t cpu ~seq ~ty ~addr ~data =
   Bytes.set_int64_le buf 16 (Int64.of_int ty);
   Bytes.set_int64_le buf 24 (Int64.of_int addr);
   Bytes.set_int64_le buf 32 (Int64.of_int dlen);
+  Crc32c.put buf ~csum_off:rec_csum_off (record_csum buf data);
   Device.write t.dev cpu ~off ~src:buf ~src_off:0 ~len:rec_header_bytes;
   if dlen > 0 then Device.write_string t.dev cpu ~off:(off + rec_header_bytes) data;
   Device.flush t.dev cpu ~off ~len:total;
@@ -192,7 +209,16 @@ let read_record t cpu ~pos ~expected_seq =
           if dlen > 0 then Device.read_string t.dev cpu ~off:(off + rec_header_bytes) ~len:dlen
           else ""
         in
-        Some (ty, addr, data, record_size dlen)
+        let stored = Crc32c.get buf ~csum_off:rec_csum_off in
+        Bytes.set_int32_le buf rec_csum_off 0l;
+        if record_csum buf data <> stored then begin
+          (* Magic and sequence matched, so this record claims to belong to
+             the transaction being replayed: a CRC mismatch is detected
+             corruption, and refusing it truncates replay at this point. *)
+          t.csum_failures <- t.csum_failures + 1;
+          None
+        end
+        else Some (ty, addr, data, record_size dlen)
 
 let recover t cpu =
   note t ~write:true ~site:"redo.recover";
@@ -250,3 +276,5 @@ let recover t cpu =
   if Stats.enabled () && !replayed > 0 then
     Stats.counter_add "journal.redo.replayed_txns" !replayed;
   !replayed
+
+let csum_failures t = t.csum_failures

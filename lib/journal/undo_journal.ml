@@ -41,6 +41,8 @@ module Txn_counter = struct
         t.next)
 end
 
+module Crc = Repro_util.Crc32c
+
 let entry_bytes = 64
 let header_bytes = 64
 let inline_max = 24
@@ -51,8 +53,14 @@ let magic = 0x57494E454A524E4CL (* "WINEJRNL" *)
    8  wrap          u32  | type u8 | inline_len u8 | pad u16   (packed u64)
    16 addr          u64
    24 len           u64
-   32 copy_off      u64
-   40 inline data   24B *)
+   32 copy_off      u32  (copy-area device offsets are far below 4GB)
+   36 csum          u32  (CRC32C over the 64B entry, csum field zeroed)
+   40 inline data   24B
+
+   Recovery honours an entry — COMMIT records included — only when the
+   checksum verifies, so a torn or bit-rotted commit record demotes its
+   transaction to uncommitted (rolled back) instead of being trusted. *)
+let entry_csum_off = 36
 
 type entry_type = Start | Commit | Data_inline | Data_extent
 
@@ -76,6 +84,7 @@ type t = {
   mutable open_txn : bool;
   mutable unreclaimed : int; (* committed txns since the last header persist *)
   mutable slots_since_reclaim : int;
+  mutable csum_failures : int; (* entries rejected by CRC during scans *)
 }
 
 type txn = {
@@ -114,7 +123,7 @@ let format dev cpu counter ~off ~entries ~copy_bytes =
   if entries <= 2 then invalid_arg "Undo_journal.format: too few entries";
   let t =
     { dev; counter; base = off; slots = entries; copy_bytes; head = 0; wrap = 1;
-      open_txn = false; unreclaimed = 0; slots_since_reclaim = 0 }
+      open_txn = false; unreclaimed = 0; slots_since_reclaim = 0; csum_failures = 0 }
   in
   (* Zero the slot area so stale bytes never parse as valid entries; the
      zeroes must be durable or a crash before first use leaves garbage
@@ -128,7 +137,7 @@ let format dev cpu counter ~off ~entries ~copy_bytes =
 let attach dev counter ~off ~entries ~copy_bytes =
   let t =
     { dev; counter; base = off; slots = entries; copy_bytes; head = 0; wrap = 1;
-      open_txn = false; unreclaimed = 0; slots_since_reclaim = 0 }
+      open_txn = false; unreclaimed = 0; slots_since_reclaim = 0; csum_failures = 0 }
   in
   let buf = Bytes.create header_bytes in
   Device.peek dev ~off ~len:header_bytes ~dst:buf ~dst_off:0;
@@ -154,8 +163,9 @@ let write_entry t cpu ~ty ~txn_id ~addr ~len ~copy ~inline =
   Bytes.set_int64_le buf 8 packed;
   Bytes.set_int64_le buf 16 (Int64.of_int addr);
   Bytes.set_int64_le buf 24 (Int64.of_int len);
-  Bytes.set_int64_le buf 32 (Int64.of_int copy);
+  Bytes.set_int32_le buf 32 (Int32.of_int (copy land 0xFFFFFFFF));
   Bytes.blit_string inline 0 buf 40 inline_len;
+  Crc.set_zeroed buf ~off:0 ~len:entry_bytes ~csum_off:entry_csum_off;
   Device.write t.dev cpu ~off:(slot_off t i) ~src:buf ~src_off:0 ~len:entry_bytes;
   Device.persist t.dev cpu ~off:(slot_off t i) ~len:entry_bytes;
   t.head <- t.head + 1;
@@ -279,6 +289,14 @@ let parse_slot t cpu i ~expected_wrap =
   let ty = Int64.to_int (Int64.logand (Int64.shift_right_logical packed 32) 0xFFL) in
   let inline_len = Int64.to_int (Int64.logand (Int64.shift_right_logical packed 40) 0xFFL) in
   if wrap <> expected_wrap then None
+  else if not (Crc.verify_zeroed buf ~off:0 ~len:entry_bytes ~csum_off:entry_csum_off)
+  then begin
+    (* Wrap matched, so this slot claims to be live — a failing CRC means
+       a torn or corrupted entry.  Refusing it here is what demotes a torn
+       COMMIT to "uncommitted": the scan stops and the txn rolls back. *)
+    t.csum_failures <- t.csum_failures + 1;
+    None
+  end
   else
     match type_of_code ty with
     | None -> None
@@ -291,7 +309,7 @@ let parse_slot t cpu i ~expected_wrap =
               p_type;
               p_addr = Int64.to_int (Bytes.get_int64_le buf 16);
               p_len = Int64.to_int (Bytes.get_int64_le buf 24);
-              p_copy = Int64.to_int (Bytes.get_int64_le buf 32);
+              p_copy = Int32.to_int (Bytes.get_int32_le buf 32) land 0xFFFFFFFF;
               p_inline = Bytes.sub_string buf 40 inline_len;
             }
 
@@ -367,3 +385,5 @@ let reset t cpu =
   t.open_txn <- false;
   invalidate_head_slot t cpu;
   write_header t cpu
+
+let csum_failures t = t.csum_failures

@@ -13,10 +13,13 @@
     aligned extents).
 
     On-PM layout: a 64B header (wraparound counter + tail slot), a ring of
-    64B entry slots, then the copy area.  Recovery scans forward from the
+    64B entry slots, then the copy area.  Every entry carries a CRC32C over
+    its 64 bytes (checksum field zeroed); recovery scans forward from the
     persisted tail, accepting entries whose wraparound counter matches the
-    expected generation — any trailing transaction without COMMIT is rolled
-    back by rewriting the journaled old bytes. *)
+    expected generation {e and} whose checksum verifies — a torn or
+    bit-rotted COMMIT record is therefore never honoured, and any trailing
+    transaction without a verified COMMIT is rolled back by rewriting the
+    journaled old bytes. *)
 
 open Repro_util
 
@@ -79,3 +82,8 @@ val reset : t -> Cpu.t -> unit
 
 val copy_capacity : t -> int
 val entries_capacity : t -> int
+
+val csum_failures : t -> int
+(** Entries whose wraparound generation matched but whose CRC32C did not,
+    observed by scans on this handle — each is a detected (and refused)
+    journal corruption. *)

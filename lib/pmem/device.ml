@@ -42,6 +42,23 @@ end
 
 type pending = { old_bytes : bytes; mutable flushed : bool }
 
+(* Media faults (simulated MCE): a poisoned line delivers an uncorrectable
+   error to any load touching it, the way a real Optane DIMM surfaces bit
+   rot the ECC cannot repair. *)
+exception Media_error of { off : int }
+
+type fault =
+  | Bit_flip of { off : int; bit : int }
+      (** Silent corruption: flip one bit of the current media contents. *)
+  | Torn_word of { off : int }
+      (** The 8-byte word at [off] (rounded down) tears at the next crash:
+          in any {!crash_image} it reverts to its pre-store contents even
+          when the rest of its cache line survives.  No-op for words whose
+          line has no store pending. *)
+  | Poison_line of { off : int }
+      (** The 64B line containing [off] raises {!Media_error} on any load
+          until a store overwrites the full line. *)
+
 (* Persistence-protocol annotations: code that implements an ordering
    protocol (the journals) narrates its intent through these so a
    durability analyzer can check the protocol without understanding the
@@ -89,6 +106,8 @@ type t = {
   mutable hooks : (hook_id * hook) list; (* installation order *)
   mutable next_hook_id : int;
   mutable legacy_hook : hook_id option; (* the set_event_hook slot *)
+  poisoned : (int, unit) Hashtbl.t; (* cache-line index -> MCE on load *)
+  torn : (int, unit) Hashtbl.t; (* 8-aligned offsets that tear at crash *)
 }
 
 let cl = Units.cacheline
@@ -112,6 +131,8 @@ let create ?(cost = Cost.optane) ?(numa_nodes = 1) ~size () =
     hooks = [];
     next_hook_id = 0;
     legacy_hook = None;
+    poisoned = Hashtbl.create 4;
+    torn = Hashtbl.create 4;
   }
 
 let size t = t.size
@@ -132,6 +153,27 @@ let check_range t off len =
 
 let lines_touched off len =
   if len = 0 then (0, -1) else (off / cl, (off + len - 1) / cl)
+
+(* A load touching a poisoned line consumes the MCE before any data moves
+   or cost is charged (the CPU never sees the bytes). *)
+let check_poison t off len =
+  if Hashtbl.length t.poisoned > 0 && len > 0 then begin
+    let lo, hi = lines_touched off len in
+    for line = lo to hi do
+      if Hashtbl.mem t.poisoned line then raise (Media_error { off = line * cl })
+    done
+  end
+
+(* Stores never fault, and rewriting an entire 64B line replaces the bad
+   media contents: the poison clears (how pmem drivers repair poison —
+   a full-line non-temporal overwrite).  Partial stores leave it set. *)
+let clear_poison_on_store t off len =
+  if Hashtbl.length t.poisoned > 0 && len > 0 then begin
+    let lo, hi = lines_touched off len in
+    for line = lo to hi do
+      if off <= line * cl && (line + 1) * cl <= off + len then Hashtbl.remove t.poisoned line
+    done
+  end
 
 let remote_factor t (cpu : Cpu.t) ~off ~write =
   if t.numa_nodes = 1 || cpu.node = node_of_offset t off then 1.
@@ -199,6 +241,10 @@ let record_stat site ev =
    installation order; uninstrumented devices pay one list check per
    access. *)
 let emit ?cpu t ev =
+  (* The binding snapshots the (immutable) hook list before dispatch:
+     a hook that calls [remove_event_hook] — even on itself — replaces
+     [t.hooks] with a new list, so every sibling installed at emit time
+     still fires exactly once. *)
   (match t.hooks with
   | [] -> ()
   | hooks -> List.iter (fun (_, h) -> h cpu t.site ev) hooks);
@@ -243,6 +289,7 @@ let track_store ?(nt = false) t off len =
 
 let read t cpu ~off ~len ~dst ~dst_off =
   check_range t off len;
+  check_poison t off len;
   charge_read t cpu ~off ~len;
   Bytes.blit t.data off dst dst_off len;
   emit ~cpu t (Load { off; len })
@@ -250,12 +297,14 @@ let read t cpu ~off ~len ~dst ~dst_off =
 let write t cpu ~off ~src ~src_off ~len =
   check_range t off len;
   track_store t off len;
+  clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit src src_off t.data off len;
   emit ~cpu t (Store { off; len; nt = false })
 
 let read_string t cpu ~off ~len =
   check_range t off len;
+  check_poison t off len;
   charge_read t cpu ~off ~len;
   emit ~cpu t (Load { off; len });
   Bytes.sub_string t.data off len
@@ -264,6 +313,7 @@ let write_string t cpu ~off s =
   let len = String.length s in
   check_range t off len;
   track_store t off len;
+  clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit_string s 0 t.data off len;
   emit ~cpu t (Store { off; len; nt = false })
@@ -274,6 +324,7 @@ let write_string t cpu ~off s =
 let write_nt t cpu ~off ~src ~src_off ~len =
   check_range t off len;
   track_store ~nt:true t off len;
+  clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit src src_off t.data off len;
   emit ~cpu t (Store { off; len; nt = true })
@@ -282,6 +333,7 @@ let write_string_nt t cpu ~off s =
   let len = String.length s in
   check_range t off len;
   track_store ~nt:true t off len;
+  clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit_string s 0 t.data off len;
   emit ~cpu t (Store { off; len; nt = true })
@@ -289,6 +341,7 @@ let write_string_nt t cpu ~off s =
 let memset_nt t cpu ~off ~len c =
   check_range t off len;
   track_store ~nt:true t off len;
+  clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.fill t.data off len c;
   emit ~cpu t (Store { off; len; nt = true })
@@ -296,8 +349,10 @@ let memset_nt t cpu ~off ~len c =
 let copy_within_nt t cpu ~src ~dst ~len =
   check_range t src len;
   check_range t dst len;
+  check_poison t src len;
   charge_read t cpu ~off:src ~len;
   track_store ~nt:true t dst len;
+  clear_poison_on_store t dst len;
   charge_write t cpu ~off:dst ~len;
   Bytes.blit t.data src t.data dst len;
   emit ~cpu t (Load { off = src; len });
@@ -306,6 +361,7 @@ let copy_within_nt t cpu ~src ~dst ~len =
 let memset t cpu ~off ~len c =
   check_range t off len;
   track_store t off len;
+  clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.fill t.data off len c;
   emit ~cpu t (Store { off; len; nt = false })
@@ -313,8 +369,10 @@ let memset t cpu ~off ~len c =
 let copy_within t cpu ~src ~dst ~len =
   check_range t src len;
   check_range t dst len;
+  check_poison t src len;
   charge_read t cpu ~off:src ~len;
   track_store t dst len;
+  clear_poison_on_store t dst len;
   charge_write t cpu ~off:dst ~len;
   Bytes.blit t.data src t.data dst len;
   emit ~cpu t (Load { off = src; len });
@@ -322,6 +380,7 @@ let copy_within t cpu ~src ~dst ~len =
 
 let read_u64 t cpu ~off =
   check_range t off 8;
+  check_poison t off 8;
   charge_read t cpu ~off ~len:8;
   emit ~cpu t (Load { off; len = 8 });
   Bytes.get_int64_le t.data off
@@ -335,10 +394,12 @@ let write_u64 t cpu ~off v =
 
 let peek t ~off ~len ~dst ~dst_off =
   check_range t off len;
+  check_poison t off len;
   Bytes.blit t.data off dst dst_off len
 
 let touch_read t cpu ~off ~len =
   check_range t off len;
+  check_poison t off len;
   charge_read t cpu ~off ~len;
   emit ~cpu t (Load { off; len })
 
@@ -381,6 +442,44 @@ let set_tracking t on =
 let pending_lines t =
   Hashtbl.fold (fun line _ acc -> line :: acc) t.pending [] |> List.sort compare
 
+let pending_old t line =
+  match Hashtbl.find_opt t.pending line with
+  | Some p -> Some (Bytes.copy p.old_bytes)
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection.  Deterministic campaigns plant faults directly on
+   the media; the checkers then verify the stack detects them.  Counted
+   per kind in the device counters and the global stats registry. *)
+
+let fault_kind_name = function
+  | Bit_flip _ -> "bit_flip"
+  | Torn_word _ -> "torn_word"
+  | Poison_line _ -> "poison_line"
+
+let inject t fault =
+  (match fault with
+  | Bit_flip { off; bit } ->
+      check_range t off 1;
+      if bit < 0 || bit > 7 then invalid_arg "Device.inject: bit outside 0..7";
+      Bytes.set t.data off (Char.chr (Char.code (Bytes.get t.data off) lxor (1 lsl bit)))
+  | Torn_word { off } ->
+      check_range t off 8;
+      Hashtbl.replace t.torn (off land lnot 7) ()
+  | Poison_line { off } ->
+      check_range t off 1;
+      Hashtbl.replace t.poisoned (off / cl) ());
+  Counters.incr t.counters "pm.faults_injected";
+  if Stats.enabled () then
+    Stats.counter_add ~labels:[ ("kind", fault_kind_name fault) ] "fault.injected" 1
+
+let poisoned_lines t =
+  Hashtbl.fold (fun line _ acc -> line :: acc) t.poisoned [] |> List.sort compare
+
+let clear_faults t =
+  Hashtbl.reset t.poisoned;
+  Hashtbl.reset t.torn
+
 let crash_image t ~persisted =
   if not t.tracking then invalid_arg "Device.crash_image: tracking disabled";
   let img =
@@ -399,12 +498,25 @@ let crash_image t ~persisted =
       hooks = [];
       next_hook_id = 0;
       legacy_hook = None;
+      poisoned = Hashtbl.copy t.poisoned (* media faults survive a crash *);
+      torn = Hashtbl.create 4;
     }
   in
   Hashtbl.iter
     (fun line p ->
       if not (persisted line) then Bytes.blit p.old_bytes 0 img.data (line * cl) cl)
     t.pending;
+  (* Torn words compose with the surviving-line choice: even when the
+     containing line is chosen as persisted, the registered 8-byte word
+     reverts to its pre-store bytes (intra-line tearing — the store of
+     that word never reached the media).  Words on lines with no pending
+     store are already durable and cannot tear. *)
+  Hashtbl.iter
+    (fun off () ->
+      match Hashtbl.find_opt t.pending (off / cl) with
+      | Some p -> Bytes.blit p.old_bytes (off mod cl) img.data off 8
+      | None -> ())
+    t.torn;
   img
 
 let fence_seq t = t.fence_seq

@@ -139,10 +139,53 @@ val set_tracking : t -> bool -> unit
 val pending_lines : t -> int list
 (** Cache-line indices written since the last fence (not yet durable). *)
 
+val pending_old : t -> int -> bytes option
+(** The pre-store contents of a pending cache line (a 64B copy), or [None]
+    when the line has no store pending.  Fault campaigns use it to pick
+    8-byte words that actually changed before registering a torn word. *)
+
 val crash_image : t -> persisted:(int -> bool) -> t
 (** A fresh, tracking-off device representing post-crash contents: pending
     lines for which [persisted line = false] are reverted to their
-    pre-store bytes.  Raises [Invalid_argument] if tracking is off. *)
+    pre-store bytes, then every registered {!Torn_word} on a pending line
+    reverts regardless of the line choice, and poisoned lines carry over
+    (media faults survive crashes).  Raises [Invalid_argument] if tracking
+    is off. *)
+
+(** {2 Media-fault injection}
+
+    Simulated media errors, composing with the crash machinery above: a
+    campaign plants faults, then mount/scrub must detect them.  Injection
+    bypasses the store path (no events, no cost) — media corruption is
+    invisible to the memory-ordering model until a load trips over it. *)
+
+exception Media_error of { off : int }
+(** Simulated machine-check exception: a load touched the poisoned cache
+    line starting at [off].  Raised before any data is copied or cost
+    charged, from every read path including {!peek}. *)
+
+type fault =
+  | Bit_flip of { off : int; bit : int }
+      (** Flip bit [bit] (0..7) of the byte at [off] — silent corruption
+          only checksums can catch. *)
+  | Torn_word of { off : int }
+      (** Register the 8-byte-aligned word containing [off] to tear at the
+          next {!crash_image}. *)
+  | Poison_line of { off : int }
+      (** Mark the 64B line containing [off] uncorrectable: loads raise
+          {!Media_error} until some store overwrites the entire line. *)
+
+val inject : t -> fault -> unit
+(** Plant one fault.  Bumps the "pm.faults_injected" device counter and,
+    when the stats registry is enabled, "fault.injected" (labelled by
+    kind). *)
+
+val poisoned_lines : t -> int list
+(** Currently-poisoned cache-line indices (sorted). *)
+
+val clear_faults : t -> unit
+(** Drop all poison and torn-word registrations (bit flips already
+    happened and are not undone). *)
 
 val reset_counters : t -> unit
 

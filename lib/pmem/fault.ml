@@ -1,0 +1,52 @@
+(* Seeded, deterministic fault planning: given labelled target regions of
+   a device, draw concrete {!Device.fault}s from an {!Repro_util.Rng}.
+   The same seed always yields the same campaign, so every finding a
+   checker reports is replayable. *)
+
+open Repro_util
+
+type target = { label : string; off : int; len : int }
+
+type planted = { target : string; fault : Device.fault }
+
+let fault_to_string = function
+  | Device.Bit_flip { off; bit } -> Printf.sprintf "bit-flip off=%#x bit=%d" off bit
+  | Device.Torn_word { off } -> Printf.sprintf "torn-word off=%#x" off
+  | Device.Poison_line { off } -> Printf.sprintf "poison-line off=%#x" off
+
+let to_string p = Printf.sprintf "%s in %s" (fault_to_string p.fault) p.target
+
+let bit_flip rng (t : target) =
+  if t.len <= 0 then invalid_arg "Fault.bit_flip: empty target";
+  { target = t.label;
+    fault = Device.Bit_flip { off = t.off + Rng.int rng t.len; bit = Rng.int rng 8 } }
+
+let poison rng (t : target) =
+  if t.len <= 0 then invalid_arg "Fault.poison: empty target";
+  { target = t.label; fault = Device.Poison_line { off = t.off + Rng.int rng t.len } }
+
+(* A meaningful torn word on a pending cache line: one of the 8-byte words
+   whose pre-store bytes differ from the current contents (tearing a word
+   the store did not change is a no-op).  [None] when nothing differs. *)
+let torn_word rng dev ~line =
+  match Device.pending_old dev line with
+  | None -> None
+  | Some old ->
+      let cur = Bytes.create (Bytes.length old) in
+      Device.peek dev ~off:(line * Units.cacheline) ~len:(Bytes.length old) ~dst:cur
+        ~dst_off:0;
+      let words = Bytes.length old / 8 in
+      let differing =
+        List.filter
+          (fun w -> Bytes.sub old (w * 8) 8 <> Bytes.sub cur (w * 8) 8)
+          (List.init words Fun.id)
+      in
+      (match differing with
+      | [] -> None
+      | ws ->
+          let w = Rng.pick rng (Array.of_list ws) in
+          Some
+            { target = Printf.sprintf "pending line %d" line;
+              fault = Device.Torn_word { off = (line * Units.cacheline) + (w * 8) } })
+
+let apply dev p = Device.inject dev p.fault

@@ -1,0 +1,53 @@
+(* CRC-32C (Castagnoli), the polynomial PM file systems use for metadata
+   checksums (NOVA-Fortis, and the SSE4.2 crc32 instruction).  Table-driven,
+   reflected form; values fit OCaml's native int on 64-bit. *)
+
+let poly = 0x82F63B78
+
+let table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let mask32 = 0xFFFFFFFF
+
+let update crc b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32c.update: range out of bounds";
+  let c = ref (crc land mask32) in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c
+
+let init = mask32
+let finish crc = crc lxor mask32 land mask32
+
+let digest ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  finish (update init b ~off ~len)
+
+let digest_string s = digest (Bytes.unsafe_of_string s)
+
+(* Checksum of a structure that embeds its own checksum field: compute
+   over the whole [len] bytes with the [csum_off, csum_off+4) field
+   treated as zero, so every other bit is covered. *)
+let digest_zeroed b ~off ~len ~csum_off =
+  if csum_off < off || csum_off + 4 > off + len then
+    invalid_arg "Crc32c.digest_zeroed: csum field outside range";
+  let c = update init b ~off ~len:(csum_off - off) in
+  let z = Bytes.make 4 '\000' in
+  let c = update c z ~off:0 ~len:4 in
+  finish (update c b ~off:(csum_off + 4) ~len:(off + len - csum_off - 4))
+
+let put b ~csum_off v = Bytes.set_int32_le b csum_off (Int32.of_int (v land mask32))
+let get b ~csum_off = Int32.to_int (Bytes.get_int32_le b csum_off) land mask32
+
+let set_zeroed b ~off ~len ~csum_off =
+  put b ~csum_off (digest_zeroed b ~off ~len ~csum_off)
+
+let verify_zeroed b ~off ~len ~csum_off =
+  get b ~csum_off = digest_zeroed b ~off ~len ~csum_off

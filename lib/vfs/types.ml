@@ -8,6 +8,8 @@ type errno =
   | EBADF
   | EINVAL
   | ENAMETOOLONG
+  | EIO
+  | EROFS
 
 exception Error of errno * string
 
@@ -21,6 +23,8 @@ let errno_to_string = function
   | EBADF -> "EBADF"
   | EINVAL -> "EINVAL"
   | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EIO -> "EIO"
+  | EROFS -> "EROFS"
 
 let err e fmt = Format.kasprintf (fun msg -> raise (Error (e, msg))) fmt
 

@@ -13,6 +13,8 @@ type errno =
   | EBADF
   | EINVAL
   | ENAMETOOLONG
+  | EIO  (** uncorrectable media error reached by an operation *)
+  | EROFS  (** mutation refused on a read-only (degraded) mount *)
 
 exception Error of errno * string
 (** All file-system failures. *)

@@ -23,4 +23,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("race", Test_race.suite);
+      ("faultcheck", Test_faultcheck.suite);
     ]

@@ -152,6 +152,102 @@ let test_multi_hook () =
   Device.write_u64 d c ~off:128 9L;
   Alcotest.(check int) "all hooks removed" 4 !b
 
+let test_hook_removal_during_dispatch () =
+  (* Regression: dispatch iterates a snapshot of the hook list, so a hook
+     that removes observers mid-event — itself or a sibling — must not
+     cause any hook installed at emit time to be skipped or run twice on
+     that event. *)
+  let d = Device.create ~cost:Device.Cost.free ~size:4096 () in
+  let c = cpu () in
+  let a = ref 0 and b = ref 0 and z = ref 0 in
+  let ids = ref [] in
+  let ha =
+    Device.add_event_hook d (fun _ _ _ ->
+        incr a;
+        (* Remove every installed hook, including this one, mid-dispatch. *)
+        List.iter (Device.remove_event_hook d) !ids)
+  in
+  let hb = Device.add_event_hook d (fun _ _ _ -> incr b) in
+  let hz = Device.add_event_hook d (fun _ _ _ -> incr z) in
+  ids := [ ha; hb; hz ];
+  Device.write_u64 d c ~off:0 1L;
+  Alcotest.(check int) "self-removing hook fired once" 1 !a;
+  Alcotest.(check int) "sibling after remover still fired" 1 !b;
+  Alcotest.(check int) "last sibling still fired" 1 !z;
+  Device.write_u64 d c ~off:64 2L;
+  Alcotest.(check (list int)) "all hooks gone on the next event" [ 1; 1; 1 ] [ !a; !b; !z ]
+
+let test_torn_word_crash_subsets () =
+  (* Torn-word x crash_image composition: with [n] pending lines the
+     exhaustive subset enumeration yields exactly [2^n] images, and every
+     image is exactly predicted by the store log — persisted lines show
+     their new bytes, dropped lines their pre-store bytes, and the
+     registered torn word shows its pre-store bytes in {e every} image
+     (the tear fires whether or not the rest of its line persisted). *)
+  let d = Device.create ~cost:Device.Cost.free ~size:8192 () in
+  let c = cpu () in
+  let lines = [| 0; 1; 2 |] in
+  let old_of l = String.make 64 (Char.chr (Char.code 'a' + l)) in
+  let new_of l = String.make 64 (Char.chr (Char.code 'A' + l)) in
+  Array.iter
+    (fun l ->
+      Device.write_string d c ~off:(l * 64) (old_of l);
+      Device.persist d c ~off:(l * 64) ~len:64)
+    lines;
+  Device.set_tracking d true;
+  Array.iter (fun l -> Device.write_string d c ~off:(l * 64) (new_of l)) lines;
+  Alcotest.(check int) "three pending lines" 3 (List.length (Device.pending_lines d));
+  (* Tear the second 8-byte word of line 1. *)
+  let torn_off = 64 + 8 in
+  Device.inject d (Device.Torn_word { off = torn_off });
+  let n = Array.length lines in
+  let images = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let persisted l = mask land (1 lsl l) <> 0 in
+    let img = Device.crash_image d ~persisted in
+    incr images;
+    Array.iter
+      (fun l ->
+        let got = Device.read_string img c ~off:(l * 64) ~len:64 in
+        let expect =
+          if not (persisted l) then old_of l
+          else if l = 1 then
+            (* Persisted line with the tear: new bytes except the torn
+               word, which reverted to its pre-store contents. *)
+            String.concat "" [ String.make 8 'B'; String.make 8 'b'; String.make 48 'B' ]
+          else new_of l
+        in
+        Alcotest.(check string)
+          (Printf.sprintf "mask %d line %d predicted by store log" mask l)
+          expect got)
+      lines
+  done;
+  Alcotest.(check int) "enumeration terminates at 2^n images" 8 !images;
+  (* The source device is untouched by image materialisation: the stores
+     are still pending and the tear still registered. *)
+  Alcotest.(check int) "source still has three pending lines" 3
+    (List.length (Device.pending_lines d))
+
+let test_poison_and_repair () =
+  let d = Device.create ~cost:Device.Cost.free ~size:4096 () in
+  let c = cpu () in
+  Device.write_string d c ~off:128 "healthy!";
+  Device.inject d (Device.Poison_line { off = 130 });
+  Alcotest.(check (list int)) "line reported poisoned" [ 2 ] (Device.poisoned_lines d);
+  (match Device.read_string d c ~off:128 ~len:8 with
+  | _ -> Alcotest.fail "load of a poisoned line must raise"
+  | exception Device.Media_error { off } -> Alcotest.(check int) "MCE at line start" 128 off);
+  (* peek is no safer than read. *)
+  (match Device.peek d ~off:130 ~len:1 ~dst:(Bytes.create 1) ~dst_off:0 with
+  | _ -> Alcotest.fail "peek of a poisoned line must raise"
+  | exception Device.Media_error _ -> ());
+  (* A partial store leaves the line poisoned; a full-line store clears. *)
+  Device.write_string d c ~off:128 "partial";
+  Alcotest.(check (list int)) "partial store keeps poison" [ 2 ] (Device.poisoned_lines d);
+  Device.write_string d c ~off:128 (String.make 64 'R');
+  Alcotest.(check (list int)) "full-line store clears poison" [] (Device.poisoned_lines d);
+  Alcotest.(check string) "line readable again" "RRRR" (Device.read_string d c ~off:128 ~len:4)
+
 let test_hook_cpu_tagging () =
   (* Data events carry the accessing CPU; protocol annotations carry
      [None]. *)
@@ -191,6 +287,9 @@ let suite =
   [
     Alcotest.test_case "read/write" `Quick test_rw;
     Alcotest.test_case "multi hook fan-out" `Quick test_multi_hook;
+    Alcotest.test_case "hook removal during dispatch" `Quick test_hook_removal_during_dispatch;
+    Alcotest.test_case "torn word x crash subsets" `Quick test_torn_word_crash_subsets;
+    Alcotest.test_case "poison line and repair" `Quick test_poison_and_repair;
     Alcotest.test_case "hook cpu tagging" `Quick test_hook_cpu_tagging;
     Alcotest.test_case "legacy set_event_hook" `Quick test_legacy_set_event_hook;
     Alcotest.test_case "bounds" `Quick test_bounds;
