@@ -1,0 +1,73 @@
+(* Architecture checker for the layered WineFS core (`dune build
+   @archcheck`, wired into `dune runtest`).
+
+   Enforces the boundaries the Txn/Inode/Extent_map/Datapath/Namespace
+   split established:
+
+   - [fs.ml] stays an orchestrating facade: at most 600 lines.
+   - [Undo_journal] is reachable only through the Txn layer (txn.ml owns
+     journaling; layout.ml sizes the journal region).
+   - [Dir_index] is owned by the namespace layer (inode.ml declares the
+     DRAM field it lives in).
+   - [Fd_table] is a facade concern: no layer below fs.ml sees fds.
+
+   Plain substring scan — the goal is to make accidental cross-layer
+   reach-through fail CI loudly, not to parse OCaml. *)
+
+let max_fs_lines = 600
+
+(* module-name substring, files (basenames) allowed to mention it *)
+let rules =
+  [
+    ("Undo_journal", [ "txn.ml"; "txn.mli"; "layout.ml" ]);
+    ("Repro_journal", [ "txn.ml"; "txn.mli"; "layout.ml" ]);
+    ("Dir_index", [ "namespace.ml"; "namespace.mli"; "inode.ml"; "inode.mli" ]);
+    ("Fd_table", [ "fs.ml" ]);
+  ]
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib/core" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+    |> List.sort compare
+  in
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> incr failures; prerr_endline ("archcheck: " ^ s)) fmt in
+  let contains line sub =
+    let n = String.length line and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub line i m = sub || at (i + 1)) in
+    m > 0 && at 0
+  in
+  List.iter
+    (fun base ->
+      let lines = read_lines (Filename.concat dir base) in
+      if base = "fs.ml" && List.length lines > max_fs_lines then
+        fail "fs.ml has %d lines (facade limit is %d)" (List.length lines) max_fs_lines;
+      List.iter
+        (fun (needle, allowed) ->
+          if not (List.mem base allowed) then
+            List.iteri
+              (fun i line ->
+                if contains line needle then
+                  fail "%s/%s:%d references %s (allowed only in: %s)" dir base (i + 1)
+                    needle (String.concat ", " allowed))
+              lines)
+        rules)
+    files;
+  if !failures > 0 then begin
+    Printf.eprintf "archcheck: %d violation(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "archcheck: core layering OK"

@@ -4,7 +4,12 @@
     The [module ... : Fs_intf.S] coercions below are the static checks
     that each baseline implements the full interface; experiments pick
     file systems from {!all} / {!metadata_group} / {!data_group}, matching
-    the two comparison groups of §5.1. *)
+    the two comparison groups of §5.1.
+
+    Every factory goes through {!handle}; the fixed consistency contract
+    each system ships with (§5.1: ext4/xfs/PMFS/SplitFS are
+    metadata-only, NOVA and Strata full data+metadata) is applied with
+    the {!with_mode} combinator rather than per-factory closures. *)
 
 module Fs_intf = Repro_vfs.Fs_intf
 module Types = Repro_vfs.Types
@@ -24,77 +29,45 @@ type factory = {
 let handle (type a) (module F : Fs_intf.S with type t = a) dev cfg =
   Fs_intf.Handle ((module F), F.format dev cfg)
 
-let winefs =
-  { fs_name = "WineFS"; make = (fun dev cfg -> Winefs.Handle.format dev cfg) }
+let factory fs_name make = { fs_name; make }
 
-let winefs_relaxed =
-  {
-    fs_name = "WineFS-Relaxed";
-    make = (fun dev cfg -> Winefs.Handle.format dev { cfg with Types.mode = Relaxed });
-  }
+(* Pin the consistency mode a system runs under, whatever the caller's
+   config says. *)
+let with_mode mode f = { f with make = (fun dev cfg -> f.make dev { cfg with Types.mode }) }
+
+(* WineFS honours the caller's mode (the experiments run it both ways). *)
+let winefs =
+  factory "WineFS" (handle (module Winefs.Fs : Fs_intf.S with type t = Winefs.Fs.t))
+
+let winefs_relaxed = { (with_mode Types.Relaxed winefs) with fs_name = "WineFS-Relaxed" }
 
 let ext4_dax =
-  {
-    fs_name = "ext4-DAX";
-    make =
-      (fun dev cfg ->
-        handle (module Ext4_dax : Fs_intf.S with type t = Ext4_dax.t) dev
-          { cfg with Types.mode = Relaxed });
-  }
+  with_mode Types.Relaxed
+    (factory "ext4-DAX" (handle (module Ext4_dax : Fs_intf.S with type t = Ext4_dax.t)))
 
 let xfs_dax =
-  {
-    fs_name = "xfs-DAX";
-    make =
-      (fun dev cfg ->
-        handle (module Xfs_dax : Fs_intf.S with type t = Xfs_dax.t) dev
-          { cfg with Types.mode = Relaxed });
-  }
+  with_mode Types.Relaxed
+    (factory "xfs-DAX" (handle (module Xfs_dax : Fs_intf.S with type t = Xfs_dax.t)))
 
 let pmfs =
-  {
-    fs_name = "PMFS";
-    make =
-      (fun dev cfg ->
-        handle (module Pmfs : Fs_intf.S with type t = Pmfs.t) dev
-          { cfg with Types.mode = Relaxed });
-  }
+  with_mode Types.Relaxed
+    (factory "PMFS" (handle (module Pmfs : Fs_intf.S with type t = Pmfs.t)))
 
 let nova =
-  {
-    fs_name = "NOVA";
-    make =
-      (fun dev cfg ->
-        handle (module Nova : Fs_intf.S with type t = Nova.t) dev
-          { cfg with Types.mode = Strict });
-  }
+  with_mode Types.Strict
+    (factory "NOVA" (handle (module Nova : Fs_intf.S with type t = Nova.t)))
 
 let nova_relaxed =
-  {
-    fs_name = "NOVA-Relaxed";
-    make =
-      (fun dev cfg ->
-        handle (module Nova : Fs_intf.S with type t = Nova.t) dev
-          { cfg with Types.mode = Relaxed });
-  }
+  with_mode Types.Relaxed
+    (factory "NOVA-Relaxed" (handle (module Nova : Fs_intf.S with type t = Nova.t)))
 
 let splitfs =
-  {
-    fs_name = "SplitFS";
-    make =
-      (fun dev cfg ->
-        handle (module Splitfs : Fs_intf.S with type t = Splitfs.t) dev
-          { cfg with Types.mode = Relaxed });
-  }
+  with_mode Types.Relaxed
+    (factory "SplitFS" (handle (module Splitfs : Fs_intf.S with type t = Splitfs.t)))
 
 let strata =
-  {
-    fs_name = "Strata";
-    make =
-      (fun dev cfg ->
-        handle (module Strata : Fs_intf.S with type t = Strata.t) dev
-          { cfg with Types.mode = Strict });
-  }
+  with_mode Types.Strict
+    (factory "Strata" (handle (module Strata : Fs_intf.S with type t = Strata.t)))
 
 (* §5.1: the metadata-consistency comparison group... *)
 let metadata_group = [ ext4_dax; xfs_dax; pmfs; nova_relaxed; splitfs; winefs_relaxed ]

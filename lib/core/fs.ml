@@ -1,615 +1,93 @@
 (** WineFS — the paper's hugepage-aware PM file system (§3).
 
-    Hugepage-awareness comes from five cooperating mechanisms, all here:
-    the alignment-aware allocator ({!Repro_alloc.Aligned_alloc}), a PM
-    layout with contained fragmentation (fixed per-CPU journal and inode
-    regions, {!Layout}), per-CPU undo journaling for metadata
-    ({!Repro_journal.Undo_journal}), hybrid data atomicity (data
-    journaling for aligned extents, copy-on-write for holes), and
-    hugepage-serving page-fault handling in {!mmap_backing}. *)
+    The orchestrating facade over the five core layers: {!Txn} (per-CPU
+    undo journaling, §3.4), {!Inode} (on-PM inode tables, §3.3),
+    {!Extent_map} (record/slot run map + metadata-block pool, §3.3),
+    {!Datapath} (hybrid data atomicity and the hugepage fault path,
+    §3.5/§3.6) and {!Namespace} (paths, dentries, journaled namespace
+    operations).  The facade owns format/mount/unmount, the fd table,
+    the rewrite queue and the per-operation syscall wrappers (stats
+    span, simulated syscall cost, EROFS guard, operation counters);
+    everything mechanism-specific lives in the layers.  DESIGN.md §10
+    has the module/ownership diagram. *)
 
 open Repro_util
 module Device = Repro_pmem.Device
 module Vmem = Repro_memsim.Vmem
 module Sched = Repro_sched.Sched
 module Types = Repro_vfs.Types
-module Path = Repro_vfs.Path
-module Dir_index = Repro_vfs.Dir_index
 module Fd_table = Repro_vfs.Fd_table
+module Degraded = Repro_vfs.Degraded
 module Cost = Repro_vfs.Fs_intf.Cost
-module Journal = Repro_journal.Undo_journal
 module Alloc = Repro_alloc.Aligned_alloc
+module Extent_tree = Repro_rbtree.Extent_tree
 module Int_map = Repro_rbtree.Rbtree.Int_map
 module Stats = Repro_stats.Stats
 
 let name = "WineFS"
 let huge = Units.huge_page
 let block = Units.base_page
+let root_ino = Namespace.root_ino
 
-(* Durability-lint site labels (see {!Repro_sanitizer}): every PM access
-   below carries the layer and operation that issued it. *)
+(* Durability-lint site labels for the PM accesses the facade itself
+   issues (the layers carry their own). *)
 module Site = Repro_pmem.Site
 
-let site_meta = Site.v "core" "meta"
-let site_meta_block = Site.v "core" "meta-block"
-let site_inode_init = Site.v "core" "inode-init"
 let site_sb = Site.v "core" "superblock"
 let site_serial = Site.v "core" "serial"
 let site_format = Site.v "core" "format"
-let site_data = Site.v "core" "data"
-let site_data_journal = Site.v "core" "data-journal"
-let site_cow = Site.v "core" "cow"
-let site_zero = Site.v "core" "zero"
 let site_rewrite = Site.v "core" "rewrite"
 let site_mount = Site.v "core" "mount"
-
-(* One live extent record: a slot in the inode's persistent extent list
-   (inline slots 0-7, then overflow blocks) plus its mapping.  [asrc]
-   remembers whether the extent came from the aligned pool — the hybrid
-   data-atomicity policy journals aligned-pool extents and copies-on-write
-   hole extents (§3.4), keyed on provenance, not incidental alignment. *)
-type record = { slot : int; phys : int; len : int; asrc : bool }
-
-type file = {
-  ino : int;
-  mutable kind : Types.file_kind;
-  mutable size : int;
-  mutable nlink : int;
-  mutable xattr_align : bool;
-  mutable parent : int; (* directory containing this node (DRAM only) *)
-  mutable dname : string; (* name under [parent] (DRAM only) *)
-  records : record Int_map.t; (* file_off -> record, non-overlapping *)
-  mutable free_slots : int list;
-  mutable slot_cap : int; (* slots available without a new overflow block *)
-  mutable overflow : int list; (* overflow block phys addrs, chain order *)
-  mutable dir : Dir_index.t option; (* dirs: name -> (ino, dentry slot phys) *)
-  mutable free_dentries : int list; (* dirs: free dentry slot phys offsets *)
-  lock : Sched.mutex;
-  mutable dirty_bytes : int; (* relaxed mode: unflushed data *)
-}
-
-type per_cpu = {
-  journal : Journal.t;
-  journal_lock : Sched.mutex;
-  mutable free_inodes : int list; (* inode idx free list *)
-}
 
 type t = {
   dev : Device.t;
   cfg : Types.config;
   layout : Layout.t;
+  txns : Txn.t;
+  inodes : Inode.t;
+  map : Extent_map.t;
+  data : Datapath.t;
+  ns : Namespace.t;
   alloc : Alloc.t;
-  meta_free : Repro_rbtree.Extent_tree.t;
-      (* free 4K blocks of the dedicated metadata region (§3.4) *)
-  pcpu : per_cpu array;
-  files : (int, file) Hashtbl.t;
   fds : Fd_table.t;
   counters : Counters.t;
-  txn_counter : Journal.Txn_counter.t;
   mutable rewrite_queue : int list; (* inos queued for reactive rewriting *)
   mutable recovery_ns : int;
   mutable read_only : bool;
       (* degraded mount: corruption was detected that could not be
          repaired; every mutating operation fails with EROFS *)
-  bad_inos : (int, string) Hashtbl.t; (* ino -> why it was refused *)
 }
 
-(* fault.* counters: detections/repairs/refusals observed by the scrub and
-   by read paths hitting poisoned lines.  Mirrored into the global stats
-   registry so bench artifacts and [winefs_cli stats] surface them. *)
-let count_fault t name n =
-  if n > 0 then begin
-    Counters.add t.counters name n;
-    if Stats.enabled () then Stats.counter_add name n
-  end
-
-let require_writable t =
-  if t.read_only then
-    Types.err EROFS "file system is degraded (mounted read-only after media errors)"
-
-(* ------------------------------------------------------------------ *)
-(* Small helpers                                                       *)
-
-let jcpu t (cpu : Cpu.t) = t.pcpu.(cpu.id mod t.cfg.cpus)
-let acpu t (cpu : Cpu.t) = cpu.id mod t.cfg.cpus
-
-let inode_addr t ino = Layout.inode_off t.layout ino
-
-(* PM address of an extent slot. *)
-let slot_addr t f slot =
-  if slot < Layout.inline_extents then inode_addr t f.ino + Codec.Inode.extent_slot_off slot
-  else begin
-    let s = slot - Layout.inline_extents in
-    let blk = List.nth f.overflow (s / Codec.Overflow.capacity) in
-    blk + Codec.Overflow.record_off (s mod Codec.Overflow.capacity)
-  end
-
-let header_of f =
-  {
-    Codec.Inode.valid = true;
-    is_dir = f.kind = Types.Directory;
-    xattr_align = f.xattr_align;
-    size = f.size;
-    nlink = f.nlink;
-    extent_count = Int_map.size f.records;
-    overflow = (match f.overflow with b :: _ -> b | [] -> 0);
-  }
-
-(* Journaled in-place metadata write: undo-log the old bytes (persisted by
-   the journal), then update in place with a flush only — the transaction
-   commit fences all in-place lines before the COMMIT entry persists
-   (§3.4 "Crash Consistency: Journaling"). *)
-let meta_write t cpu txn ~addr (data : bytes) =
-  Device.with_site t.dev site_meta @@ fun () ->
-  let j = (jcpu t cpu).journal in
-  Journal.log_range j cpu txn ~addr ~len:(Bytes.length data);
-  Device.write t.dev cpu ~off:addr ~src:data ~src_off:0 ~len:(Bytes.length data);
-  Device.flush t.dev cpu ~off:addr ~len:(Bytes.length data)
-
-let persist_header t cpu txn f =
-  meta_write t cpu txn ~addr:(inode_addr t f.ino) (Codec.Inode.encode_header (header_of f))
-
-(* Size-only update: the fine-grained journaling that keeps WineFS's
-   append path cheap (§3.5) — two 8-byte in-place writes with inline undo
-   entries (the size word at offset 8 and the checksum word at 56), not a
-   full header re-journal.  The checksum is recomputed over the header's
-   current device bytes so fields this path does not touch (extent_count
-   may lag the record map until the next full header persist) stay
-   covered exactly as stored. *)
-let persist_size t cpu txn f =
-  let addr = inode_addr t f.ino in
-  let hdr = Bytes.create Codec.Inode.header_bytes in
-  Device.read t.dev cpu ~off:addr ~len:Codec.Inode.header_bytes ~dst:hdr ~dst_off:0;
-  Bytes.set_int64_le hdr 8 (Int64.of_int f.size);
-  Crc32c.set_zeroed hdr ~off:0 ~len:Codec.Inode.header_bytes ~csum_off:Codec.Inode.csum_off;
-  meta_write t cpu txn ~addr:(addr + 8) (Bytes.sub hdr 8 8);
-  meta_write t cpu txn ~addr:(addr + Codec.Inode.csum_off)
-    (Bytes.sub hdr Codec.Inode.csum_off 8)
-
-let asrc_bit = 1 lsl 62
-
-let persist_slot t cpu txn f ~slot ~file_off ~phys ~len ~asrc =
-  let len_field = if asrc then len lor asrc_bit else len in
-  meta_write t cpu txn ~addr:(slot_addr t f slot)
-    (Codec.Inode.encode_extent ~file_off ~phys ~len:len_field)
-
-(* Run [body] inside a journal transaction on the caller's per-CPU journal.
-   The journal lock serialises same-CPU transactions; inode locks (taken by
-   callers) guarantee one uncommitted transaction per file (§3.6). *)
-let with_txn t cpu ~reserve body =
-  let pc = jcpu t cpu in
-  Sched.with_lock pc.journal_lock (fun () ->
-      let txn = Journal.begin_txn pc.journal cpu ~reserve in
-      match body txn with
-      | v ->
-          Journal.commit pc.journal cpu txn;
-          v
-      | exception e ->
-          Journal.abort pc.journal cpu txn;
-          raise e)
-
-(* Race-detector annotations (see {!Repro_race}) for the file system's
-   shared DRAM structures: the inode table, per-CPU inode free lists, the
-   metadata-block pool and the rewrite queue.  These are the cross-CPU
-   mutable state the per-CPU design is supposed to confine; the detector
-   checks every access happens under a lock it can observe. *)
+let count_fault t name n = Degraded.count_fault t.counters name n
+let require_writable t = Degraded.require_writable ~read_only:t.read_only
 let note ~obj ~write ~site = if Sched.monitored () then Sched.access ~obj ~write ~site
+let acpu t (cpu : Cpu.t) = cpu.id mod t.cfg.Types.cpus
 
-let find_file t ino =
-  note ~obj:"fs.files" ~write:false ~site:"fs.find_file";
-  (match Hashtbl.find_opt t.bad_inos ino with
-  | Some why -> Types.err EIO "inode %d refused by scrub: %s" ino why
-  | None -> ());
-  match Hashtbl.find_opt t.files ino with
-  | Some f -> f
-  | None -> Types.err EBADF "stale inode %d" ino
-
-(* ------------------------------------------------------------------ *)
-(* Metadata blocks: dedicated region, recycled in place (§3.4
-   "controlled fragmentation").  Falls back to the hole pool only when
-   the region is exhausted. *)
-
-let in_meta_region t off =
-  off >= t.layout.meta_pool_off && off < t.layout.meta_pool_off + t.layout.meta_pool_len
-
-let alloc_meta_block t cpu =
-  note ~obj:"fs.meta_free" ~write:true ~site:"fs.alloc_meta_block";
-  match Repro_rbtree.Extent_tree.alloc_first_fit t.meta_free ~len:block with
-  | Some off -> off
-  | None -> (
-      match Alloc.alloc t.alloc ~cpu:(acpu t cpu) ~len:block ~prefer_aligned:false with
-      | Some [ e ] when e.len = block -> e.off
-      | Some exts ->
-          List.iter (fun (e : Alloc.extent) -> Alloc.free t.alloc ~off:e.off ~len:e.len) exts;
-          Types.err ENOSPC "no space for a metadata block"
-      | None -> Types.err ENOSPC "no space for a metadata block")
-
-let free_any t ~off ~len =
-  if in_meta_region t off then begin
-    note ~obj:"fs.meta_free" ~write:true ~site:"fs.free_meta_block";
-    Repro_rbtree.Extent_tree.insert_free t.meta_free ~off ~len
-  end
-  else Alloc.free t.alloc ~off ~len
-
-(* ------------------------------------------------------------------ *)
-(* Inode allocation                                                    *)
-
-let alloc_ino t (cpu : Cpu.t) =
-  let try_cpu c =
-    let pc = t.pcpu.(c) in
-    note ~obj:(Printf.sprintf "fs.inodes[%d]" c) ~write:true ~site:"fs.alloc_ino";
-    match pc.free_inodes with
-    | idx :: rest ->
-        pc.free_inodes <- rest;
-        Some (Layout.ino_of t.layout ~cpu:c ~idx)
-    | [] -> None
-  in
-  let local = acpu t cpu in
-  match try_cpu local with
-  | Some ino -> Some ino
-  | None ->
-      let rec steal c =
-        if c >= t.cfg.cpus then None
-        else if c = local then steal (c + 1)
-        else match try_cpu c with Some ino -> Some ino | None -> steal (c + 1)
-      in
-      steal 0
-
-let release_ino t ino =
-  let c = Layout.cpu_of_ino t.layout ino in
-  note ~obj:(Printf.sprintf "fs.inodes[%d]" c) ~write:true ~site:"fs.release_ino";
-  t.pcpu.(c).free_inodes <- Layout.idx_of_ino t.layout ino :: t.pcpu.(c).free_inodes
-
-(* ------------------------------------------------------------------ *)
-(* Extent records                                                      *)
-
-(* Ensure a free slot exists, allocating an overflow block if needed
-   (metadata blocks come from the hole pool: contained fragmentation). *)
-let ensure_slot t cpu txn f =
-  match f.free_slots with
-  | s :: rest ->
-      f.free_slots <- rest;
-      s
-  | [] ->
-      if f.slot_cap < Layout.inline_extents then begin
-        (* Inline slots not yet handed out. *)
-        let s = f.slot_cap in
-        f.slot_cap <- f.slot_cap + 1;
-        s
-      end
-      else begin
-        let blk = alloc_meta_block t cpu in
-        (* Initialize-then-publish: the block is unreachable until the
-           journaled pointer update below commits. *)
-        Device.annotate t.dev (Fresh { addr = blk; len = block });
-        Device.with_site t.dev site_meta_block (fun () ->
-            Device.memset t.dev cpu ~off:blk ~len:block '\000';
-            Device.persist t.dev cpu ~off:blk ~len:block);
-        (* Link it at the tail of the chain (journaled pointer update). *)
-        (match List.rev f.overflow with
-        | [] ->
-            f.overflow <- [ blk ];
-            persist_header t cpu txn f
-        | last :: _ ->
-            f.overflow <- f.overflow @ [ blk ];
-            meta_write t cpu txn ~addr:last (Codec.Overflow.encode_header ~next:blk ~count:0));
-        let s = f.slot_cap in
-        f.slot_cap <- f.slot_cap + Codec.Overflow.capacity;
-        f.free_slots <- List.init (Codec.Overflow.capacity - 1) (fun i -> s + 1 + i);
-        s
-      end
-
-(* Add a live extent, coalescing with an adjacent record when the tail of
-   the file grows contiguously (common for appends).  Records merge only
-   within the same provenance class. *)
-let add_record t cpu txn f ~file_off ~phys ~len ~asrc =
-  let merged =
-    match Int_map.find_last_leq f.records (file_off - 1) with
-    | Some (o, r) when o + r.len = file_off && r.phys + r.len = phys && r.asrc = asrc ->
-        let r' = { r with len = r.len + len } in
-        Int_map.insert f.records o r';
-        persist_slot t cpu txn f ~slot:r.slot ~file_off:o ~phys:r.phys ~len:r'.len ~asrc;
-        true
-    | _ -> false
-  in
-  if not merged then begin
-    let slot = ensure_slot t cpu txn f in
-    Int_map.insert f.records file_off { slot; phys; len; asrc };
-    persist_slot t cpu txn f ~slot ~file_off ~phys ~len ~asrc
-  end
-
-(* Remove record coverage of [file_off, file_off+len), at most [budget]
-   records per call (journal transactions are bounded); returns the freed
-   physical runs and whether coverage remains.  Boundary records are
-   shrunk in place. *)
-let remove_records ?(budget = max_int) t cpu txn f ~file_off ~len =
-  let stop = file_off + len in
-  let freed = ref [] in
-  let removed = ref 0 in
-  let continue_scan = ref true in
-  while !continue_scan && !removed < budget do
-    let hit =
-      match Int_map.find_last_leq f.records (stop - 1) with
-      | Some (o, r) when o + r.len > file_off -> Some (o, r)
-      | _ -> None
-    in
-    match hit with
-    | None -> continue_scan := false
-    | Some (o, r) ->
-        Int_map.remove f.records o;
-        let cut_lo = max o file_off and cut_hi = min (o + r.len) stop in
-        freed := (r.phys + (cut_lo - o), cut_hi - cut_lo) :: !freed;
-        let head_len = cut_lo - o and tail_len = o + r.len - cut_hi in
-        if head_len > 0 && tail_len > 0 then begin
-          (* Split: reuse the slot for the head, new slot for the tail. *)
-          Int_map.insert f.records o { r with len = head_len };
-          persist_slot t cpu txn f ~slot:r.slot ~file_off:o ~phys:r.phys ~len:head_len
-            ~asrc:r.asrc;
-          let slot = ensure_slot t cpu txn f in
-          let tail_phys = r.phys + (cut_hi - o) in
-          Int_map.insert f.records cut_hi { slot; phys = tail_phys; len = tail_len; asrc = r.asrc };
-          persist_slot t cpu txn f ~slot ~file_off:cut_hi ~phys:tail_phys ~len:tail_len
-            ~asrc:r.asrc
-        end
-        else if head_len > 0 then begin
-          Int_map.insert f.records o { r with len = head_len };
-          persist_slot t cpu txn f ~slot:r.slot ~file_off:o ~phys:r.phys ~len:head_len
-            ~asrc:r.asrc
-        end
-        else if tail_len > 0 then begin
-          let tail_phys = r.phys + (cut_hi - o) in
-          Int_map.insert f.records cut_hi { r with phys = tail_phys; len = tail_len };
-          persist_slot t cpu txn f ~slot:r.slot ~file_off:cut_hi ~phys:tail_phys ~len:tail_len
-            ~asrc:r.asrc
-        end
-        else begin
-          (* Fully removed: zero the slot. *)
-          meta_write t cpu txn ~addr:(slot_addr t f r.slot)
-            (Bytes.make Codec.Inode.extent_bytes '\000');
-          f.free_slots <- r.slot :: f.free_slots
-        end;
-        incr removed
-  done;
-  (!freed, !continue_scan)
-
-(* Remove an arbitrarily fragmented range in bounded journal transactions,
-   freeing extents as each commits.  A crash mid-way can leave the tail of
-   the removed range already gone — acceptable for truncation, where that
-   data was being discarded anyway. *)
-let remove_records_batched t cpu f ~file_off ~len =
-  let more = ref true in
-  while !more do
-    let freed, again =
-      with_txn t cpu ~reserve:200 (fun txn ->
-          remove_records ~budget:60 t cpu txn f ~file_off ~len)
-    in
-    List.iter (fun (o, l) -> free_any t ~off:o ~len:l) freed;
-    more := again
-  done
-
-let lookup_run f ~file_off =
-  match Int_map.find_last_leq f.records file_off with
-  | Some (o, r) when o + r.len > file_off -> Some (r.phys + (file_off - o), o + r.len - file_off)
-  | _ -> None
-
-let next_mapped f ~file_off =
-  match lookup_run f ~file_off with
-  | Some _ -> Some file_off
-  | None -> (
-      match Int_map.find_first_geq f.records file_off with Some (o, _) -> Some o | None -> None)
-
-(* The §2.2 hugepage condition for the 2MB chunk at [chunk_off]. *)
-let chunk_huge_phys f ~chunk_off =
-  match lookup_run f ~file_off:chunk_off with
-  | Some (phys, run) when run >= huge && Units.is_aligned phys huge -> Some phys
-  | _ -> None
-
-(* ------------------------------------------------------------------ *)
-(* Allocation of file data                                             *)
-
-(* Allocate backing for the hole [file_off, file_off+len), chunk-aligned:
-   whole 2MB file chunks get aligned extents, partial chunks get holes.
-   Records are inserted in one transaction per call.  [zero] wipes the new
-   extents (fallocate semantics). *)
-let allocate_range t cpu txn f ~file_off ~len ~zero =
-  Counters.add t.counters "fs.alloc_bytes" len;
-  let cpu_id = acpu t cpu in
-  let alloc_one ~file_off ~len =
-    (* Alignment-preserving files grow contiguously after their previous
-       extent when possible (§3.6). *)
-    let contig_after =
-      if not f.xattr_align then None
-      else
-        match Int_map.find_last_leq f.records (file_off - 1) with
-        | Some (o, r) when o + r.len = file_off -> Some (r.phys + r.len)
-        | _ -> None
-    in
-    let exts =
-      match Alloc.alloc ?contig_after t.alloc ~cpu:cpu_id ~len ~prefer_aligned:f.xattr_align with
-      | Some exts -> exts
-      | None -> Types.err ENOSPC "allocating %d bytes" len
-    in
-    let cur = ref file_off in
-    List.iter
-      (fun (e : Alloc.extent) ->
-        if zero then Alloc.zero_extents t.dev cpu [ e ];
-        (* Whole aligned 2MB chunks come from the aligned pool; everything
-           else is hole-sourced (including xattr-aligned fronts). *)
-        let asrc = e.len = huge && Units.is_aligned e.off huge in
-        add_record t cpu txn f ~file_off:!cur ~phys:e.off ~len:e.len ~asrc;
-        cur := !cur + e.len)
-      exts
-  in
-  (* Split at 2MB file-chunk boundaries so whole chunks land on aligned
-     extents and stay hugepage-mappable. *)
-  let cur = ref file_off and stop = file_off + len in
-  while !cur < stop do
-    let chunk_end = min stop (Units.round_down !cur huge + huge) in
-    let seg_end =
-      if Units.is_aligned !cur huge then
-        (* Take as many whole chunks as possible in one allocator call. *)
-        let whole = Units.round_down (stop - !cur) huge in
-        if whole > 0 then !cur + whole else chunk_end
-      else chunk_end
-    in
-    alloc_one ~file_off:!cur ~len:(seg_end - !cur);
-    cur := seg_end
-  done
-
-(* Backing for every hole intersecting [off, off+len), block-granular. *)
-let ensure_backing t cpu txn f ~off ~len ~zero =
-  let lo = Units.round_down off block and hi = Units.round_up (off + len) block in
-  let cur = ref lo in
-  while !cur < hi do
-    match lookup_run f ~file_off:!cur with
-    | Some (_, run) -> cur := !cur + run
-    | None ->
-        let hole_end =
-          match next_mapped f ~file_off:(!cur + 1) with
-          | Some o -> min hi o
-          | None -> hi
-        in
-        allocate_range t cpu txn f ~file_off:!cur ~len:(hole_end - !cur) ~zero;
-        cur := hole_end
-  done
-
-(* Large allocations run one bounded journal transaction per ~48MB
-   segment (each extent record is a journal entry). *)
-let ensure_backing_batched t cpu f ~off ~len ~zero =
-  let seg = 48 * Units.mib in
-  let cur = ref off in
-  while !cur < off + len do
-    let n = min seg (off + len - !cur) in
-    with_txn t cpu ~reserve:150 (fun txn -> ensure_backing t cpu txn f ~off:!cur ~len:n ~zero);
-    cur := !cur + n
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Namespace resolution                                                *)
-
-let root_ino = 1
-
-let resolve t cpu path =
-  let parts = Path.split path in
-  let rec walk ino = function
-    | [] -> ino
-    | name :: rest -> (
-        let f = find_file t ino in
-        match f.dir with
-        | None -> Types.err ENOTDIR "%s" path
-        | Some idx -> (
-            match Dir_index.lookup idx cpu name with
-            | Some (child, _) -> walk child rest
-            | None -> Types.err ENOENT "%s" path))
-  in
-  walk root_ino parts
-
-let resolve_parent t cpu path =
-  let dir = Path.dirname path and name = Path.basename path in
-  let ino = resolve t cpu dir in
-  let f = find_file t ino in
-  if f.kind <> Types.Directory then Types.err ENOTDIR "%s" dir;
-  (f, name)
-
-(* ------------------------------------------------------------------ *)
-(* Directory entries on PM                                             *)
-
-(* A directory's data blocks are arrays of 64B dentry slots.  Finding a
-   free slot may extend the directory by one 4K block. *)
-let take_dentry_slot t cpu txn dirf =
-  match dirf.free_dentries with
-  | s :: rest ->
-      dirf.free_dentries <- rest;
-      s
-  | [] ->
-      let old_size = dirf.size in
-      let phys = alloc_meta_block t cpu in
-      Device.annotate t.dev (Fresh { addr = phys; len = block });
-      Device.with_site t.dev site_meta_block (fun () ->
-          Device.memset t.dev cpu ~off:phys ~len:block '\000';
-          Device.persist t.dev cpu ~off:phys ~len:block);
-      add_record t cpu txn dirf ~file_off:old_size ~phys ~len:block ~asrc:false;
-      dirf.size <- old_size + block;
-      persist_header t cpu txn dirf;
-      let slots = block / Codec.dentry_bytes in
-      dirf.free_dentries <- List.init (slots - 1) (fun i -> phys + ((i + 1) * Codec.dentry_bytes));
-      phys
-
-let write_dentry t cpu txn ~slot_phys ~ino ~name =
-  meta_write t cpu txn ~addr:slot_phys (Codec.Dentry.encode { ino; name })
-
-let clear_dentry t cpu txn ~slot_phys =
-  meta_write t cpu txn ~addr:slot_phys (Bytes.copy Codec.Dentry.free_slot)
-
-(* ------------------------------------------------------------------ *)
-(* File construction                                                   *)
-
-let new_file t ino kind =
-  let f =
-    {
-      ino;
-      kind;
-      size = 0;
-      nlink = (if kind = Types.Directory then 2 else 1);
-      xattr_align = false;
-      parent = 0;
-      dname = "";
-      records = Int_map.create ();
-      free_slots = [];
-      slot_cap = 0;
-      overflow = [];
-      dir = (if kind = Types.Directory then Some (Dir_index.create Dram_rbtree) else None);
-      free_dentries = [];
-      lock = Sched.create_mutex ();
-      dirty_bytes = 0;
-    }
-  in
-  note ~obj:"fs.files" ~write:true ~site:"fs.install_file";
-  Hashtbl.replace t.files ino f;
-  f
-
-(* A freshly-allocated inode may be a reused slot: its inline extent slots
-   must be zeroed before the header becomes valid, or a later mount would
-   resurrect the previous owner's records as ghosts.  (The inode is still
-   invalid while this runs, so plain stores suffice.) *)
-let init_inode_slots t cpu ino =
-  Device.with_site t.dev site_inode_init @@ fun () ->
-  let off = inode_addr t ino + Codec.Inode.extent_slot_off 0 in
-  let len = Layout.inline_extents * Codec.Inode.extent_bytes in
-  Device.memset t.dev cpu ~off ~len '\000';
-  Device.persist t.dev cpu ~off ~len
-
-(* Journaled creation of an inode + dentry (create/mkdir share this). *)
-let create_node t cpu parent name kind ~xattr_align =
-  (match Dir_index.lookup (Option.get parent.dir) cpu name with
-  | Some _ -> Types.err EEXIST "%s" name
-  | None -> ());
-  let ino =
-    match alloc_ino t cpu with
-    | Some ino -> ino
-    | None -> Types.err ENOSPC "out of inodes"
-  in
-  let f = new_file t ino kind in
-  f.xattr_align <- xattr_align;
-  init_inode_slots t cpu ino;
-  (try
-     with_txn t cpu ~reserve:10 (fun txn ->
-         persist_header t cpu txn f;
-         let slot_phys = take_dentry_slot t cpu txn parent in
-         write_dentry t cpu txn ~slot_phys ~ino ~name;
-         Dir_index.add (Option.get parent.dir) cpu ~name ~ino ~slot:slot_phys;
-         if kind = Types.Directory then begin
-           parent.nlink <- parent.nlink + 1;
-           persist_header t cpu txn parent
-         end)
-   with e ->
-     note ~obj:"fs.files" ~write:true ~site:"fs.create_undo";
-     Hashtbl.remove t.files ino;
-     release_ino t ino;
-     raise e);
-  f.parent <- parent.ino;
-  f.dname <- name;
-  f
+(* Build the layer stack bottom-up over an already-recovered journal set,
+   allocator and inode layer (mount passes the one its scan populated).
+   The single [Counters.t] is shared: layers charge the byte counters,
+   the facade charges the per-operation ones. *)
+let assemble dev cfg layout txns alloc inodes =
+  let counters = Counters.create () in
+  let map = Extent_map.create ~dev ~layout ~txns ~inodes ~alloc in
+  let data = Datapath.create ~dev ~cfg ~txns ~inodes ~map ~alloc ~counters in
+  let ns = Namespace.create ~dev ~txns ~inodes ~map in
+  {
+    dev;
+    cfg;
+    layout;
+    txns;
+    inodes;
+    map;
+    data;
+    ns;
+    alloc;
+    fds = Fd_table.create ();
+    counters;
+    rewrite_queue = [];
+    recovery_ns = 0;
+    read_only = false;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Format and mount                                                    *)
@@ -635,28 +113,6 @@ let write_sb t cpu ~clean =
         ~len:(Bytes.length b);
       Device.persist t.dev cpu ~off:Layout.sb_replica_off ~len:(Bytes.length b))
 
-let fresh_state dev cfg layout alloc txn_counter journals =
-  let pcpu =
-    Array.init cfg.Types.cpus (fun c ->
-        { journal = journals.(c); journal_lock = Sched.create_mutex (); free_inodes = [] })
-  in
-  {
-    dev;
-    cfg;
-    layout;
-    alloc;
-    meta_free = Repro_rbtree.Extent_tree.create ();
-    pcpu;
-    files = Hashtbl.create 1024;
-    fds = Fd_table.create ();
-    counters = Counters.create ();
-    txn_counter;
-    rewrite_queue = [];
-    recovery_ns = 0;
-    read_only = false;
-    bad_inos = Hashtbl.create 8;
-  }
-
 let invalidate_serial t cpu =
   Device.with_site t.dev site_serial @@ fun () ->
   Device.write t.dev cpu ~off:t.layout.serial_off ~src:Codec.Serial.invalid ~src_off:0
@@ -680,86 +136,18 @@ let format dev cfg =
           Device.memset dev cpu ~off ~len '\000';
           Device.persist dev cpu ~off ~len)
         layout.inode_table_off);
-  let txn_counter = Journal.Txn_counter.create () in
-  let journals =
-    Array.init cfg.cpus (fun c ->
-        Journal.format dev cpu txn_counter ~off:layout.journal_off.(c)
-          ~entries:layout.journal_entries ~copy_bytes:layout.journal_copy_bytes)
-  in
+  let txns = Txn.format dev cpu layout in
   let alloc = Alloc.create ~cpus:cfg.cpus ~regions:layout.stripes in
-  let t = fresh_state dev cfg layout alloc txn_counter journals in
-  Array.iteri
-    (fun c pc ->
-      pc.free_inodes <-
-        List.init layout.inodes_per_cpu (fun i -> i)
-        |> List.filter (fun i -> not (c = 0 && i = 0)))
-    t.pcpu;
-  Repro_rbtree.Extent_tree.insert_free t.meta_free ~off:layout.meta_pool_off
-    ~len:layout.meta_pool_len;
+  let t = assemble dev cfg layout txns alloc (Inode.create ~dev ~layout ~txns) in
+  Inode.init_free t.inodes;
+  Extent_map.seed_meta_pool t.map;
   (* Root directory (cpu 0, idx 0 -> ino 1). *)
-  let root = new_file t root_ino Types.Directory in
-  init_inode_slots t cpu root_ino;
-  with_txn t cpu ~reserve:4 (fun txn -> persist_header t cpu txn root);
+  let root = Inode.install t.inodes root_ino Types.Directory in
+  Inode.init_slots t.inodes cpu root_ino;
+  Txn.with_txn t.txns cpu ~reserve:4 (fun txn -> Inode.persist_header t.inodes cpu txn root);
   invalidate_serial t cpu;
   write_sb t cpu ~clean:false;
   t
-
-(* Read one file's persistent extent list (inline slots + overflow chain)
-   into a fresh [file]. *)
-let load_file t cpu ino (h : Codec.Inode.header) =
-  let kind = if h.is_dir then Types.Directory else Types.Regular in
-  let f = new_file t ino kind in
-  f.size <- h.size;
-  f.nlink <- h.nlink;
-  f.xattr_align <- h.xattr_align;
-  (* Overflow chain. *)
-  let rec chain blk acc =
-    if blk = 0 then List.rev acc
-    else begin
-      let hdr = Bytes.create Codec.Overflow.header_bytes in
-      Device.read t.dev cpu ~off:blk ~len:Codec.Overflow.header_bytes ~dst:hdr ~dst_off:0;
-      let next, _count = Codec.Overflow.decode_header hdr in
-      chain next (blk :: acc)
-    end
-  in
-  f.overflow <- chain h.overflow [];
-  f.slot_cap <- Layout.inline_extents + (List.length f.overflow * Codec.Overflow.capacity);
-  (* Walk every slot; live records have len > 0. *)
-  let buf = Bytes.create Codec.Inode.extent_bytes in
-  for slot = 0 to f.slot_cap - 1 do
-    let addr = slot_addr t f slot in
-    Device.read t.dev cpu ~off:addr ~len:Codec.Inode.extent_bytes ~dst:buf ~dst_off:0;
-    let file_off, phys, len_field = Codec.Inode.decode_extent buf in
-    let asrc = len_field land asrc_bit <> 0 in
-    let len = len_field land lnot asrc_bit in
-    if len > 0 then Int_map.insert f.records file_off { slot; phys; len; asrc }
-    else f.free_slots <- slot :: f.free_slots
-  done;
-  f
-
-(* Rebuild a directory's DRAM index from its dentry blocks. *)
-let load_dir_index t cpu f =
-  let idx = Option.get f.dir in
-  let free = ref [] in
-  let buf = Bytes.create Codec.dentry_bytes in
-  Int_map.iter f.records (fun file_off r ->
-      let slots = r.len / Codec.dentry_bytes in
-      for i = 0 to slots - 1 do
-        if file_off + (i * Codec.dentry_bytes) < f.size then begin
-          let phys = r.phys + (i * Codec.dentry_bytes) in
-          Device.read t.dev cpu ~off:phys ~len:Codec.dentry_bytes ~dst:buf ~dst_off:0;
-          match Codec.Dentry.decode buf with
-          | Some d ->
-              Dir_index.add idx cpu ~name:d.name ~ino:d.ino ~slot:phys;
-              (match Hashtbl.find_opt t.files d.ino with
-              | Some child ->
-                  child.parent <- f.ino;
-                  child.dname <- d.name
-              | None -> ())
-          | None -> free := phys :: !free
-        end
-      done);
-  f.free_dentries <- !free
 
 (* Mount: recover journals, rebuild DRAM indexes by scanning the inode
    tables and directory blocks, restore or rebuild the allocator. *)
@@ -811,101 +199,23 @@ let mount dev cfg =
   let layout = Layout.compute ~size:sb.size ~cpus:sb.cpus ~inodes_per_cpu:sb.inodes_per_cpu in
   (* Phase 1: journal recovery — roll back unfinished transactions in
      descending global txn-id order (§3.6 "Journal Recovery"). *)
-  let txn_counter = Journal.Txn_counter.create () in
-  let journals =
-    try
-      Array.init sb.cpus (fun c ->
-          Journal.attach dev txn_counter ~off:layout.journal_off.(c)
-            ~entries:layout.journal_entries ~copy_bytes:layout.journal_copy_bytes)
-    with
-    | Device.Media_error { off } ->
-        (* A poisoned journal header leaves no cursor to recover from. *)
-        Types.err EIO "journal header unreadable (media error at %#x)" off
-    | Invalid_argument _ -> Types.err EIO "journal header corrupt (bad magic)"
-  in
-  let pendings =
-    Array.to_list journals
-    |> List.filter_map (fun j ->
-           match Journal.scan_pending j cpu with
-           | p -> Option.map (fun p -> (j, p)) p
-           | exception Device.Media_error _ ->
-               (* Poisoned journal area: recovery for this CPU's journal is
-                  impossible — refuse it and degrade rather than guess. *)
-               incr detected;
-               incr refused;
-               degraded := true;
-               None)
-    |> List.sort (fun (_, a) (_, b) -> compare b.Journal.txn_id a.Journal.txn_id)
-  in
-  List.iter (fun (j, p) -> Journal.rollback_pending j cpu p) pendings;
-  Array.iter (fun j -> Journal.reset j cpu) journals;
-  (* Entries the scans rejected by CRC: each is a detected corruption whose
-     transaction was demoted to uncommitted and rolled back — a repair. *)
-  Array.iter
-    (fun j ->
-      let n = Journal.csum_failures j in
-      detected := !detected + n;
-      repaired := !repaired + n)
-    journals;
-  (* Phase 3 below needs the allocator last; build state with a placeholder
-     then restore it. *)
-  let alloc = Alloc.restore ~cpus:sb.cpus ~regions:layout.stripes ~free:[] in
-  let t = fresh_state dev cfg layout alloc txn_counter journals in
+  let txns = Txn.attach dev layout in
+  let r = Txn.recover txns cpu in
+  detected := !detected + r.refused_journals + r.csum_failures;
+  refused := !refused + r.refused_journals;
+  repaired := !repaired + r.csum_failures;
+  if r.refused_journals > 0 then degraded := true;
   (* Phase 2: scan the per-CPU inode tables (parallel in the paper; the
      simulated cost model charges the reads). *)
-  let used = ref [] in
-  let refuse_ino ino why =
-    incr detected;
-    incr refused;
-    degraded := true;
-    Hashtbl.replace t.bad_inos ino why
+  let inodes = Inode.create ~dev ~layout ~txns in
+  let used =
+    Inode.scan_tables inodes cpu ~on_refuse:(fun _ino _why ->
+        incr detected;
+        incr refused;
+        degraded := true)
   in
-  for c = 0 to sb.cpus - 1 do
-    let free = ref [] in
-    for idx = 0 to layout.inodes_per_cpu - 1 do
-      let ino = Layout.ino_of layout ~cpu:c ~idx in
-      let hb = Bytes.create Codec.Inode.header_bytes in
-      match
-        Device.read dev cpu ~off:(Layout.inode_off layout ino) ~len:Codec.Inode.header_bytes
-          ~dst:hb ~dst_off:0
-      with
-      | exception Device.Media_error _ -> refuse_ino ino "poisoned inode header"
-      | () ->
-          if Codec.Inode.header_is_blank hb then free := idx :: !free
-          else if not (Codec.Inode.header_csum_ok hb) then
-            (* A non-blank header failing its CRC cannot be trusted in any
-               field — the corrupt bit may be [valid] itself — so the slot
-               is never scrubbed or reused, only refused. *)
-            refuse_ino ino "inode header failed CRC"
-          else begin
-            let h = Codec.Inode.decode_header hb in
-            if h.valid then begin
-              match load_file t cpu ino h with
-              | f ->
-                  Int_map.iter f.records (fun _ r -> used := (r.phys, r.len) :: !used);
-                  List.iter (fun blk -> used := (blk, block) :: !used) f.overflow
-              | exception Device.Media_error _ ->
-                  note ~obj:"fs.files" ~write:true ~site:"fs.scrub";
-                  Hashtbl.remove t.files ino;
-                  refuse_ino ino "media error loading extent metadata"
-            end
-            else free := idx :: !free
-          end
-    done;
-    t.pcpu.(c).free_inodes <- List.rev !free
-  done;
-  if Hashtbl.mem t.bad_inos root_ino then Types.err EIO "corrupt image: root inode refused";
-  if not (Hashtbl.mem t.files root_ino) then Types.err EINVAL "corrupt image: no root";
-  (* Directory indexes.  A dentry block on a poisoned line refuses the
-     directory (paths through it then fail with EIO) but not the mount. *)
-  Hashtbl.iter
-    (fun _ f ->
-      if f.dir <> None then
-        try load_dir_index t cpu f
-        with Device.Media_error _ ->
-          if f.ino = root_ino then Types.err EIO "corrupt image: root directory unreadable";
-          refuse_ino f.ino "media error reading directory blocks")
-    t.files;
+  if Inode.is_bad inodes root_ino then Types.err EIO "corrupt image: root inode refused";
+  if Inode.find_opt inodes root_ino = None then Types.err EINVAL "corrupt image: no root";
   (* Phase 3: allocator — from the serialized free list when the unmount
      was clean, otherwise recomputed from the used-extent set. *)
   let serial_ok =
@@ -925,35 +235,46 @@ let mount dev cfg =
   (* Metadata-region blocks rebuild their own free list; data extents
      rebuild the alignment-aware allocator. *)
   let in_meta off = off >= layout.meta_pool_off && off < layout.meta_pool_off + layout.meta_pool_len in
-  let meta_shadow = Repro_rbtree.Extent_tree.create () in
-  Repro_rbtree.Extent_tree.insert_free meta_shadow ~off:layout.meta_pool_off
-    ~len:layout.meta_pool_len;
+  let meta_shadow = Extent_tree.create () in
+  Extent_tree.insert_free meta_shadow ~off:layout.meta_pool_off ~len:layout.meta_pool_len;
   List.iter
     (fun (off, len) ->
       if in_meta off then
-        if not (Repro_rbtree.Extent_tree.alloc_exact meta_shadow ~off ~len) then
+        if not (Extent_tree.alloc_exact meta_shadow ~off ~len) then
           Types.err EINVAL "corrupt image: metadata block %d double-used" off)
-    !used;
+    used;
   let free_list =
     match serial_ok with
     | Some l -> l
     | None ->
-        let shadow = Repro_rbtree.Extent_tree.create () in
+        let shadow = Extent_tree.create () in
         Array.iter
-          (fun (off, len) -> Repro_rbtree.Extent_tree.insert_free shadow ~off ~len)
+          (fun (off, len) -> Extent_tree.insert_free shadow ~off ~len)
           layout.stripes;
         List.iter
           (fun (off, len) ->
             if in_meta off then ()
-            else if not (Repro_rbtree.Extent_tree.alloc_exact shadow ~off ~len) then
+            else if not (Extent_tree.alloc_exact shadow ~off ~len) then
               Types.err EINVAL "corrupt image: extent [%d,%d) double-used" off (off + len))
-          !used;
-        Repro_rbtree.Extent_tree.to_list shadow
+          used;
+        Extent_tree.to_list shadow
   in
   let alloc = Alloc.restore ~cpus:sb.cpus ~regions:layout.stripes ~free:free_list in
-  let t = { t with alloc } in
-  Repro_rbtree.Extent_tree.iter meta_shadow (fun ~off ~len ->
-      Repro_rbtree.Extent_tree.insert_free t.meta_free ~off ~len);
+  (* Layer assembly reuses the scanned inode layer. *)
+  let t = assemble dev cfg layout txns alloc inodes in
+  Extent_tree.iter meta_shadow (fun ~off ~len -> Extent_map.add_meta_free t.map ~off ~len);
+  (* Directory indexes (reads only — safe after layer assembly).  A dentry
+     block on a poisoned line refuses the directory (paths through it then
+     fail with EIO) but not the mount. *)
+  Inode.iter t.inodes (fun f ->
+      if f.dir <> None then
+        try Namespace.load_dir_index t.ns cpu f
+        with Device.Media_error _ ->
+          if f.ino = root_ino then Types.err EIO "corrupt image: root directory unreadable";
+          incr detected;
+          incr refused;
+          degraded := true;
+          Inode.refuse t.inodes f.ino "media error reading directory blocks");
   Device.annotate dev Recovery_end;
   t.read_only <- !degraded;
   count_fault t "fault.detected" !detected;
@@ -971,16 +292,16 @@ let mount dev cfg =
 let unmount t cpu =
   if t.read_only then ()
   else begin
-  (* Serialize the allocator free lists (§3.6 "Crash Recovery and
-     unmount"); fall back to scan-on-mount when they do not fit. *)
-  (match Codec.Serial.encode (Alloc.snapshot t.alloc) ~capacity_bytes:t.layout.serial_len with
-  | Some b ->
-      Device.with_site t.dev site_serial (fun () ->
-          Device.write t.dev cpu ~off:t.layout.serial_off ~src:b ~src_off:0
-            ~len:(Bytes.length b);
-          Device.persist t.dev cpu ~off:t.layout.serial_off ~len:(Bytes.length b))
-  | None -> invalidate_serial t cpu);
-  write_sb t cpu ~clean:true
+    (* Serialize the allocator free lists (§3.6 "Crash Recovery and
+       unmount"); fall back to scan-on-mount when they do not fit. *)
+    (match Codec.Serial.encode (Alloc.snapshot t.alloc) ~capacity_bytes:t.layout.serial_len with
+    | Some b ->
+        Device.with_site t.dev site_serial (fun () ->
+            Device.write t.dev cpu ~off:t.layout.serial_off ~src:b ~src_off:0
+              ~len:(Bytes.length b);
+            Device.persist t.dev cpu ~off:t.layout.serial_off ~len:(Bytes.length b))
+    | None -> invalidate_serial t cpu);
+    write_sb t cpu ~clean:true
   end
 
 let recovery_ns t = t.recovery_ns
@@ -988,7 +309,7 @@ let device t = t.dev
 let config t = t.cfg
 let counters t = t.counters
 let read_only t = t.read_only
-let refused_inodes t = Hashtbl.length t.bad_inos
+let refused_inodes t = Inode.refused t.inodes
 
 (* ------------------------------------------------------------------ *)
 (* Namespace operations                                                *)
@@ -997,183 +318,60 @@ let mkdir t cpu path =
   Stats.span ~op:"mkdir" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   require_writable t;
-  let parent, name = resolve_parent t cpu path in
-  Sched.with_lock parent.lock (fun () ->
-      ignore (create_node t cpu parent name Types.Directory ~xattr_align:false));
+  Namespace.mkdir t.ns cpu path;
   Counters.incr t.counters "fs.mkdir"
 
 let create t cpu path =
   Stats.span ~op:"create" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   require_writable t;
-  let parent, name = resolve_parent t cpu path in
-  let f =
-    Sched.with_lock parent.lock (fun () ->
-        create_node t cpu parent name Types.Regular ~xattr_align:parent.xattr_align)
-  in
+  let f = Namespace.create_file t.ns cpu path in
   Counters.incr t.counters "fs.create";
   Fd_table.alloc t.fds ~ino:f.ino ~flags:Types.o_creat_rdwr
-
-let free_file_space t f =
-  Int_map.iter f.records (fun _ r -> free_any t ~off:r.phys ~len:r.len);
-  List.iter (fun blk -> free_any t ~off:blk ~len:block) f.overflow
 
 let unlink t cpu path =
   Stats.span ~op:"unlink" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   require_writable t;
-  let parent, name = resolve_parent t cpu path in
-  Sched.with_lock parent.lock (fun () ->
-      let idx = Option.get parent.dir in
-      match Dir_index.lookup idx cpu name with
-      | None -> Types.err ENOENT "%s" path
-      | Some (ino, slot_phys) ->
-          let f = find_file t ino in
-          if f.kind = Types.Directory then Types.err EISDIR "%s" path;
-          Sched.with_lock f.lock (fun () ->
-              with_txn t cpu ~reserve:6 (fun txn ->
-                  clear_dentry t cpu txn ~slot_phys;
-                  f.nlink <- f.nlink - 1;
-                  if f.nlink = 0 then begin
-                    let hdr = { (header_of f) with valid = false } in
-                    meta_write t cpu txn ~addr:(inode_addr t f.ino)
-                      (Codec.Inode.encode_header hdr)
-                  end
-                  else persist_header t cpu txn f);
-              Dir_index.remove idx cpu name;
-              parent.free_dentries <- slot_phys :: parent.free_dentries;
-              if f.nlink = 0 then begin
-                free_file_space t f;
-                note ~obj:"fs.files" ~write:true ~site:"fs.unlink";
-                Hashtbl.remove t.files ino;
-                release_ino t ino
-              end));
+  Namespace.unlink t.ns cpu path;
   Counters.incr t.counters "fs.unlink"
 
 let rmdir t cpu path =
   Stats.span ~op:"rmdir" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   require_writable t;
-  let parent, name = resolve_parent t cpu path in
-  Sched.with_lock parent.lock (fun () ->
-      let idx = Option.get parent.dir in
-      match Dir_index.lookup idx cpu name with
-      | None -> Types.err ENOENT "%s" path
-      | Some (ino, slot_phys) ->
-          let f = find_file t ino in
-          if f.kind <> Types.Directory then Types.err ENOTDIR "%s" path;
-          if Dir_index.size (Option.get f.dir) > 0 then Types.err ENOTEMPTY "%s" path;
-          with_txn t cpu ~reserve:6 (fun txn ->
-              clear_dentry t cpu txn ~slot_phys;
-              let hdr = { (header_of f) with valid = false } in
-              meta_write t cpu txn ~addr:(inode_addr t f.ino) (Codec.Inode.encode_header hdr);
-              parent.nlink <- parent.nlink - 1;
-              persist_header t cpu txn parent);
-          Dir_index.remove idx cpu name;
-          parent.free_dentries <- slot_phys :: parent.free_dentries;
-          free_file_space t f;
-          note ~obj:"fs.files" ~write:true ~site:"fs.rmdir";
-          Hashtbl.remove t.files ino;
-          release_ino t ino);
+  Namespace.rmdir t.ns cpu path;
   Counters.incr t.counters "fs.rmdir"
 
 let rename t cpu ~old_path ~new_path =
   Stats.span ~op:"rename" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   require_writable t;
-  let src_parent, src_name = resolve_parent t cpu old_path in
-  let dst_parent, dst_name = resolve_parent t cpu new_path in
-  (* Lock ordering by inode number prevents ABBA deadlocks. *)
-  let locks =
-    if src_parent.ino = dst_parent.ino then [ src_parent.lock ]
-    else if src_parent.ino < dst_parent.ino then [ src_parent.lock; dst_parent.lock ]
-    else [ dst_parent.lock; src_parent.lock ]
-  in
-  List.iter Sched.lock locks;
-  Fun.protect
-    ~finally:(fun () -> List.iter Sched.unlock (List.rev locks))
-    (fun () ->
-      let src_idx = Option.get src_parent.dir and dst_idx = Option.get dst_parent.dir in
-      match Dir_index.lookup src_idx cpu src_name with
-      | None -> Types.err ENOENT "%s" old_path
-      | Some (ino, src_slot) ->
-          let moved = find_file t ino in
-          let replaced =
-            match Dir_index.lookup dst_idx cpu dst_name with
-            | Some (dst_ino, _) when dst_ino = ino -> None
-            | Some (dst_ino, _) ->
-                let victim = find_file t dst_ino in
-                if victim.kind = Types.Directory then Types.err EISDIR "%s" new_path;
-                Some victim
-            | None -> None
-          in
-          let dst_slot_used = ref 0 in
-          with_txn t cpu ~reserve:10 (fun txn ->
-              (match replaced with
-              | Some victim ->
-                  (* Re-point the existing dentry; invalidate the victim. *)
-                  let _, dst_slot = Option.get (Dir_index.lookup dst_idx cpu dst_name) in
-                  dst_slot_used := dst_slot;
-                  write_dentry t cpu txn ~slot_phys:dst_slot ~ino ~name:dst_name;
-                  victim.nlink <- victim.nlink - 1;
-                  if victim.nlink = 0 then
-                    meta_write t cpu txn ~addr:(inode_addr t victim.ino)
-                      (Codec.Inode.encode_header { (header_of victim) with valid = false })
-              | None ->
-                  let dst_slot = take_dentry_slot t cpu txn dst_parent in
-                  dst_slot_used := dst_slot;
-                  write_dentry t cpu txn ~slot_phys:dst_slot ~ino ~name:dst_name);
-              clear_dentry t cpu txn ~slot_phys:src_slot;
-              if moved.kind = Types.Directory && src_parent.ino <> dst_parent.ino then begin
-                src_parent.nlink <- src_parent.nlink - 1;
-                dst_parent.nlink <- dst_parent.nlink + 1;
-                persist_header t cpu txn src_parent;
-                persist_header t cpu txn dst_parent
-              end);
-          Dir_index.remove src_idx cpu src_name;
-          src_parent.free_dentries <- src_slot :: src_parent.free_dentries;
-          Dir_index.remove dst_idx cpu dst_name;
-          Dir_index.add dst_idx cpu ~name:dst_name ~ino ~slot:!dst_slot_used;
-          moved.parent <- dst_parent.ino;
-          moved.dname <- dst_name;
-          (match replaced with
-          | Some victim when victim.nlink = 0 ->
-              free_file_space t victim;
-              note ~obj:"fs.files" ~write:true ~site:"fs.rename";
-              Hashtbl.remove t.files victim.ino;
-              release_ino t victim.ino
-          | _ -> ()));
+  Namespace.rename t.ns cpu ~old_path ~new_path;
   Counters.incr t.counters "fs.rename"
 
 let readdir t cpu path =
   Stats.span ~op:"readdir" cpu @@ fun () ->
   Cost.charge_syscall cpu;
-  let ino = resolve t cpu path in
-  let f = find_file t ino in
-  match f.dir with
-  | None -> Types.err ENOTDIR "%s" path
-  | Some idx ->
-      (* Charge a DRAM walk per entry. *)
-      Simclock.advance cpu.clock (Dir_index.size idx * 12);
-      List.map fst (Dir_index.entries idx)
+  Namespace.readdir t.ns cpu path
 
 let stat t cpu path =
   Stats.span ~op:"stat" cpu @@ fun () ->
   Cost.charge_syscall cpu;
-  let ino = resolve t cpu path in
-  let f = find_file t ino in
+  let ino = Namespace.resolve t.ns cpu path in
+  let f = Inode.find t.inodes ino in
   {
     Types.st_ino = ino;
     st_kind = f.kind;
     st_size = f.size;
     st_blocks =
-      Int_map.fold f.records ~init:0 ~f:(fun acc _ r -> acc + r.len)
+      Int_map.fold f.records ~init:0 ~f:(fun acc _ (r : Inode.record) -> acc + r.len)
       + (List.length f.overflow * block);
     st_nlink = f.nlink;
   }
 
 let exists t cpu path =
-  match resolve t cpu path with
+  match Namespace.resolve t.ns cpu path with
   | _ -> true
   | exception Types.Error ((ENOENT | ENOTDIR), _) -> false
 
@@ -1181,24 +379,16 @@ let openf t cpu path (flags : Types.open_flags) =
   Stats.span ~op:"open" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   if flags.wr || flags.creat || flags.trunc then require_writable t;
-  match resolve t cpu path with
+  match Namespace.resolve t.ns cpu path with
   | ino ->
       if flags.creat && flags.excl then Types.err EEXIST "%s" path;
-      let f = find_file t ino in
+      let f = Inode.find t.inodes ino in
       if f.kind = Types.Directory && flags.wr then Types.err EISDIR "%s" path;
       if flags.trunc && f.kind = Types.Regular && f.size > 0 then
-        Sched.with_lock f.lock (fun () ->
-            let old_size = f.size in
-            f.size <- 0;
-            with_txn t cpu ~reserve:2 (fun txn -> persist_header t cpu txn f);
-            remove_records_batched t cpu f ~file_off:0 ~len:old_size);
+        Datapath.truncate_on_open t.data cpu f;
       Fd_table.alloc t.fds ~ino ~flags
   | exception Types.Error (ENOENT, _) when flags.creat ->
-      let parent, name = resolve_parent t cpu path in
-      let f =
-        Sched.with_lock parent.lock (fun () ->
-            create_node t cpu parent name Types.Regular ~xattr_align:parent.xattr_align)
-      in
+      let f = Namespace.create_file t.ns cpu path in
       Fd_table.alloc t.fds ~ino:f.ino ~flags
 
 let close t cpu fd =
@@ -1208,162 +398,10 @@ let close t cpu fd =
 
 let file_size t fd =
   let e = Fd_table.get t.fds fd in
-  (find_file t e.ino).size
+  (Inode.find t.inodes e.ino).size
 
 (* ------------------------------------------------------------------ *)
-(* Data path                                                           *)
-
-let strict t = t.cfg.mode = Types.Strict
-
-(* Is the backing record an aligned-pool extent (data-journaling
-   territory) or a hole (copy-on-write territory)?  §3.4 "Data Atomicity:
-   Hybrid Techniques" — decided by provenance. *)
-let backed_aligned f ~file_off =
-  match Int_map.find_last_leq f.records file_off with
-  | Some (o, r) when o + r.len > file_off -> r.asrc
-  | _ -> false
-
-(* Strict-mode overwrite of a fully-backed range, journaled inside the
-   caller's transaction so the enclosing system call stays atomic.
-   Returns the physical runs to free after commit (from CoW swaps). *)
-let overwrite_in_txn t cpu txn f ~off ~src ~src_off ~len =
-  let j = (jcpu t cpu).journal in
-  let freed_acc = ref [] in
-  let cur = ref 0 in
-  while !cur < len do
-    let file_off = off + !cur in
-    let phys, run =
-      match lookup_run f ~file_off with Some pr -> pr | None -> assert false
-    in
-    let n = min (len - !cur) run in
-    if backed_aligned f ~file_off then begin
-      (* Data journaling: undo-log the old data, then write in place. *)
-      Device.with_site t.dev site_data_journal (fun () ->
-          Journal.log_range j cpu txn ~addr:phys ~len:n;
-          Device.write_nt t.dev cpu ~off:phys ~src ~src_off:(src_off + !cur) ~len:n;
-          Device.fence t.dev cpu);
-      Counters.add t.counters "fs.data_journal_bytes" n
-    end
-    else begin
-      (* Copy-on-write into fresh holes: block-align the replaced range,
-         preserve untouched head/tail bytes, then swap the records. *)
-      let blo = Units.round_down file_off block in
-      let bhi =
-        min
-          (Units.round_up (file_off + n) block)
-          (Units.round_up (max f.size (file_off + n)) block)
-      in
-      let cow_len = bhi - blo in
-      let exts =
-        match Alloc.alloc t.alloc ~cpu:(acpu t cpu) ~len:cow_len ~prefer_aligned:false with
-        | Some exts -> exts
-        | None -> Types.err ENOSPC "CoW allocation of %d bytes" cow_len
-      in
-      let write_piece (e : Alloc.extent) ~piece_file_off =
-        let ov_lo = max piece_file_off file_off
-        and ov_hi = min (piece_file_off + e.len) (file_off + n) in
-        (* Preserve only the block edges the new data does not cover. *)
-        let rec preserve cur stop =
-          if cur < stop then begin
-            match lookup_run f ~file_off:cur with
-            | Some (old_phys, old_run) ->
-                let m = min (stop - cur) old_run in
-                Device.copy_within_nt t.dev cpu ~src:old_phys
-                  ~dst:(e.off + (cur - piece_file_off)) ~len:m;
-                preserve (cur + m) stop
-            | None ->
-                Device.memset_nt t.dev cpu ~off:(e.off + (cur - piece_file_off))
-                  ~len:(stop - cur) '\000'
-          end
-        in
-        preserve piece_file_off (min ov_lo (piece_file_off + e.len));
-        preserve (max ov_hi piece_file_off) (piece_file_off + e.len);
-        if ov_hi > ov_lo then
-          Device.write_nt t.dev cpu ~off:(e.off + (ov_lo - piece_file_off)) ~src
-            ~src_off:(src_off + !cur + (ov_lo - file_off)) ~len:(ov_hi - ov_lo);
-        Device.fence t.dev cpu
-      in
-      let pf = ref blo in
-      List.iter
-        (fun (e : Alloc.extent) ->
-          Device.annotate t.dev (Fresh { addr = e.off; len = e.len });
-          Device.with_site t.dev site_cow (fun () -> write_piece e ~piece_file_off:!pf);
-          pf := !pf + e.len)
-        exts;
-      let freed, _ = remove_records t cpu txn f ~file_off:blo ~len:cow_len in
-      freed_acc := freed @ !freed_acc;
-      let pf = ref blo in
-      List.iter
-        (fun (e : Alloc.extent) ->
-          add_record t cpu txn f ~file_off:!pf ~phys:e.off ~len:e.len ~asrc:false;
-          pf := !pf + e.len)
-        exts;
-      Counters.add t.counters "fs.cow_bytes" cow_len
-    end;
-    cur := !cur + n
-  done;
-  !freed_acc
-
-(* A write fits the single-transaction atomic path when its journal needs
-   (undo copy bytes for aligned overwrites, entry slots for record churn)
-   fit one transaction.  Larger writes fall back to a sequence of bounded
-   transactions — each atomic, the whole write not (documented deviation;
-   the paper bounds transactions at 640B of entries plus the copy area). *)
-let fits_one_txn t f ~off ~len =
-  let j = t.pcpu.(0).journal in
-  len <= Journal.copy_capacity j
-  &&
-  (* Count records the overlap touches — bounded scan. *)
-  let stop = min (off + len) f.size in
-  let rec count cur acc =
-    if cur >= stop || acc > 50 then acc
-    else
-      match lookup_run f ~file_off:cur with
-      | Some (_, run) -> count (cur + run) (acc + 1)
-      | None -> (
-          match next_mapped f ~file_off:(cur + 1) with
-          | Some o -> count o (acc + 1)
-          | None -> acc)
-  in
-  count off 0 <= 50
-
-(* Hole ranges of [f] intersecting the block-aligned span of a write:
-   after allocation, any part of these outside the written range must be
-   zeroed or reads would see the blocks' previous contents. *)
-let holes_in f ~off ~len =
-  let lo = Units.round_down off block and hi = Units.round_up (off + len) block in
-  let holes = ref [] in
-  let cur = ref lo in
-  while !cur < hi do
-    match lookup_run f ~file_off:!cur with
-    | Some (_, run) -> cur := !cur + run
-    | None ->
-        let hole_end =
-          match next_mapped f ~file_off:(!cur + 1) with Some o -> min hi o | None -> hi
-        in
-        holes := (!cur, hole_end) :: !holes;
-        cur := hole_end
-  done;
-  !holes
-
-let zero_uncovered t cpu f holes ~off ~len =
-  Device.with_site t.dev site_zero @@ fun () ->
-  List.iter
-    (fun (h_lo, h_hi) ->
-      let zero_range lo hi =
-        let cur = ref lo in
-        while !cur < hi do
-          match lookup_run f ~file_off:!cur with
-          | Some (phys, run) ->
-              let n = min (hi - !cur) run in
-              Device.memset_nt t.dev cpu ~off:phys ~len:n '\000';
-              cur := !cur + n
-          | None -> cur := hi
-        done
-      in
-      if h_lo < off then zero_range h_lo (min off h_hi);
-      if h_hi > off + len then zero_range (max (off + len) h_lo) h_hi)
-    holes
+(* Data operations                                                     *)
 
 let pwrite t cpu fd ~off ~src =
   Stats.span ~op:"pwrite" cpu @@ fun () ->
@@ -1371,119 +409,13 @@ let pwrite t cpu fd ~off ~src =
   require_writable t;
   let e = Fd_table.get t.fds fd in
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
-  let f = find_file t e.ino in
+  let f = Inode.find t.inodes e.ino in
   if f.kind = Types.Directory then Types.err EISDIR "fd %d" fd;
-  let len = String.length src in
-  if len = 0 then 0
-  else begin
-    if off < 0 then Types.err EINVAL "negative offset";
-    Sched.with_lock f.lock (fun () ->
-        let pre_holes = holes_in f ~off ~len in
-        let src_b = Bytes.unsafe_of_string src in
-        let write_extension () =
-          Device.with_site t.dev site_data @@ fun () ->
-          (* Pure extension data: no old contents to protect; data lands
-             before the size bump commits. *)
-          let old_size = f.size in
-          let ext_lo = max off (min (off + len) old_size) in
-          let cur = ref ext_lo in
-          while !cur < off + len do
-            let phys, run = Option.get (lookup_run f ~file_off:!cur) in
-            let n = min (off + len - !cur) run in
-            Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
-            cur := !cur + n
-          done;
-          if off + len > ext_lo then
-            if strict t then Device.fence t.dev cpu
-            else f.dirty_bytes <- f.dirty_bytes + (off + len - ext_lo)
-        in
-        let overlap_hi = min (off + len) f.size in
-        if strict t && fits_one_txn t f ~off ~len then begin
-          (* The whole system call is one journal transaction (§3.6). *)
-          let freed = ref [] in
-          with_txn t cpu ~reserve:200 (fun txn ->
-              ensure_backing t cpu txn f ~off ~len ~zero:false;
-              zero_uncovered t cpu f pre_holes ~off ~len;
-              if overlap_hi > off then
-                freed :=
-                  overwrite_in_txn t cpu txn f ~off ~src:src_b ~src_off:0
-                    ~len:(overlap_hi - off);
-              write_extension ();
-              if off + len > f.size then begin
-                f.size <- off + len;
-                persist_size t cpu txn f
-              end);
-          List.iter (fun (o, l) -> Alloc.free t.alloc ~off:o ~len:l) !freed
-        end
-        else if (not (strict t)) && len <= 16 * Units.mib then begin
-          (* Relaxed-mode fast path: allocation, in-place data, and the
-             size bump share one journal transaction (fine-grained
-             journaling, §3.5). *)
-          let freed = ref [] in
-          with_txn t cpu ~reserve:150 (fun txn ->
-              ensure_backing t cpu txn f ~off ~len ~zero:false;
-              zero_uncovered t cpu f pre_holes ~off ~len;
-              if overlap_hi > off then
-                Device.with_site t.dev site_data (fun () ->
-                    let cur = ref off in
-                    while !cur < overlap_hi do
-                      let phys, run = Option.get (lookup_run f ~file_off:!cur) in
-                      let n = min (overlap_hi - !cur) run in
-                      Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off)
-                        ~len:n;
-                      f.dirty_bytes <- f.dirty_bytes + n;
-                      cur := !cur + n
-                    done);
-              write_extension ();
-              if off + len > f.size then begin
-                f.size <- off + len;
-                persist_size t cpu txn f
-              end);
-          List.iter (fun (o, l) -> Alloc.free t.alloc ~off:o ~len:l) !freed
-        end
-        else begin
-          (* Large or heavily fragmented write: bounded transactions. *)
-          ensure_backing_batched t cpu f ~off ~len ~zero:false;
-          zero_uncovered t cpu f pre_holes ~off ~len;
-          if strict t && overlap_hi > off then begin
-            let j = (jcpu t cpu).journal in
-            let cap = Journal.copy_capacity j in
-            let cur = ref off in
-            while !cur < overlap_hi do
-              let piece = min cap (overlap_hi - !cur) in
-              let freed = ref [] in
-              with_txn t cpu ~reserve:200 (fun txn ->
-                  freed :=
-                    overwrite_in_txn t cpu txn f ~off:!cur ~src:src_b
-                      ~src_off:(!cur - off) ~len:piece);
-              List.iter (fun (o, l) -> Alloc.free t.alloc ~off:o ~len:l) !freed;
-              cur := !cur + piece
-            done
-          end
-          else if overlap_hi > off then
-            (* Relaxed: in-place, durable at fsync. *)
-            Device.with_site t.dev site_data (fun () ->
-                let cur = ref off in
-                while !cur < overlap_hi do
-                  let phys, run = Option.get (lookup_run f ~file_off:!cur) in
-                  let n = min (overlap_hi - !cur) run in
-                  Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
-                  f.dirty_bytes <- f.dirty_bytes + n;
-                  cur := !cur + n
-                done);
-          write_extension ();
-          if off + len > f.size then begin
-            f.size <- off + len;
-            with_txn t cpu ~reserve:2 (fun txn -> persist_size t cpu txn f)
-          end
-        end);
-    Counters.add t.counters "fs.write_bytes" len;
-    len
-  end
+  Datapath.pwrite t.data cpu f ~off ~src
 
 let append t cpu fd ~src =
   let e = Fd_table.get t.fds fd in
-  let f = find_file t e.ino in
+  let f = Inode.find t.inodes e.ino in
   pwrite t cpu fd ~off:f.size ~src
 
 let pread t cpu fd ~off ~len =
@@ -1491,54 +423,16 @@ let pread t cpu fd ~off ~len =
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   if not e.flags.rd then Types.err EBADF "fd %d not readable" fd;
-  let f = find_file t e.ino in
+  let f = Inode.find t.inodes e.ino in
   if f.kind = Types.Directory then Types.err EISDIR "fd %d" fd;
-  if off < 0 || len < 0 then Types.err EINVAL "bad range";
-  let len = max 0 (min len (f.size - off)) in
-  if len = 0 then ""
-  else begin
-    let dst = Bytes.make len '\000' in
-    let cur = ref off in
-    while !cur < off + len do
-      match lookup_run f ~file_off:!cur with
-      | Some (phys, run) ->
-          let n = min (off + len - !cur) run in
-          (try Device.read t.dev cpu ~off:phys ~len:n ~dst ~dst_off:(!cur - off)
-           with Device.Media_error { off = bad } ->
-             (* Simulated MCE: never return made-up bytes — the read is
-                refused with EIO, as a DAX read of a poisoned line would
-                be. *)
-             count_fault t "fault.detected" 1;
-             count_fault t "fault.refused" 1;
-             Types.err EIO "media error at %#x reading ino %d" bad f.ino);
-          cur := !cur + n
-      | None ->
-          (* Hole: zeros. *)
-          let hole_end =
-            match next_mapped f ~file_off:(!cur + 1) with
-            | Some o -> min (off + len) o
-            | None -> off + len
-          in
-          cur := hole_end
-    done;
-    Counters.add t.counters "fs.read_bytes" len;
-    Bytes.unsafe_to_string dst
-  end
+  Datapath.pread t.data cpu f ~off ~len
 
 let fsync t cpu fd =
   Stats.span ~op:"fsync" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
-  let f = find_file t e.ino in
-  (* Strict mode is synchronous: nothing to do.  Relaxed mode flushes the
-     file's dirty data (modelled as flush cost over the dirty volume). *)
-  if not (strict t) && f.dirty_bytes > 0 then begin
-    let lines = (f.dirty_bytes + Units.cacheline - 1) / Units.cacheline in
-    Simclock.advance cpu.clock
-      (int_of_float ((Device.cost t.dev).flush_ns *. float_of_int lines));
-    Device.fence t.dev cpu;
-    f.dirty_bytes <- 0
-  end;
+  let f = Inode.find t.inodes e.ino in
+  Datapath.fsync t.data cpu f;
   Counters.incr t.counters "fs.fsync"
 
 let fallocate t cpu fd ~off ~len =
@@ -1546,16 +440,8 @@ let fallocate t cpu fd ~off ~len =
   Cost.charge_syscall cpu;
   require_writable t;
   let e = Fd_table.get t.fds fd in
-  let f = find_file t e.ino in
-  if off < 0 || len <= 0 then Types.err EINVAL "bad range";
-  Sched.with_lock f.lock (fun () ->
-      (* WineFS zeroes at allocation time so page faults only build
-         mappings (§5.4 PmemKV discussion). *)
-      ensure_backing_batched t cpu f ~off ~len ~zero:true;
-      if off + len > f.size then begin
-        f.size <- off + len;
-        with_txn t cpu ~reserve:2 (fun txn -> persist_size t cpu txn f)
-      end);
+  let f = Inode.find t.inodes e.ino in
+  Datapath.fallocate t.data cpu f ~off ~len;
   Counters.incr t.counters "fs.fallocate"
 
 let ftruncate t cpu fd new_size =
@@ -1563,30 +449,8 @@ let ftruncate t cpu fd new_size =
   Cost.charge_syscall cpu;
   require_writable t;
   let e = Fd_table.get t.fds fd in
-  let f = find_file t e.ino in
-  if new_size < 0 then Types.err EINVAL "negative size";
-  Sched.with_lock f.lock (fun () ->
-      if new_size < f.size then begin
-        let lo = Units.round_up new_size block in
-        let old_size = f.size in
-        f.size <- new_size;
-        with_txn t cpu ~reserve:2 (fun txn -> persist_size t cpu txn f);
-        if old_size > lo then remove_records_batched t cpu f ~file_off:lo ~len:(old_size - lo);
-        (* Zero the mapped tail of the last block so a later size extension
-           reads zeros, per POSIX. *)
-        (if lo > new_size then
-           match lookup_run f ~file_off:new_size with
-           | Some (phys, run) ->
-               Device.with_site t.dev site_zero (fun () ->
-                   Device.memset_nt t.dev cpu ~off:phys ~len:(min run (lo - new_size)) '\000';
-                   Device.fence t.dev cpu)
-           | None -> ())
-      end
-      else if new_size > f.size then begin
-        (* Sparse extension: no allocation (LMDB relies on this). *)
-        f.size <- new_size;
-        with_txn t cpu ~reserve:2 (fun txn -> persist_size t cpu txn f)
-      end);
+  let f = Inode.find t.inodes e.ino in
+  Datapath.ftruncate t.data cpu f new_size;
   Counters.incr t.counters "fs.ftruncate"
 
 (* ------------------------------------------------------------------ *)
@@ -1594,96 +458,45 @@ let ftruncate t cpu fd new_size =
 
 let mmap_backing t fd : Vmem.backing =
   let e = Fd_table.get t.fds fd in
-  let ino = e.ino in
-  fun cpu ~file_off ~huge_ok ->
-    let f = find_file t ino in
-    if huge_ok then begin
-      match chunk_huge_phys f ~chunk_off:file_off with
-      | Some phys -> Vmem.Huge phys
-      | None ->
-          let covered = lookup_run f ~file_off <> None in
-          if covered then begin
-            (* Unaligned or fragmented backing: fall back to base pages,
-               and queue the file for reactive rewriting (§3.6). *)
-            note ~obj:"fs.rewrite_queue" ~write:true ~site:"fs.fault_queue";
-            if not (List.mem ino t.rewrite_queue) then
-              t.rewrite_queue <- ino :: t.rewrite_queue;
-            match lookup_run f ~file_off with
-            | Some (phys, run) when run >= block -> Vmem.Base phys
-            | _ -> Vmem.Sigbus
-          end
-          else if t.read_only then Vmem.Sigbus
-            (* degraded: faulting a hole would allocate — refuse *)
-          else begin
-            (* Hole: allocate a whole aligned extent at fault time so the
-               chunk maps as a hugepage (LMDB-style sparse files win here). *)
-            match Alloc.alloc_hugepage t.alloc ~cpu:(acpu t cpu) with
-            | Some phys ->
-                Alloc.zero_extents t.dev cpu [ { Alloc.off = phys; len = huge } ];
-                Sched.with_lock f.lock (fun () ->
-                    with_txn t cpu ~reserve:4 (fun txn ->
-                        add_record t cpu txn f ~file_off ~phys ~len:huge ~asrc:true));
-                Counters.incr t.counters "fs.fault_huge_allocs";
-                Vmem.Huge phys
-            | None -> (
-                (* No aligned extents left: 4K on demand. *)
-                match
-                  Alloc.alloc t.alloc ~cpu:(acpu t cpu) ~len:block ~prefer_aligned:false
-                with
-                | Some [ ext ] ->
-                    Alloc.zero_extents t.dev cpu [ ext ];
-                    Sched.with_lock f.lock (fun () ->
-                        with_txn t cpu ~reserve:4 (fun txn ->
-                            add_record t cpu txn f ~file_off ~phys:ext.off ~len:block
-                              ~asrc:false));
-                    Vmem.Base ext.off
-                | _ -> Vmem.Sigbus)
-          end
-    end
-    else begin
-      match lookup_run f ~file_off with
-      | Some (phys, _) -> Vmem.Base phys
-      | None when t.read_only -> Vmem.Sigbus
-      | None -> (
-          match Alloc.alloc t.alloc ~cpu:(acpu t cpu) ~len:block ~prefer_aligned:false with
-          | Some [ ext ] ->
-              Alloc.zero_extents t.dev cpu [ ext ];
-              Sched.with_lock f.lock (fun () ->
-                  with_txn t cpu ~reserve:4 (fun txn ->
-                      add_record t cpu txn f ~file_off ~phys:ext.off ~len:block ~asrc:false));
-              Vmem.Base ext.off
-          | _ -> Vmem.Sigbus)
-    end
+  let enqueue ino =
+    (* Queue the file for reactive rewriting (§3.6). *)
+    note ~obj:"fs.rewrite_queue" ~write:true ~site:"fs.fault_queue";
+    if not (List.mem ino t.rewrite_queue) then t.rewrite_queue <- ino :: t.rewrite_queue
+  in
+  Datapath.fault t.data ~read_only:(fun () -> t.read_only) ~enqueue e.ino
 
 let set_xattr_align t cpu path v =
   Stats.span ~op:"set_xattr_align" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   require_writable t;
-  let ino = resolve t cpu path in
-  let f = find_file t ino in
+  let ino = Namespace.resolve t.ns cpu path in
+  let f = Inode.find t.inodes ino in
   Sched.with_lock f.lock (fun () ->
       f.xattr_align <- v;
-      with_txn t cpu ~reserve:2 (fun txn -> persist_header t cpu txn f))
+      Txn.with_txn t.txns cpu ~reserve:2 (fun txn -> Inode.persist_header t.inodes cpu txn f))
 
-(* Reactive rewriting (§3.6): a background pass that rewrites fragmented
-   memory-mapped files using big allocations.  As in the paper, the new
-   copy is built under a fresh (not-yet-valid) inode and a single journal
-   transaction atomically deletes the old file and points the directory
-   entry at the new one.  Open files are skipped (retried next pass). *)
-let rewrite_one t cpu f =
+(* ------------------------------------------------------------------ *)
+(* Reactive rewriting (§3.6)                                           *)
+
+(* A background pass that rewrites fragmented memory-mapped files using
+   big allocations.  As in the paper, the new copy is built under a fresh
+   (not-yet-valid) inode and a single journal transaction atomically
+   deletes the old file and points the directory entry at the new one.
+   Open files are skipped (retried next pass). *)
+let rewrite_one t cpu (f : Inode.file) =
   let size = Units.round_up f.size block in
   if size = 0 then false
   else
-    match alloc_ino t cpu with
+    match Inode.alloc_ino t.inodes cpu with
     | None -> false
     | Some new_ino -> (
         match Alloc.alloc t.alloc ~cpu:(acpu t cpu) ~len:size ~prefer_aligned:true with
         | None ->
-            release_ino t new_ino;
+            Inode.release_ino t.inodes new_ino;
             false (* not enough space; leave the file alone *)
         | Some exts ->
-            let nf = new_file t new_ino Types.Regular in
-            init_inode_slots t cpu new_ino;
+            let nf = Inode.install t.inodes new_ino Types.Regular in
+            Inode.init_slots t.inodes cpu new_ino;
             nf.size <- f.size;
             nf.xattr_align <- f.xattr_align;
             (* Copy current contents into the new extents and record them
@@ -1696,7 +509,7 @@ let rewrite_one t cpu f =
                 Device.with_site t.dev site_rewrite (fun () ->
                     let copied = ref 0 in
                     while !copied < ext.len do
-                      (match lookup_run f ~file_off:(!pf + !copied) with
+                      (match Extent_map.lookup_run f ~file_off:(!pf + !copied) with
                       | Some (phys, run) ->
                           let n = min run (ext.len - !copied) in
                           Device.copy_within_nt t.dev cpu ~src:phys ~dst:(ext.off + !copied)
@@ -1707,57 +520,49 @@ let rewrite_one t cpu f =
                             ~len:(ext.len - !copied) '\000';
                           copied := ext.len)
                     done);
-                with_txn t cpu ~reserve:6 (fun txn ->
-                    add_record t cpu txn nf ~file_off:!pf ~phys:ext.off ~len:ext.len
+                Txn.with_txn t.txns cpu ~reserve:6 (fun txn ->
+                    Extent_map.add_record t.map cpu txn nf ~file_off:!pf ~phys:ext.off
+                      ~len:ext.len
                       ~asrc:(ext.len = huge && Units.is_aligned ext.off huge));
                 pf := !pf + ext.len)
               exts;
             Device.with_site t.dev site_rewrite (fun () -> Device.fence t.dev cpu);
             (* The atomic swap: old inode dies, dentry re-points, new inode
                becomes valid — one transaction (§3.6). *)
-            let parent = find_file t f.parent in
-            let slot_phys =
-              match Dir_index.lookup (Option.get parent.dir) cpu f.dname with
-              | Some (_, s) -> s
-              | None -> Types.err ENOENT "rewrite: dentry for %s vanished" f.dname
-            in
-            with_txn t cpu ~reserve:8 (fun txn ->
-                persist_header t cpu txn nf;
-                meta_write t cpu txn ~addr:(inode_addr t f.ino)
-                  (Codec.Inode.encode_header { (header_of f) with valid = false });
-                write_dentry t cpu txn ~slot_phys ~ino:new_ino ~name:f.dname);
-            Dir_index.remove (Option.get parent.dir) cpu f.dname;
-            Dir_index.add (Option.get parent.dir) cpu ~name:f.dname ~ino:new_ino
+            let parent = Inode.find t.inodes f.parent in
+            let slot_phys = Namespace.rewrite_dentry_slot t.ns cpu ~parent ~name:f.dname in
+            Txn.with_txn t.txns cpu ~reserve:8 (fun txn ->
+                Inode.persist_header t.inodes cpu txn nf;
+                Inode.persist_invalid t.inodes cpu txn f;
+                Namespace.write_dentry t.ns cpu txn ~slot_phys ~ino:new_ino ~name:f.dname);
+            Namespace.retarget_index t.ns cpu ~parent ~name:f.dname ~ino:new_ino
               ~slot:slot_phys;
             nf.parent <- f.parent;
             nf.dname <- f.dname;
-            free_file_space t f;
-            note ~obj:"fs.files" ~write:true ~site:"fs.rewrite_one";
-            Hashtbl.remove t.files f.ino;
-            release_ino t f.ino;
+            Extent_map.free_file_space t.map f;
+            Inode.forget t.inodes ~site:"fs.rewrite_one" f.ino;
+            Inode.release_ino t.inodes f.ino;
             Counters.incr t.counters "fs.reactive_rewrites";
             true)
 
 let run_rewriter t cpu =
   if t.read_only then 0
   else begin
-  note ~obj:"fs.rewrite_queue" ~write:true ~site:"fs.run_rewriter";
-  let queue = t.rewrite_queue in
-  t.rewrite_queue <- [];
-  let rewritten = ref 0 in
-  List.iter
-    (fun ino ->
-      match Hashtbl.find_opt t.files ino with
-      | None -> ()
-      | Some f ->
-          if Fd_table.is_open_ino t.fds ino then
-            (* Still open (possibly mapped): retry on a later pass. *)
-            t.rewrite_queue <- ino :: t.rewrite_queue
-          else
-            Sched.with_lock f.lock (fun () ->
-                if rewrite_one t cpu f then incr rewritten))
-    queue;
-  !rewritten
+    note ~obj:"fs.rewrite_queue" ~write:true ~site:"fs.run_rewriter";
+    let queue = t.rewrite_queue in
+    t.rewrite_queue <- [];
+    let rewritten = ref 0 in
+    List.iter
+      (fun ino ->
+        match Inode.find_opt t.inodes ino with
+        | None -> ()
+        | Some f ->
+            if Fd_table.is_open_ino t.fds ino then
+              (* Still open (possibly mapped): retry on a later pass. *)
+              t.rewrite_queue <- ino :: t.rewrite_queue
+            else Sched.with_lock f.lock (fun () -> if rewrite_one t cpu f then incr rewritten))
+      queue;
+    !rewritten
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1781,8 +586,10 @@ let statfs t =
   }
 
 let file_extents t cpu path =
-  let ino = resolve t cpu path in
-  let f = find_file t ino in
-  List.rev (Int_map.fold f.records ~init:[] ~f:(fun acc o r -> (o, r.phys, r.len) :: acc))
+  let ino = Namespace.resolve t.ns cpu path in
+  let f = Inode.find t.inodes ino in
+  List.rev
+    (Int_map.fold f.records ~init:[] ~f:(fun acc o (r : Inode.record) ->
+         (o, r.phys, r.len) :: acc))
 
 let rewrite_queue_length t = List.length t.rewrite_queue

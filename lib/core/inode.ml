@@ -1,0 +1,271 @@
+open Repro_util
+module Device = Repro_pmem.Device
+module Site = Repro_pmem.Site
+module Sched = Repro_sched.Sched
+module Types = Repro_vfs.Types
+module Dir_index = Repro_vfs.Dir_index
+module Int_map = Repro_rbtree.Rbtree.Int_map
+
+let block = Units.base_page
+let site_inode_init = Site.v "core" "inode-init"
+
+type record = { slot : int; phys : int; len : int; asrc : bool }
+
+type file = {
+  ino : int;
+  mutable kind : Types.file_kind;
+  mutable size : int;
+  mutable nlink : int;
+  mutable xattr_align : bool;
+  mutable parent : int;
+  mutable dname : string;
+  records : record Int_map.t;
+  mutable free_slots : int list;
+  mutable slot_cap : int;
+  mutable overflow : int list;
+  mutable dir : Dir_index.t option;
+  mutable free_dentries : int list;
+  lock : Sched.mutex;
+  mutable dirty_bytes : int;
+}
+
+type t = {
+  dev : Device.t;
+  layout : Layout.t;
+  txns : Txn.t;
+  files : (int, file) Hashtbl.t;
+  bad_inos : (int, string) Hashtbl.t; (* ino -> why the scrub refused it *)
+  free : int list array; (* per-CPU inode idx free lists *)
+}
+
+(* Race-detector annotations (see {!Repro_race}) for the shared DRAM inode
+   table and per-CPU free lists — cross-CPU mutable state the per-CPU
+   design is supposed to confine. *)
+let note ~obj ~write ~site = if Sched.monitored () then Sched.access ~obj ~write ~site
+
+let create ~dev ~layout ~txns =
+  {
+    dev;
+    layout;
+    txns;
+    files = Hashtbl.create 1024;
+    bad_inos = Hashtbl.create 8;
+    free = Array.make layout.Layout.cpus [];
+  }
+
+let inode_addr t ino = Layout.inode_off t.layout ino
+
+let slot_addr t f slot =
+  if slot < Layout.inline_extents then inode_addr t f.ino + Codec.Inode.extent_slot_off slot
+  else begin
+    let s = slot - Layout.inline_extents in
+    let blk = List.nth f.overflow (s / Codec.Overflow.capacity) in
+    blk + Codec.Overflow.record_off (s mod Codec.Overflow.capacity)
+  end
+
+let header_of f =
+  {
+    Codec.Inode.valid = true;
+    is_dir = f.kind = Types.Directory;
+    xattr_align = f.xattr_align;
+    size = f.size;
+    nlink = f.nlink;
+    extent_count = Int_map.size f.records;
+    overflow = (match f.overflow with b :: _ -> b | [] -> 0);
+  }
+
+let persist_header t cpu txn f =
+  Txn.meta_write t.txns cpu txn ~addr:(inode_addr t f.ino)
+    (Codec.Inode.encode_header (header_of f))
+
+let persist_invalid t cpu txn f =
+  Txn.meta_write t.txns cpu txn ~addr:(inode_addr t f.ino)
+    (Codec.Inode.encode_header { (header_of f) with valid = false })
+
+(* The checksum is recomputed over the header's current device bytes so
+   fields this path does not touch (extent_count may lag the record map
+   until the next full header persist) stay covered exactly as stored. *)
+let persist_size t cpu txn f =
+  let addr = inode_addr t f.ino in
+  let hdr = Bytes.create Codec.Inode.header_bytes in
+  Device.read t.dev cpu ~off:addr ~len:Codec.Inode.header_bytes ~dst:hdr ~dst_off:0;
+  Bytes.set_int64_le hdr 8 (Int64.of_int f.size);
+  Crc32c.set_zeroed hdr ~off:0 ~len:Codec.Inode.header_bytes ~csum_off:Codec.Inode.csum_off;
+  Txn.meta_write t.txns cpu txn ~addr:(addr + 8) (Bytes.sub hdr 8 8);
+  Txn.meta_write t.txns cpu txn ~addr:(addr + Codec.Inode.csum_off)
+    (Bytes.sub hdr Codec.Inode.csum_off 8)
+
+let asrc_bit = 1 lsl 62
+
+let persist_slot t cpu txn f ~slot ~file_off ~phys ~len ~asrc =
+  let len_field = if asrc then len lor asrc_bit else len in
+  Txn.meta_write t.txns cpu txn ~addr:(slot_addr t f slot)
+    (Codec.Inode.encode_extent ~file_off ~phys ~len:len_field)
+
+let clear_slot t cpu txn f slot =
+  Txn.meta_write t.txns cpu txn ~addr:(slot_addr t f slot)
+    (Bytes.make Codec.Inode.extent_bytes '\000')
+
+(* A freshly-allocated inode may be a reused slot: its inline extent slots
+   must be zeroed before the header becomes valid, or a later mount would
+   resurrect the previous owner's records as ghosts.  (The inode is still
+   invalid while this runs, so plain stores suffice.) *)
+let init_slots t cpu ino =
+  Device.with_site t.dev site_inode_init @@ fun () ->
+  let off = inode_addr t ino + Codec.Inode.extent_slot_off 0 in
+  let len = Layout.inline_extents * Codec.Inode.extent_bytes in
+  Device.memset t.dev cpu ~off ~len '\000';
+  Device.persist t.dev cpu ~off ~len
+
+let install t ino kind =
+  let f =
+    {
+      ino;
+      kind;
+      size = 0;
+      nlink = (if kind = Types.Directory then 2 else 1);
+      xattr_align = false;
+      parent = 0;
+      dname = "";
+      records = Int_map.create ();
+      free_slots = [];
+      slot_cap = 0;
+      overflow = [];
+      dir = (if kind = Types.Directory then Some (Dir_index.create Dram_rbtree) else None);
+      free_dentries = [];
+      lock = Sched.create_mutex ();
+      dirty_bytes = 0;
+    }
+  in
+  note ~obj:"fs.files" ~write:true ~site:"fs.install_file";
+  Hashtbl.replace t.files ino f;
+  f
+
+let find t ino =
+  note ~obj:"fs.files" ~write:false ~site:"fs.find_file";
+  (match Hashtbl.find_opt t.bad_inos ino with
+  | Some why -> Types.err EIO "inode %d refused by scrub: %s" ino why
+  | None -> ());
+  match Hashtbl.find_opt t.files ino with
+  | Some f -> f
+  | None -> Types.err EBADF "stale inode %d" ino
+
+let find_opt t ino = Hashtbl.find_opt t.files ino
+
+let forget t ~site ino =
+  note ~obj:"fs.files" ~write:true ~site;
+  Hashtbl.remove t.files ino
+
+let iter t f = Hashtbl.iter (fun _ v -> f v) t.files
+
+let alloc_ino t (cpu : Cpu.t) =
+  let try_cpu c =
+    note ~obj:(Printf.sprintf "fs.inodes[%d]" c) ~write:true ~site:"fs.alloc_ino";
+    match t.free.(c) with
+    | idx :: rest ->
+        t.free.(c) <- rest;
+        Some (Layout.ino_of t.layout ~cpu:c ~idx)
+    | [] -> None
+  in
+  let cpus = t.layout.Layout.cpus in
+  let local = cpu.id mod cpus in
+  match try_cpu local with
+  | Some ino -> Some ino
+  | None ->
+      let rec steal c =
+        if c >= cpus then None
+        else if c = local then steal (c + 1)
+        else match try_cpu c with Some ino -> Some ino | None -> steal (c + 1)
+      in
+      steal 0
+
+let release_ino t ino =
+  let c = Layout.cpu_of_ino t.layout ino in
+  note ~obj:(Printf.sprintf "fs.inodes[%d]" c) ~write:true ~site:"fs.release_ino";
+  t.free.(c) <- Layout.idx_of_ino t.layout ino :: t.free.(c)
+
+let init_free t =
+  Array.iteri
+    (fun c _ ->
+      t.free.(c) <-
+        List.init t.layout.Layout.inodes_per_cpu (fun i -> i)
+        |> List.filter (fun i -> not (c = 0 && i = 0)))
+    t.free
+
+let refuse t ino why = Hashtbl.replace t.bad_inos ino why
+let is_bad t ino = Hashtbl.mem t.bad_inos ino
+let refused t = Hashtbl.length t.bad_inos
+
+let load_file t cpu ino (h : Codec.Inode.header) =
+  let kind = if h.is_dir then Types.Directory else Types.Regular in
+  let f = install t ino kind in
+  f.size <- h.size;
+  f.nlink <- h.nlink;
+  f.xattr_align <- h.xattr_align;
+  (* Overflow chain. *)
+  let rec chain blk acc =
+    if blk = 0 then List.rev acc
+    else begin
+      let hdr = Bytes.create Codec.Overflow.header_bytes in
+      Device.read t.dev cpu ~off:blk ~len:Codec.Overflow.header_bytes ~dst:hdr ~dst_off:0;
+      let next, _count = Codec.Overflow.decode_header hdr in
+      chain next (blk :: acc)
+    end
+  in
+  f.overflow <- chain h.overflow [];
+  f.slot_cap <- Layout.inline_extents + (List.length f.overflow * Codec.Overflow.capacity);
+  (* Walk every slot; live records have len > 0. *)
+  let buf = Bytes.create Codec.Inode.extent_bytes in
+  for slot = 0 to f.slot_cap - 1 do
+    let addr = slot_addr t f slot in
+    Device.read t.dev cpu ~off:addr ~len:Codec.Inode.extent_bytes ~dst:buf ~dst_off:0;
+    let file_off, phys, len_field = Codec.Inode.decode_extent buf in
+    let asrc = len_field land asrc_bit <> 0 in
+    let len = len_field land lnot asrc_bit in
+    if len > 0 then Int_map.insert f.records file_off { slot; phys; len; asrc }
+    else f.free_slots <- slot :: f.free_slots
+  done;
+  f
+
+let scan_tables t cpu ~on_refuse =
+  let layout = t.layout in
+  let used = ref [] in
+  for c = 0 to layout.Layout.cpus - 1 do
+    let free = ref [] in
+    for idx = 0 to layout.Layout.inodes_per_cpu - 1 do
+      let ino = Layout.ino_of layout ~cpu:c ~idx in
+      let hb = Bytes.create Codec.Inode.header_bytes in
+      match
+        Device.read t.dev cpu ~off:(Layout.inode_off layout ino)
+          ~len:Codec.Inode.header_bytes ~dst:hb ~dst_off:0
+      with
+      | exception Device.Media_error _ ->
+          refuse t ino "poisoned inode header";
+          on_refuse ino "poisoned inode header"
+      | () ->
+          if Codec.Inode.header_is_blank hb then free := idx :: !free
+          else if not (Codec.Inode.header_csum_ok hb) then begin
+            (* A non-blank header failing its CRC cannot be trusted in any
+               field — the corrupt bit may be [valid] itself — so the slot
+               is never scrubbed or reused, only refused. *)
+            refuse t ino "inode header failed CRC";
+            on_refuse ino "inode header failed CRC"
+          end
+          else begin
+            let h = Codec.Inode.decode_header hb in
+            if h.valid then begin
+              match load_file t cpu ino h with
+              | f ->
+                  Int_map.iter f.records (fun _ r -> used := (r.phys, r.len) :: !used);
+                  List.iter (fun blk -> used := (blk, block) :: !used) f.overflow
+              | exception Device.Media_error _ ->
+                  forget t ~site:"fs.scrub" ino;
+                  refuse t ino "media error loading extent metadata";
+                  on_refuse ino "media error loading extent metadata"
+            end
+            else free := idx :: !free
+          end
+    done;
+    t.free.(c) <- List.rev !free
+  done;
+  !used

@@ -1,0 +1,116 @@
+(** Inode layer: on-PM inode tables in the fixed per-CPU metadata regions
+    (§3.3 "Layout: containing fragmentation", Figure 5).
+
+    Owns inode addressing ({!inode_addr}, {!slot_addr}), header / size /
+    extent-slot persistence (all journaled through {!Txn}), CRC-checked
+    loading and the mount-time table scan (§3.6, the scrub refuses — never
+    reuses — corrupt headers), per-CPU inode free lists, and the DRAM
+    inode cache itself: {!file} is the in-memory inode every other layer
+    operates on. *)
+
+open Repro_util
+module Types = Repro_vfs.Types
+module Dir_index = Repro_vfs.Dir_index
+module Sched = Repro_sched.Sched
+module Int_map = Repro_rbtree.Rbtree.Int_map
+
+(** One live extent record: a slot in the inode's persistent extent list
+    (inline slots, then overflow blocks) plus its mapping.  [asrc]
+    remembers whether the extent came from the aligned pool — the hybrid
+    data-atomicity policy (§3.5) journals aligned-pool extents and
+    copies-on-write hole extents, keyed on provenance, not incidental
+    alignment. *)
+type record = { slot : int; phys : int; len : int; asrc : bool }
+
+type file = {
+  ino : int;
+  mutable kind : Types.file_kind;
+  mutable size : int;
+  mutable nlink : int;
+  mutable xattr_align : bool;
+  mutable parent : int;  (** directory containing this node (DRAM only) *)
+  mutable dname : string;  (** name under [parent] (DRAM only) *)
+  records : record Int_map.t;  (** file_off -> record, non-overlapping *)
+  mutable free_slots : int list;
+  mutable slot_cap : int;  (** slots available without a new overflow block *)
+  mutable overflow : int list;  (** overflow block phys addrs, chain order *)
+  mutable dir : Dir_index.t option;  (** dirs: name -> (ino, dentry slot phys) *)
+  mutable free_dentries : int list;  (** dirs: free dentry slot phys offsets *)
+  lock : Sched.mutex;
+  mutable dirty_bytes : int;  (** relaxed mode: unflushed data *)
+}
+
+type t
+
+val create : dev:Repro_pmem.Device.t -> layout:Layout.t -> txns:Txn.t -> t
+
+(* -- Addressing -- *)
+
+val inode_addr : t -> int -> int
+(** Physical offset of an inode record by global inode number. *)
+
+val slot_addr : t -> file -> int -> int
+(** Physical offset of an extent slot (inline, or in an overflow block). *)
+
+(* -- Persistence (all journaled via {!Txn.meta_write}) -- *)
+
+val persist_header : t -> Cpu.t -> Txn.txn -> file -> unit
+val persist_invalid : t -> Cpu.t -> Txn.txn -> file -> unit
+(** Persist the header with [valid = false]: the journaled inode kill used
+    by unlink / rmdir / rename-over / rewrite. *)
+
+val persist_size : t -> Cpu.t -> Txn.txn -> file -> unit
+(** Size-only update: fine-grained journaling that keeps the append path
+    cheap (§3.5) — two 8-byte in-place writes (size + checksum words),
+    not a full header re-journal. *)
+
+val persist_slot :
+  t -> Cpu.t -> Txn.txn -> file -> slot:int -> file_off:int -> phys:int -> len:int ->
+  asrc:bool -> unit
+
+val clear_slot : t -> Cpu.t -> Txn.txn -> file -> int -> unit
+(** Zero an extent slot (record fully removed). *)
+
+val init_slots : t -> Cpu.t -> int -> unit
+(** Zero a freshly-allocated inode's inline extent slots before its header
+    becomes valid, so a later mount cannot resurrect a previous owner's
+    records as ghosts. *)
+
+(* -- DRAM inode cache -- *)
+
+val install : t -> int -> Types.file_kind -> file
+(** Create and register a fresh in-memory inode. *)
+
+val find : t -> int -> file
+(** Raises [EIO] for scrub-refused inodes, [EBADF] for stale ones. *)
+
+val find_opt : t -> int -> file option
+val forget : t -> site:string -> int -> unit
+val iter : t -> (file -> unit) -> unit
+
+(* -- Inode number allocation (per-CPU free lists with stealing) -- *)
+
+val alloc_ino : t -> Cpu.t -> int option
+val release_ino : t -> int -> unit
+val init_free : t -> unit
+(** Format-time free lists: every slot free except root's (cpu 0, idx 0). *)
+
+(* -- Scrub bookkeeping -- *)
+
+val refuse : t -> int -> string -> unit
+val is_bad : t -> int -> bool
+val refused : t -> int
+
+(* -- Mount-time loading (§3.6 recovery scan) -- *)
+
+val load_file : t -> Cpu.t -> int -> Codec.Inode.header -> file
+(** Read one file's persistent extent list (inline slots + overflow
+    chain) into a fresh {!file}. *)
+
+val scan_tables : t -> Cpu.t -> on_refuse:(int -> string -> unit) -> (int * int) list
+(** Scan the per-CPU inode tables (parallel in the paper; the simulated
+    cost model charges the reads), loading every valid inode and
+    rebuilding the per-CPU free lists.  Corrupt or unreadable headers are
+    refused via [on_refuse] (and recorded, see {!is_bad}).  Returns the
+    used physical extents (data runs + overflow blocks) for the
+    allocator rebuild. *)

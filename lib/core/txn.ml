@@ -1,0 +1,122 @@
+open Repro_util
+module Device = Repro_pmem.Device
+module Site = Repro_pmem.Site
+module Sched = Repro_sched.Sched
+module Types = Repro_vfs.Types
+module Journal = Repro_journal.Undo_journal
+
+let site_meta = Site.v "core" "meta"
+
+type slot = {
+  journal : Journal.t;
+  lock : Sched.mutex;
+  mutable active : bool; (* an uncommitted transaction is open on this slot *)
+}
+
+type t = {
+  dev : Device.t;
+  cpus : int;
+  counter : Journal.Txn_counter.t;
+  slots : slot array;
+}
+
+type txn = Journal.txn
+
+let slot_of t (cpu : Cpu.t) = t.slots.(cpu.id mod t.cpus)
+
+let make dev cpus counter journals =
+  {
+    dev;
+    cpus;
+    counter;
+    slots =
+      Array.map
+        (fun j -> { journal = j; lock = Sched.create_mutex (); active = false })
+        journals;
+  }
+
+let format dev cpu (layout : Layout.t) =
+  let counter = Journal.Txn_counter.create () in
+  let journals =
+    Array.init layout.cpus (fun c ->
+        Journal.format dev cpu counter ~off:layout.journal_off.(c)
+          ~entries:layout.journal_entries ~copy_bytes:layout.journal_copy_bytes)
+  in
+  make dev layout.cpus counter journals
+
+let attach dev (layout : Layout.t) =
+  let counter = Journal.Txn_counter.create () in
+  let journals =
+    try
+      Array.init layout.cpus (fun c ->
+          Journal.attach dev counter ~off:layout.journal_off.(c)
+            ~entries:layout.journal_entries ~copy_bytes:layout.journal_copy_bytes)
+    with
+    | Device.Media_error { off } ->
+        (* A poisoned journal header leaves no cursor to recover from. *)
+        Types.err EIO "journal header unreadable (media error at %#x)" off
+    | Invalid_argument _ -> Types.err EIO "journal header corrupt (bad magic)"
+  in
+  make dev layout.cpus counter journals
+
+type recovery = { refused_journals : int; csum_failures : int }
+
+(* Roll back unfinished transactions in descending global txn-id order
+   (§3.6 "Journal Recovery"). *)
+let recover t cpu =
+  let refused = ref 0 in
+  let pendings =
+    Array.to_list t.slots
+    |> List.filter_map (fun s ->
+           match Journal.Recovery.scan_pending s.journal cpu with
+           | p -> Option.map (fun p -> (s.journal, p)) p
+           | exception Device.Media_error _ ->
+               (* Poisoned journal area: recovery for this CPU's journal is
+                  impossible — refuse it and degrade rather than guess. *)
+               incr refused;
+               None)
+    |> List.sort (fun (_, a) (_, b) ->
+           compare b.Journal.Recovery.txn_id a.Journal.Recovery.txn_id)
+  in
+  List.iter (fun (j, p) -> Journal.Recovery.rollback_pending j cpu p) pendings;
+  Array.iter (fun s -> Journal.Recovery.reset s.journal cpu) t.slots;
+  let csum =
+    Array.fold_left (fun acc s -> acc + Journal.Recovery.csum_failures s.journal) 0 t.slots
+  in
+  { refused_journals = !refused; csum_failures = csum }
+
+let with_txn t cpu ~reserve body =
+  let s = slot_of t cpu in
+  (* Outside a scheduler run the lock degrades to free acquisition, so a
+     nested with_txn on the same journal is definite misuse (inside a run
+     the lock serialises the second transaction instead). *)
+  if s.active && not (Sched.running ()) then
+    invalid_arg "Txn.with_txn: nested transaction on this CPU's journal";
+  Sched.with_lock s.lock (fun () ->
+      s.active <- true;
+      Fun.protect
+        ~finally:(fun () -> s.active <- false)
+        (fun () ->
+          let txn = Journal.begin_txn s.journal cpu ~reserve in
+          match body txn with
+          | v ->
+              Journal.commit s.journal cpu txn;
+              v
+          | exception e ->
+              Journal.abort s.journal cpu txn;
+              raise e))
+
+let log_range t cpu txn ~addr ~len = Journal.log_range (slot_of t cpu).journal cpu txn ~addr ~len
+
+(* Journaled in-place metadata write: undo-log the old bytes (persisted by
+   the journal), then update in place with a flush only — the transaction
+   commit fences all in-place lines before the COMMIT entry persists
+   (§3.4 "Crash Consistency: Journaling"). *)
+let meta_write t cpu txn ~addr (data : bytes) =
+  Device.with_site t.dev site_meta @@ fun () ->
+  let j = (slot_of t cpu).journal in
+  Journal.log_range j cpu txn ~addr ~len:(Bytes.length data);
+  Device.write t.dev cpu ~off:addr ~src:data ~src_off:0 ~len:(Bytes.length data);
+  Device.flush t.dev cpu ~off:addr ~len:(Bytes.length data)
+
+let copy_capacity t = Journal.copy_capacity t.slots.(0).journal

@@ -1,0 +1,65 @@
+(** Transaction layer: per-CPU undo journaling (§3.4 "Crash Consistency:
+    Journaling", §3.6 "Journal Recovery").
+
+    One {!Repro_journal.Undo_journal} per logical CPU, a shared global
+    transaction-id counter, and the [with_txn] reserve/commit/abort
+    protocol.  This module is the {e only} way core code touches
+    [Undo_journal] (enforced by the @archcheck alias): every journaled
+    metadata mutation goes through {!with_txn} + {!meta_write} /
+    {!log_range}, and mount-time recovery goes through {!attach} +
+    {!recover}.  The per-CPU journal lock serialises same-CPU
+    transactions; inode locks (taken by callers) guarantee one
+    uncommitted transaction per file. *)
+
+open Repro_util
+
+type t
+(** The journal set: one undo journal + lock per logical CPU. *)
+
+type txn
+(** An open transaction on the caller's per-CPU journal. *)
+
+val format : Repro_pmem.Device.t -> Cpu.t -> Layout.t -> t
+(** Initialise empty per-CPU journals at the layout's journal offsets,
+    with a fresh shared transaction-id counter. *)
+
+val attach : Repro_pmem.Device.t -> Layout.t -> t
+(** Bind to existing journals without recovery.  Raises [EIO] when a
+    journal header is unreadable (media error) or fails its magic
+    check. *)
+
+type recovery = {
+  refused_journals : int;
+      (** journals whose pending-scan hit a media error: recovery for
+          that CPU's journal is impossible — refused, mount degrades *)
+  csum_failures : int;
+      (** entries rejected by CRC across all journals: each is a
+          detected corruption whose transaction was demoted to
+          uncommitted and rolled back — a repair *)
+}
+
+val recover : t -> Cpu.t -> recovery
+(** Mount phase 1 (§3.6): scan every journal for its unfinished
+    transaction and roll the survivors back in descending global txn-id
+    order, then reset all journals. *)
+
+val with_txn : t -> Cpu.t -> reserve:int -> (txn -> 'a) -> 'a
+(** Run the body inside a transaction reserving at most [reserve] journal
+    entries: begin, run, commit — or abort (rolling back every in-place
+    write the body logged) when the body raises.  Raises
+    [Invalid_argument] on nested use of the same CPU's journal outside a
+    scheduler run (inside a run the journal lock serialises instead). *)
+
+val log_range : t -> Cpu.t -> txn -> addr:int -> len:int -> unit
+(** Undo-log the current contents of [addr, addr+len) before an in-place
+    update (used by the data-journaling write path, §3.5). *)
+
+val meta_write : t -> Cpu.t -> txn -> addr:int -> bytes -> unit
+(** Journaled in-place metadata write under the ["core"/"meta"] site:
+    undo-log the old bytes (persisted by the journal), then update in
+    place with a flush only — the transaction commit fences all in-place
+    lines before the COMMIT entry persists (§3.4). *)
+
+val copy_capacity : t -> int
+(** Per-transaction undo copy-area capacity (bounds one-transaction data
+    journaling, §3.5). *)

@@ -386,4 +386,11 @@ let reset t cpu =
   invalidate_head_slot t cpu;
   write_header t cpu
 
-let csum_failures t = t.csum_failures
+module Recovery = struct
+  type nonrec pending = pending = { txn_id : int; records : (int * string) list }
+
+  let scan_pending = scan_pending
+  let rollback_pending = rollback_pending
+  let reset = reset
+  let csum_failures t = t.csum_failures
+end

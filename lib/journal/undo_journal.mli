@@ -67,23 +67,29 @@ val commit : t -> Cpu.t -> txn -> unit
 val abort : t -> Cpu.t -> txn -> unit
 (** Roll back the in-place updates using the undo records and reclaim. *)
 
-type pending = { txn_id : int; records : (int * string) list (* addr, old bytes *) }
-
-val scan_pending : t -> Cpu.t -> pending option
-(** Recovery phase 1: the (at most one) unfinished transaction in this
-    journal, without modifying anything. *)
-
-val rollback_pending : t -> Cpu.t -> pending -> unit
-(** Recovery phase 2: rewrite old bytes and reset the journal.  Call in
-    descending global txn-id order across journals. *)
-
-val reset : t -> Cpu.t -> unit
-(** Clear the journal (end of recovery). *)
-
 val copy_capacity : t -> int
 val entries_capacity : t -> int
 
-val csum_failures : t -> int
-(** Entries whose wraparound generation matched but whose CRC32C did not,
-    observed by scans on this handle — each is a detected (and refused)
-    journal corruption. *)
+(** Mount-time recovery.  Grouped apart from the transaction API so the
+    narrow txn-facing surface (begin/log/commit/abort) is all that normal
+    operation ever touches; only recovery orchestration (WineFS's
+    {!Winefs.Txn} layer, tests) may scan and roll back. *)
+module Recovery : sig
+  type pending = { txn_id : int; records : (int * string) list (* addr, old bytes *) }
+
+  val scan_pending : t -> Cpu.t -> pending option
+  (** Recovery phase 1: the (at most one) unfinished transaction in this
+      journal, without modifying anything. *)
+
+  val rollback_pending : t -> Cpu.t -> pending -> unit
+  (** Recovery phase 2: rewrite old bytes and reset the journal.  Call in
+      descending global txn-id order across journals. *)
+
+  val reset : t -> Cpu.t -> unit
+  (** Clear the journal (end of recovery). *)
+
+  val csum_failures : t -> int
+  (** Entries whose wraparound generation matched but whose CRC32C did
+      not, observed by scans on this handle — each is a detected (and
+      refused) journal corruption. *)
+end

@@ -1,0 +1,12 @@
+module Stats = Repro_stats.Stats
+module Counters = Repro_util.Counters
+
+let require_writable ~read_only =
+  if read_only then
+    Types.err EROFS "file system is degraded (mounted read-only after media errors)"
+
+let count_fault counters name n =
+  if n > 0 then begin
+    Counters.add counters name n;
+    if Stats.enabled () then Stats.counter_add name n
+  end

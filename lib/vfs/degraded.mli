@@ -1,0 +1,17 @@
+(** Read-only-degradation guards shared by every file system in the study.
+
+    A mount that detects unrepairable corruption degrades to read-only:
+    mutating operations must fail with [EROFS] (with one canonical message
+    format, so tests and tools can match it), and every detection /
+    repair / refusal observed by a scrub or a read path is counted under
+    the caller's [fault.*] counters and mirrored into the global stats
+    registry.  WineFS uses both today; baselines that later grow fault
+    handling reuse this one implementation. *)
+
+val require_writable : read_only:bool -> unit
+(** Raise [Types.Error (EROFS, _)] when [read_only] — the single EROFS
+    message format for degraded mounts. *)
+
+val count_fault : Repro_util.Counters.t -> string -> int -> unit
+(** Add [n] to the named [fault.*] counter (no-op when [n <= 0]) and
+    mirror it into {!Repro_stats.Stats} when the registry is enabled. *)

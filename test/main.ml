@@ -17,6 +17,8 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("winefs", Test_winefs.suite);
+      ("layers", Test_layers.suite);
+      ("golden", Test_golden.suite);
       ("winefs-extra", Test_winefs_extra.suite);
       ("model-fs", Test_model_fs.suite);
       ("fs-contract", Test_fs_contract.suite);

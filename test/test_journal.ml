@@ -24,7 +24,7 @@ let test_commit_keeps_update () =
   Device.write_string dev c ~off:data_base "new-value";
   Undo.commit j c txn;
   Alcotest.(check string) "committed" "new-value" (Device.read_string dev c ~off:data_base ~len:9);
-  Alcotest.(check bool) "nothing pending" true (Undo.scan_pending j c = None)
+  Alcotest.(check bool) "nothing pending" true (Undo.Recovery.scan_pending j c = None)
 
 let test_abort_rolls_back () =
   let dev, c, j = mk_undo () in
@@ -44,13 +44,13 @@ let test_crash_recovery_rolls_back () =
   (* Crash before commit: a fresh attach scans and rolls back. *)
   let counter = Undo.Txn_counter.create () in
   let j2 = Undo.attach dev counter ~off:0 ~entries:32 ~copy_bytes:(64 * Units.kib) in
-  (match Undo.scan_pending j2 c with
+  (match Undo.Recovery.scan_pending j2 c with
   | Some p ->
       Alcotest.(check bool) "records found" true (p.records <> []);
-      Undo.rollback_pending j2 c p
+      Undo.Recovery.rollback_pending j2 c p
   | None -> Alcotest.fail "expected a pending transaction");
   Alcotest.(check string) "recovered" "AAAABBBB" (Device.read_string dev c ~off:data_base ~len:8);
-  Alcotest.(check bool) "clean after rollback" true (Undo.scan_pending j2 c = None)
+  Alcotest.(check bool) "clean after rollback" true (Undo.Recovery.scan_pending j2 c = None)
 
 let test_large_undo_via_copy_area () =
   let dev, c, j = mk_undo () in
@@ -61,8 +61,8 @@ let test_large_undo_via_copy_area () =
   (* Crash + recover. *)
   let counter = Undo.Txn_counter.create () in
   let j2 = Undo.attach dev counter ~off:0 ~entries:32 ~copy_bytes:(64 * Units.kib) in
-  (match Undo.scan_pending j2 c with
-  | Some p -> Undo.rollback_pending j2 c p
+  (match Undo.Recovery.scan_pending j2 c with
+  | Some p -> Undo.Recovery.rollback_pending j2 c p
   | None -> Alcotest.fail "pending expected");
   ignore txn;
   Alcotest.(check string) "large range restored" (String.make 8 'o')
@@ -78,15 +78,15 @@ let test_wraparound () =
     Device.write_string dev c ~off:(data_base + (i * 64)) "v1";
     Undo.commit j c txn
   done;
-  Alcotest.(check bool) "clean after many wraps" true (Undo.scan_pending j c = None);
+  Alcotest.(check bool) "clean after many wraps" true (Undo.Recovery.scan_pending j c = None);
   (* And a crash after wraps still recovers. *)
   let txn = Undo.begin_txn j c ~reserve:4 in
   Undo.log_range j c txn ~addr:data_base ~len:2;
   Device.write_string dev c ~off:data_base "zz";
   let counter = Undo.Txn_counter.create () in
   let j2 = Undo.attach dev counter ~off:0 ~entries:8 ~copy_bytes:(64 * Units.kib) in
-  (match Undo.scan_pending j2 c with
-  | Some p -> Undo.rollback_pending j2 c p
+  (match Undo.Recovery.scan_pending j2 c with
+  | Some p -> Undo.Recovery.rollback_pending j2 c p
   | None -> Alcotest.fail "pending expected after wrap");
   ignore txn;
   Alcotest.(check bool) "rolled back after wrap" true
@@ -189,8 +189,8 @@ let prop_undo_crash_all_or_nothing =
       (* Crash: attach fresh, recover. *)
       let j2 = Undo.attach dev (Undo.Txn_counter.create ()) ~off:0 ~entries:64
                  ~copy_bytes:(64 * Units.kib) in
-      (match Undo.scan_pending j2 c with
-      | Some p -> Undo.rollback_pending j2 c p
+      (match Undo.Recovery.scan_pending j2 c with
+      | Some p -> Undo.Recovery.rollback_pending j2 c p
       | None -> QCheck.Test.fail_report "no pending transaction found");
       let after =
         List.map
