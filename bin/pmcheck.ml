@@ -12,6 +12,12 @@
    poisoned lines and torn words planted in WineFS images, verifying each
    one is repaired or safely refused — never silently absorbed.
 
+   `pmcheck srccheck` runs the AST-based static analyzer over this
+   repository's own sources (lock-order, persist-site coverage, module
+   ownership, error discipline), plus a dynamic probe that replays the
+   scenario suite and cross-checks the observed lock order against the
+   static graph.
+
    Examples:
      pmcheck                       # all ACE workloads + micro suite, report
      pmcheck --seq 2               # only two-op ACE sequences
@@ -20,7 +26,8 @@
      pmcheck racecheck             # explore 50 schedules per scenario
      pmcheck racecheck --seed 7    # replay the single schedule seed 7 picks
      pmcheck faultcheck            # fault campaign over the ACE seq-1 corpus
-     pmcheck faultcheck --seed 9   # replay the campaign seed 9 determines *)
+     pmcheck faultcheck --seed 9   # replay the campaign seed 9 determines
+     pmcheck srccheck lib bin      # static rules + dynamic lock-order probe *)
 
 open Cmdliner
 module Ace = Repro_crashcheck.Ace
@@ -29,7 +36,12 @@ module Sanitize = Repro_crashcheck.Sanitize
 module Sanitizer = Sanitize.Sanitizer
 module Race = Repro_race.Race
 module Scenarios = Repro_race.Scenarios
+module Sched = Repro_sched.Sched
 module Table = Repro_util.Table
+module Lint = Repro_lint.Lint
+module Lint_source = Repro_lint.Source
+module Lint_diag = Repro_lint.Diag
+module Probe = Repro_lint.Probe
 
 let parse_rules s =
   let name_of = function
@@ -135,6 +147,7 @@ let run_racecheck schedules base_seed replay_seed scenario_filter verbose =
   | None ->
       Printf.printf "pmcheck racecheck: %d scenarios x %d schedules (base seed %d)\n%!"
         (List.length scenarios) schedules base_seed);
+  Sched.Lock_order.reset ();
   let failures = ref 0 in
   List.iter
     (fun sc ->
@@ -155,13 +168,70 @@ let run_racecheck schedules base_seed replay_seed scenario_filter verbose =
       if verbose || not ok then
         List.iter (fun r -> Printf.printf "      %s\n" (Race.race_to_string r)) races)
     scenarios;
+  (* The recorder accumulated every acquisition across all explored
+     schedules; a cycle in that union is a potential ABBA deadlock even
+     though no single schedule deadlocked. *)
+  (match Sched.Lock_order.cycle () with
+  | Some labels ->
+      incr failures;
+      Printf.printf "  lock-order: observed acquired-before cycle {%s}  <-- UNEXPECTED\n"
+        (String.concat ", " labels)
+  | None ->
+      Printf.printf "  lock-order: %d acquisition(s), %d distinct edge(s), acyclic\n"
+        (Sched.Lock_order.acquisitions ())
+        (List.length (Sched.Lock_order.edges ())));
   if !failures = 0 then begin
     print_endline "racecheck: all scenarios behaved as expected.";
     0
   end
   else begin
-    Printf.printf "racecheck: %d scenario(s) misbehaved.\n" !failures;
+    Printf.printf "racecheck: %d check(s) misbehaved.\n" !failures;
     1
+  end
+
+(* srccheck: the four AST rules over the repo's own sources, then the
+   dynamic probe (scenario suite + a small basefs workload under the
+   lock-order recorder) cross-checking static ⊇ observed.  Exit 0 clean,
+   1 on violations, 2 when a source file does not even parse. *)
+let run_srccheck roots no_probe verbose =
+  let roots = match roots with [] -> [ "lib"; "bin" ] | r -> r in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    Printf.eprintf "srccheck: no such file or directory: %s\n" (String.concat ", " missing);
+    exit 2
+  end;
+  let files, parse = Lint_source.load_roots roots in
+  let report = Lint.run files ~parse in
+  Printf.printf "pmcheck srccheck: %d files under %s, rules: %s\n%!" report.Lint.files_scanned
+    (String.concat " " roots)
+    (String.concat ", " (List.map fst Lint.rules));
+  List.iter (fun d -> print_endline ("  " ^ Lint_diag.to_string d)) report.Lint.diags;
+  let probe_diags, probe_note =
+    if no_probe then ([], "skipped")
+    else begin
+      let p = Probe.run files in
+      ( p.Probe.diags,
+        Printf.sprintf "%d acquisition(s), %d named edge(s), %s" p.Probe.acquisitions
+          (List.length p.Probe.observed_edges)
+          (match p.Probe.runtime_cycle with Some _ -> "CYCLIC" | None -> "acyclic") )
+    end
+  in
+  List.iter (fun d -> print_endline ("  " ^ Lint_diag.to_string d)) probe_diags;
+  if verbose then
+    List.iter
+      (fun (rule, checker) ->
+        Printf.printf "  %-16s %d diagnostic(s)\n" rule
+          (List.length (List.filter (fun d -> d.Lint_diag.rule = rule) report.Lint.diags));
+        ignore checker)
+      Lint.rules;
+  let total = List.length report.Lint.diags + List.length probe_diags in
+  Printf.printf "srccheck: %d diagnostic(s), %d suppressed, dynamic probe: %s\n" total
+    report.Lint.suppressed probe_note;
+  if report.Lint.parse_errors > 0 then 2
+  else if total > 0 then 1
+  else begin
+    print_endline "No layering, lock-order, persist-site or error-discipline violations.";
+    0
   end
 
 (* faultcheck: plant seeded media faults and verify each is repaired or
@@ -264,6 +334,20 @@ let faultcheck_cmd =
        ~doc:"Media-fault campaign: verify faults are repaired or safely refused")
     Term.(const run_faultcheck $ seed $ seq $ torn_fences $ verbose)
 
+let srccheck_cmd =
+  let roots =
+    Arg.(value & pos_all string [] & info [] ~docv:"ROOT" ~doc:"Source roots (default lib bin)")
+  in
+  let no_probe =
+    Arg.(
+      value & flag
+      & info [ "no-probe" ] ~doc:"Skip the dynamic lock-order probe (static rules only)")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-rule diagnostic counts") in
+  Cmd.v
+    (Cmd.info "srccheck" ~doc:"AST-based static analysis of the repository's own sources")
+    Term.(const run_srccheck $ roots $ no_probe $ verbose)
+
 let () =
   let info = Cmd.info "pmcheck" ~doc:"Concurrency and persistence checkers for the WineFS PM stack" in
-  exit (Cmd.eval' (Cmd.group ~default:lint_term info [ racecheck_cmd; faultcheck_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default:lint_term info [ racecheck_cmd; faultcheck_cmd; srccheck_cmd ]))

@@ -106,7 +106,7 @@ let age (Fs_intf.Handle ((module F), fs)) ?(seed = 0xA6E) ?(write_chunk = 16 * U
         else Rng.int rng live.n
       in
       let path = live_remove_at live i in
-      (try F.unlink fs (next_cpu ()) path with Types.Error _ -> ());
+      (try F.unlink fs (next_cpu ()) path with Types.Error (ENOENT, _) -> ());
       incr deleted
     end
   in
@@ -136,7 +136,9 @@ let age (Fs_intf.Handle ((module F), fs)) ?(seed = 0xA6E) ?(write_chunk = 16 * U
           true
         end
         else begin
-          (try F.unlink fs cpu path with Types.Error _ -> ());
+          (* Cleanup of a possibly half-created file: only its absence is
+             benign; ENOSPC etc. must not be masked here. *)
+          (try F.unlink fs cpu path with Types.Error (ENOENT, _) -> ());
           false
         end
   in

@@ -18,6 +18,15 @@ module Device = Repro_pmem.Device
 module Vmem = Repro_memsim.Vmem
 module Sched = Repro_sched.Sched
 module Types = Repro_vfs.Types
+module Site = Repro_pmem.Site
+
+(* Durability-lint sites: the engine labels every persistence region so
+   sanitizer/faultcheck findings name the layer at fault. *)
+let site_meta = Site.v "basefs" "meta"
+let site_zero = Site.v "basefs" "zero"
+let site_data = Site.v "basefs" "data"
+let site_fsync = Site.v "basefs" "fsync"
+let site_fault = Site.v "basefs" "fault"
 module Path = Repro_vfs.Path
 module Dir_index = Repro_vfs.Dir_index
 module Fd_table = Repro_vfs.Fd_table
@@ -102,8 +111,9 @@ let meta_sync t cpu ~addr ~bytes =
           Undo.log_range j cpu txn ~addr ~len:(min bytes 24);
           Undo.commit j cpu txn);
       let n = min bytes 64 in
-      Device.write t.dev cpu ~off:addr ~src:(Bytes.make n '\000') ~src_off:0 ~len:n;
-      Device.persist t.dev cpu ~off:addr ~len:n
+      Device.with_site t.dev site_meta (fun () ->
+          Device.write t.dev cpu ~off:addr ~src:(Bytes.make n '\000') ~src_off:0 ~len:n;
+          Device.persist t.dev cpu ~off:addr ~len:n)
 
 (* Deferred metadata (size/extent updates on the write path): JBD2 buffers
    them in the running transaction until fsync — the costly-fsync,
@@ -140,7 +150,7 @@ let format preset dev (cfg : Types.config) =
         Jundo
           ( Undo.format dev cpu counter ~off:journal_off ~entries:512
               ~copy_bytes:(journal_size / 2),
-            Sched.create_mutex () )
+            Sched.create_mutex ~name:"basefs:lock" () )
   in
   let regions =
     (* Carve per-CPU stripes only when the preset partitions free space. *)
@@ -285,10 +295,10 @@ let ensure_backing t cpu f ~off ~len ~unwritten =
           (fun (e : Alloc.extent) ->
             Block_map.insert f.bmap ~file_off:!fo ~phys:e.off ~len:e.len;
             if unwritten then Extent_tree.insert_free f.unwritten ~off:!fo ~len:e.len
-            else if t.preset.zero_on_fallocate then begin
-              Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
-              Device.fence t.dev cpu
-            end;
+            else if t.preset.zero_on_fallocate then
+              Device.with_site t.dev site_zero (fun () ->
+                  Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
+                  Device.fence t.dev cpu);
             fo := !fo + e.len)
           exts;
         (* Metadata: extent tree insertion journaled (one record). *)
@@ -311,7 +321,9 @@ let mark_written t cpu f ~off ~len =
           if file_hi > file_lo then
             match Block_map.lookup f.bmap ~file_off:file_lo with
             | Some (phys, run) ->
-                Device.memset_nt t.dev cpu ~off:phys ~len:(min run (file_hi - file_lo)) '\000'
+                Device.with_site t.dev site_zero (fun () ->
+                    Device.memset_nt t.dev cpu ~off:phys ~len:(min run (file_hi - file_lo))
+                      '\000')
             | None -> ()
         in
         if clear_lo < off then zero_edge clear_lo (min off clear_hi);
@@ -504,7 +516,8 @@ let pwrite t cpu fd ~off ~src =
         while !cur < off + len do
           let phys, run = Option.get (Block_map.lookup f.bmap ~file_off:!cur) in
           let n = min (off + len - !cur) run in
-          Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+          Device.with_site t.dev site_data (fun () ->
+              Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n);
           f.dirty_bytes <- f.dirty_bytes + n;
           cur := !cur + n
         done;
@@ -555,7 +568,7 @@ let fsync t cpu fd =
     let lines = (f.dirty_bytes + Units.cacheline - 1) / Units.cacheline in
     Simclock.advance cpu.clock
       (int_of_float ((Device.cost t.dev).flush_ns *. float_of_int lines));
-    Device.fence t.dev cpu;
+    Device.with_site t.dev site_fsync (fun () -> Device.fence t.dev cpu);
     f.dirty_bytes <- 0
   end;
   journal_fsync t cpu;
@@ -596,8 +609,9 @@ let fault_zero t cpu f ~file_off ~phys ~len =
   (* ext4-class zeroing on first fault into an unwritten extent. *)
   if Extent_tree.extent_at f.unwritten ~off:file_off <> None then begin
     ignore (Extent_tree.alloc_exact f.unwritten ~off:file_off ~len);
-    Device.memset_nt t.dev cpu ~off:phys ~len '\000';
-    Device.fence t.dev cpu
+    Device.with_site t.dev site_fault (fun () ->
+        Device.memset_nt t.dev cpu ~off:phys ~len '\000';
+        Device.fence t.dev cpu)
   end
 
 let mmap_backing t fd : Vmem.backing =
@@ -624,14 +638,16 @@ let mmap_backing t fd : Vmem.backing =
                 ensure_backing t cpu f ~off:file_off ~len:huge ~unwritten:false);
             match Block_map.huge_candidate f.bmap ~chunk_off:file_off with
             | Some phys ->
-                Device.memset_nt t.dev cpu ~off:phys ~len:huge '\000';
-                Device.fence t.dev cpu;
+                Device.with_site t.dev site_fault (fun () ->
+                    Device.memset_nt t.dev cpu ~off:phys ~len:huge '\000';
+                    Device.fence t.dev cpu);
                 Vmem.Huge phys
             | None -> (
                 match Block_map.lookup f.bmap ~file_off with
                 | Some (phys, _) ->
-                    Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
-                    Device.fence t.dev cpu;
+                    Device.with_site t.dev site_fault (fun () ->
+                        Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
+                        Device.fence t.dev cpu);
                     Vmem.Base phys
                 | None -> Vmem.Sigbus)
           end
@@ -640,8 +656,9 @@ let mmap_backing t fd : Vmem.backing =
                 ensure_backing t cpu f ~off:file_off ~len:block ~unwritten:false);
             match Block_map.lookup f.bmap ~file_off with
             | Some (phys, _) ->
-                Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
-                Device.fence t.dev cpu;
+                Device.with_site t.dev site_fault (fun () ->
+                    Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
+                    Device.fence t.dev cpu);
                 Vmem.Base phys
             | None -> Vmem.Sigbus
           end
@@ -656,8 +673,9 @@ let mmap_backing t fd : Vmem.backing =
               ensure_backing t cpu f ~off:file_off ~len:block ~unwritten:false);
           (match Block_map.lookup f.bmap ~file_off with
           | Some (phys, _) ->
-              Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
-              Device.fence t.dev cpu;
+              Device.with_site t.dev site_fault (fun () ->
+                  Device.memset_nt t.dev cpu ~off:phys ~len:block '\000';
+                  Device.fence t.dev cpu);
               Vmem.Base phys
           | None -> Vmem.Sigbus)
     end

@@ -1,0 +1,117 @@
+(** The shared kernel-filesystem engine behind the ext4-DAX, xfs-DAX and
+    PMFS personalities (and the kernel half of SplitFS).
+
+    One block-based FS parameterised by a {!preset}: allocator policy,
+    directory-index policy, journal flavour (JBD2-style redo vs PMFS-style
+    fine-grained undo), eager-vs-fault-time zeroing, and the hugepage
+    behaviours the paper distinguishes (§2.5, §5.1).  Each personality
+    module is a thin [let x = Basefs.x] shim over this engine with its own
+    preset, so the cross-system differences live in one record.
+
+    The interface deliberately exposes the concrete {!preset}, {!file} and
+    {!t} records: the personalities and SplitFS's user-space half reach
+    into them (block maps, fd table, allocator) rather than duplicating
+    the engine's state. *)
+
+open Repro_util
+
+(** How metadata updates reach the journal. *)
+type journal_kind =
+  | Jbd2_redo  (** global redo journal, stop-the-world commit at fsync *)
+  | Pmfs_undo  (** fine-grained undo logging, committed per-operation *)
+
+type preset = {
+  label : string;
+  alloc_cfg : Repro_alloc.Pool_alloc.config;
+  dir_policy : Repro_vfs.Dir_index.policy;
+  journal : journal_kind;
+  zero_on_fallocate : bool;
+  misaligned_start : bool;
+      (** data area starts off 2MB alignment (legacy layouts, footnote 1) *)
+  huge_fault_alloc : bool;  (** attempt a 2MB allocation on a PMD fault *)
+  goal_alloc : bool;  (** pass the file's last extent as a locality goal *)
+}
+
+type journal =
+  | Jredo of Repro_journal.Redo_journal.t
+  | Jundo of Repro_journal.Undo_journal.t * Repro_sched.Sched.mutex
+
+type file = {
+  ino : int;
+  mutable kind : Repro_vfs.Types.file_kind;
+  mutable size : int;
+  mutable nlink : int;
+  bmap : Repro_vfs.Block_map.t;
+  unwritten : Repro_rbtree.Extent_tree.t;
+      (** fallocated-but-never-written file ranges *)
+  mutable dir : Repro_vfs.Dir_index.t option;
+  lock : Repro_sched.Sched.mutex;
+  mutable dirty_bytes : int;
+  mutable goal : int;  (** physical end of the last allocation *)
+  meta_addr : int;  (** synthetic PM address of this inode's metadata *)
+}
+
+type t = {
+  dev : Repro_pmem.Device.t;
+  cfg : Repro_vfs.Types.config;
+  preset : preset;
+  alloc : Repro_alloc.Pool_alloc.t;
+  journal : journal;
+  files : (int, file) Hashtbl.t;
+  fds : Repro_vfs.Fd_table.t;
+  counters : Counters.t;
+  mutable next_ino : int;
+  inode_region : int;
+  inode_slots : int;
+  data_off : int;
+  data_len : int;
+}
+
+(** {2 Lifecycle} *)
+
+val format : preset -> Repro_pmem.Device.t -> Repro_vfs.Types.config -> t
+val mount : Repro_pmem.Device.t -> Repro_vfs.Types.config -> t
+val unmount : t -> Cpu.t -> unit
+val recovery_ns : t -> int
+val device : t -> Repro_pmem.Device.t
+val config : t -> Repro_vfs.Types.config
+val counters : t -> Counters.t
+
+(** {2 Engine internals used by the personalities}
+
+    SplitFS's user-space half stages appends against the kernel FS's own
+    block maps and allocator, so it needs inode and path resolution. *)
+
+val find_file : t -> int -> file
+(** Raises [Types.Error (EBADF, _)] for a stale inode number. *)
+
+val resolve : t -> Cpu.t -> string -> int
+(** Path walk to an inode number; raises ENOENT/ENOTDIR. *)
+
+val meta_sync : t -> Cpu.t -> addr:int -> bytes:int -> unit
+(** Journal and persist a metadata update at [addr] immediately (undo
+    flavour) or buffer it in the running transaction (redo flavour). *)
+
+(** {2 The Fs_intf.S operations} *)
+
+val mkdir : t -> Cpu.t -> string -> unit
+val rmdir : t -> Cpu.t -> string -> unit
+val create : t -> Cpu.t -> string -> int
+val openf : t -> Cpu.t -> string -> Repro_vfs.Types.open_flags -> int
+val close : t -> Cpu.t -> int -> unit
+val unlink : t -> Cpu.t -> string -> unit
+val rename : t -> Cpu.t -> old_path:string -> new_path:string -> unit
+val readdir : t -> Cpu.t -> string -> string list
+val stat : t -> Cpu.t -> string -> Repro_vfs.Types.stat
+val exists : t -> Cpu.t -> string -> bool
+val pwrite : t -> Cpu.t -> int -> off:int -> src:string -> int
+val pread : t -> Cpu.t -> int -> off:int -> len:int -> string
+val append : t -> Cpu.t -> int -> src:string -> int
+val fsync : t -> Cpu.t -> int -> unit
+val fallocate : t -> Cpu.t -> int -> off:int -> len:int -> unit
+val ftruncate : t -> Cpu.t -> int -> int -> unit
+val file_size : t -> int -> int
+val mmap_backing : t -> int -> Repro_memsim.Vmem.backing
+val set_xattr_align : t -> Cpu.t -> string -> bool -> unit
+val statfs : t -> Repro_vfs.Types.fs_stats
+val file_extents : t -> Cpu.t -> string -> (int * int * int) list

@@ -1,0 +1,9 @@
+(** ext4-DAX personality: goal-based (locality-first) allocation with
+    mballoc-style power-of-two normalisation, a global JBD2 redo journal
+    committed stop-the-world at fsync, unwritten extents zeroed on first
+    fault (Â§5.4), and PMD faults that allocate 2MB without caring about
+    alignment â hugepages appear clean but dissolve with age (Â§2.5). *)
+
+type t = Basefs.t
+
+include Repro_vfs.Fs_intf.S with type t := t

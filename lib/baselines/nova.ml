@@ -26,6 +26,16 @@ module Fd_table = Repro_vfs.Fd_table
 module Block_map = Repro_vfs.Block_map
 module Cost = Repro_vfs.Fs_intf.Cost
 module Alloc = Repro_alloc.Pool_alloc
+module Site = Repro_pmem.Site
+
+(* Durability-lint sites: label NOVA's persistence regions so
+   sanitizer/faultcheck findings name the layer at fault. *)
+let site_log = Site.v "nova" "log"
+let site_gc = Site.v "nova" "gc"
+let site_zero = Site.v "nova" "zero"
+let site_cow = Site.v "nova" "cow"
+let site_data = Site.v "nova" "data"
+let site_fsync = Site.v "nova" "fsync"
 
 let name = "NOVA"
 let huge = Units.huge_page
@@ -87,7 +97,9 @@ let log_append t cpu f =
      let page = alloc_block t cpu in
      (* Link from the previous page (8B pointer write + persist). *)
      (match List.rev lg.pages with
-     | last :: _ -> Device.write_u64 t.dev cpu ~off:last (Int64.of_int page)
+     | last :: _ ->
+         Device.with_site t.dev site_log (fun () ->
+             Device.write_u64 t.dev cpu ~off:last (Int64.of_int page))
      | [] -> ());
      lg.pages <- lg.pages @ [ page ];
      lg.tail <- 0;
@@ -95,12 +107,13 @@ let log_append t cpu f =
    end);
   let page = List.nth lg.pages (List.length lg.pages - 1) in
   let off = page + 16 + (lg.tail * log_entry_bytes) in
-  Device.write t.dev cpu ~off ~src:(Bytes.make log_entry_bytes '\001') ~src_off:0
-    ~len:log_entry_bytes;
-  Device.persist t.dev cpu ~off ~len:log_entry_bytes;
-  (* Tail pointer in the inode (modelled at the page header). *)
-  Device.write_u64 t.dev cpu ~off:page (Int64.of_int lg.tail);
-  Device.persist t.dev cpu ~off:page ~len:8;
+  Device.with_site t.dev site_log (fun () ->
+      Device.write t.dev cpu ~off ~src:(Bytes.make log_entry_bytes '\001') ~src_off:0
+        ~len:log_entry_bytes;
+      Device.persist t.dev cpu ~off ~len:log_entry_bytes;
+      (* Tail pointer in the inode (modelled at the page header). *)
+      Device.write_u64 t.dev cpu ~off:page (Int64.of_int lg.tail);
+      Device.persist t.dev cpu ~off:page ~len:8);
   lg.tail <- lg.tail + 1;
   lg.live <- lg.live + 1;
   Counters.incr t.counters "fs.log_appends"
@@ -113,10 +126,11 @@ let log_invalidate t cpu f n =
   f.log.dead <- f.log.dead + n;
   (match f.log.pages with
   | page :: _ ->
-      for _ = 1 to n do
-        Device.write_u64 t.dev cpu ~off:(page + 8) 1L;
-        Device.persist t.dev cpu ~off:(page + 8) ~len:8
-      done
+      Device.with_site t.dev site_log (fun () ->
+          for _ = 1 to n do
+            Device.write_u64 t.dev cpu ~off:(page + 8) 1L;
+            Device.persist t.dev cpu ~off:(page + 8) ~len:8
+          done)
   | [] -> ());
   Counters.add t.counters "fs.log_invalidations" n
 
@@ -130,11 +144,12 @@ let maybe_gc t cpu f =
     let live_pages = max 1 ((lg.live + entries_per_page - 1) / entries_per_page) in
     let fresh = List.init live_pages (fun _ -> alloc_block t cpu) in
     (* Copy live entries (charges device traffic). *)
-    List.iter
-      (fun page ->
-        Device.copy_within_nt t.dev cpu ~src:(List.hd lg.pages) ~dst:page ~len:block)
-      fresh;
-    Device.fence t.dev cpu;
+    Device.with_site t.dev site_gc (fun () ->
+        List.iter
+          (fun page ->
+            Device.copy_within_nt t.dev cpu ~src:(List.hd lg.pages) ~dst:page ~len:block)
+          fresh;
+        Device.fence t.dev cpu);
     List.iter (fun p -> Alloc.free t.alloc ~off:p ~len:block) lg.pages;
     lg.pages <- fresh;
     lg.tail <- lg.live mod entries_per_page;
@@ -280,10 +295,10 @@ let ensure_backing t cpu f ~off ~len ~zero =
         List.iter
           (fun (e : Alloc.extent) ->
             Block_map.insert f.bmap ~file_off:!fo ~phys:e.off ~len:e.len;
-            if zero then begin
-              Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
-              Device.fence t.dev cpu
-            end;
+            if zero then
+              Device.with_site t.dev site_zero (fun () ->
+                  Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
+                  Device.fence t.dev cpu);
             fo := !fo + e.len)
           exts;
         log_append t cpu f;
@@ -474,26 +489,29 @@ let write_cow t cpu f ~off ~src ~len =
       let ov_lo = max !pf off and ov_hi = min (!pf + e.len) (off + len) in
       (* Preserve only the uncovered block edges (NOVA copies partial
          blocks, not data the write replaces). *)
-      let preserve lo stop =
-        let cur = ref lo in
-        while !cur < stop do
-          (match Block_map.lookup f.bmap ~file_off:!cur with
-          | Some (old_phys, old_run) ->
-              let n = min old_run (stop - !cur) in
-              Device.copy_within_nt t.dev cpu ~src:old_phys ~dst:(e.off + (!cur - !pf)) ~len:n;
-              Counters.add t.counters "fs.cow_copy_bytes" n;
-              cur := !cur + n
-          | None ->
-              Device.memset_nt t.dev cpu ~off:(e.off + (!cur - !pf)) ~len:(stop - !cur) '\000';
-              cur := stop)
-        done
-      in
-      preserve !pf (min ov_lo (!pf + e.len));
-      preserve (max ov_hi !pf) (!pf + e.len);
-      if ov_hi > ov_lo then
-        Device.write_nt t.dev cpu ~off:(e.off + (ov_lo - !pf)) ~src:src_b
-          ~src_off:(ov_lo - off) ~len:(ov_hi - ov_lo);
-      Device.fence t.dev cpu;
+      Device.with_site t.dev site_cow (fun () ->
+          let preserve lo stop =
+            let cur = ref lo in
+            while !cur < stop do
+              (match Block_map.lookup f.bmap ~file_off:!cur with
+              | Some (old_phys, old_run) ->
+                  let n = min old_run (stop - !cur) in
+                  Device.copy_within_nt t.dev cpu ~src:old_phys ~dst:(e.off + (!cur - !pf))
+                    ~len:n;
+                  Counters.add t.counters "fs.cow_copy_bytes" n;
+                  cur := !cur + n
+              | None ->
+                  Device.memset_nt t.dev cpu ~off:(e.off + (!cur - !pf)) ~len:(stop - !cur)
+                    '\000';
+                  cur := stop)
+            done
+          in
+          preserve !pf (min ov_lo (!pf + e.len));
+          preserve (max ov_hi !pf) (!pf + e.len);
+          if ov_hi > ov_lo then
+            Device.write_nt t.dev cpu ~off:(e.off + (ov_lo - !pf)) ~src:src_b
+              ~src_off:(ov_lo - off) ~len:(ov_hi - ov_lo);
+          Device.fence t.dev cpu);
       pf := !pf + e.len)
     exts;
   (* Commit: append a write entry, invalidate superseded entries, free the
@@ -529,7 +547,8 @@ let pwrite t cpu fd ~off ~src =
           while !cur < off + len do
             let phys, run = Option.get (Block_map.lookup f.bmap ~file_off:!cur) in
             let n = min (off + len - !cur) run in
-            Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+            Device.with_site t.dev site_data (fun () ->
+                Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n);
             f.dirty_bytes <- f.dirty_bytes + n;
             cur := !cur + n
           done;
@@ -577,7 +596,7 @@ let fsync t cpu fd =
     let lines = (f.dirty_bytes + Units.cacheline - 1) / Units.cacheline in
     Simclock.advance cpu.clock
       (int_of_float ((Device.cost t.dev).flush_ns *. float_of_int lines));
-    Device.fence t.dev cpu;
+    Device.with_site t.dev site_fsync (fun () -> Device.fence t.dev cpu);
     f.dirty_bytes <- 0
   end;
   Counters.incr t.counters "fs.fsync"

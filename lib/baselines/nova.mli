@@ -1,0 +1,9 @@
+(** NOVA model (Xu & Swanson, FAST '16), the paper's main competitor:
+    per-inode metadata logs allocated from the data area (the design the
+    paper blames for fragmentation, Â§2.6), 4KB copy-on-write data in
+    strict mode, per-CPU first-fit allocation with 2MB alignment only for
+    exact-multiple requests, and eager zeroing at fallocate. *)
+
+type t
+
+include Repro_vfs.Fs_intf.S with type t := t

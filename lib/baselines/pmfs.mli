@@ -1,0 +1,8 @@
+(** PMFS personality: the code base WineFS builds on, minus everything
+    WineFS adds â a single fine-grained undo journal, a global first-fit
+    allocator that ignores alignment (no hugepages even clean), and
+    sequential PM scans of directory entries (Â§3.5). *)
+
+type t = Basefs.t
+
+include Repro_vfs.Fs_intf.S with type t := t

@@ -16,6 +16,12 @@ module Types = Repro_vfs.Types
 module Fd_table = Repro_vfs.Fd_table
 module Block_map = Repro_vfs.Block_map
 module Alloc = Repro_alloc.Pool_alloc
+module Site = Repro_pmem.Site
+
+(* Durability-lint sites: label SplitFS's user-space persistence regions
+   so sanitizer/faultcheck findings name the layer at fault. *)
+let site_mmap = Site.v "splitfs" "mmap_write"
+let site_staging = Site.v "splitfs" "staging"
 
 let name = "SplitFS"
 
@@ -83,7 +89,7 @@ let unlink t cpu path =
             (Block_map.extents s.smap);
           Hashtbl.remove t.staging ino
       | None -> ())
-  | exception Types.Error _ -> ());
+  | exception Types.Error ((ENOENT | ENOTDIR), _) -> ());
   Basefs.unlink t.inner cpu path
 
 let stat t cpu path =
@@ -104,14 +110,15 @@ let pwrite t cpu fd ~off ~src =
   then begin
     (* User-space overwrite through the file's mmap. *)
     let src_b = Bytes.unsafe_of_string src in
-    let cur = ref off in
-    while !cur < off + len do
-      let phys, run = Option.get (Block_map.lookup f.Basefs.bmap ~file_off:!cur) in
-      let n = min (off + len - !cur) run in
-      Device.write_nt (dev_of t) cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
-      cur := !cur + n
-    done;
-    Device.fence (dev_of t) cpu;
+    Device.with_site (dev_of t) site_mmap (fun () ->
+        let cur = ref off in
+        while !cur < off + len do
+          let phys, run = Option.get (Block_map.lookup f.Basefs.bmap ~file_off:!cur) in
+          let n = min (off + len - !cur) run in
+          Device.write_nt (dev_of t) cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+          cur := !cur + n
+        done;
+        Device.fence (dev_of t) cpu);
     len
   end
   else begin
@@ -125,18 +132,19 @@ let pwrite t cpu fd ~off ~src =
     in
     let src_b = Bytes.unsafe_of_string src in
     let fo = ref off and written = ref 0 in
-    List.iter
-      (fun (ext : Alloc.extent) ->
-        let n = min ext.len (len - !written) in
-        if n > 0 then
-          Device.write_nt (dev_of t) cpu ~off:ext.off ~src:src_b ~src_off:!written ~len:n;
-        (* Staged map may overlap an earlier staged write; replace. *)
-        let _ = Block_map.remove_range s.smap ~file_off:!fo ~len:ext.len in
-        Block_map.insert s.smap ~file_off:!fo ~phys:ext.off ~len:ext.len;
-        fo := !fo + ext.len;
-        written := !written + n)
-      exts;
-    Device.fence (dev_of t) cpu;
+    Device.with_site (dev_of t) site_staging (fun () ->
+        List.iter
+          (fun (ext : Alloc.extent) ->
+            let n = min ext.len (len - !written) in
+            if n > 0 then
+              Device.write_nt (dev_of t) cpu ~off:ext.off ~src:src_b ~src_off:!written ~len:n;
+            (* Staged map may overlap an earlier staged write; replace. *)
+            let _ = Block_map.remove_range s.smap ~file_off:!fo ~len:ext.len in
+            Block_map.insert s.smap ~file_off:!fo ~phys:ext.off ~len:ext.len;
+            fo := !fo + ext.len;
+            written := !written + n)
+          exts;
+        Device.fence (dev_of t) cpu);
     s.sbytes <- s.sbytes + len;
     s.s_size <- max s.s_size (off + len);
     len

@@ -1,0 +1,8 @@
+(** SplitFS model (Kadekodi et al., SOSP '19): a user-space split that
+    serves overwrites through mmap (no syscall cost) and stages appends in
+    pre-allocated space, relinked into the kernel file system (modelled by
+    {!Basefs} with an ext4-style preset) at fsync. *)
+
+type t
+
+include Repro_vfs.Fs_intf.S with type t := t

@@ -21,6 +21,16 @@ module Fd_table = Repro_vfs.Fd_table
 module Block_map = Repro_vfs.Block_map
 module Cost = Repro_vfs.Fs_intf.Cost
 module Alloc = Repro_alloc.Pool_alloc
+module Site = Repro_pmem.Site
+
+(* Durability-lint sites: label Strata's persistence regions so
+   sanitizer/faultcheck findings name the layer at fault. *)
+let site_log = Site.v "strata" "log"
+let site_digest = Site.v "strata" "digest"
+let site_data = Site.v "strata" "data"
+let site_fsync = Site.v "strata" "fsync"
+let site_zero = Site.v "strata" "zero"
+let site_fault = Site.v "strata" "fault"
 
 let name = "Strata"
 let block = Units.base_page
@@ -120,8 +130,10 @@ let log_of t (cpu : Cpu.t) = t.logs.(cpu.id mod t.cfg.cpus)
 let log_meta t cpu =
   let lg = log_of t cpu in
   if lg.head + 64 > lg.size then lg.head <- 0;
-  Device.write t.dev cpu ~off:(lg.base + lg.head) ~src:(Bytes.make 64 '\002') ~src_off:0 ~len:64;
-  Device.persist t.dev cpu ~off:(lg.base + lg.head) ~len:64;
+  Device.with_site t.dev site_log (fun () ->
+      Device.write t.dev cpu ~off:(lg.base + lg.head) ~src:(Bytes.make 64 '\002') ~src_off:0
+        ~len:64;
+      Device.persist t.dev cpu ~off:(lg.base + lg.head) ~len:64);
   lg.head <- lg.head + 64;
   Counters.incr t.counters "fs.log_meta"
 
@@ -143,46 +155,47 @@ let digest t cpu lg =
             | Some exts -> exts
             | None -> Types.err ENOSPC "digestion allocation"
           in
-          let fo = ref blo in
-          List.iter
-            (fun (e : Alloc.extent) ->
-              (* Preserve previously digested bytes of partial blocks. *)
-              let copied = ref 0 in
-              while !copied < e.len do
-                (match Block_map.lookup f.bmap ~file_off:(!fo + !copied) with
-                | Some (old_phys, old_run) ->
-                    let n = min old_run (e.len - !copied) in
-                    Device.copy_within_nt t.dev cpu ~src:old_phys ~dst:(e.off + !copied) ~len:n;
-                    copied := !copied + n
-                | None ->
-                    Device.memset_nt t.dev cpu ~off:(e.off + !copied) ~len:(e.len - !copied)
-                      '\000';
-                    copied := e.len)
-              done;
-              fo := !fo + e.len)
-            exts;
-          (* Copy the logged data over the fresh blocks. *)
-          let in_piece = p.p_off - blo in
-          (match exts with
-          | [ e ] ->
-              Device.copy_within_nt t.dev cpu ~src:p.p_log_phys ~dst:(e.off + in_piece)
-                ~len:p.p_len
-          | exts ->
-              (* Multi-extent digestion: copy piecewise. *)
-              let remaining = ref p.p_len and src = ref p.p_log_phys and fo = ref p.p_off in
+          Device.with_site t.dev site_digest (fun () ->
+              let fo = ref blo in
               List.iter
                 (fun (e : Alloc.extent) ->
-                  let piece_lo = max !fo blo and piece_hi = min (p.p_off + p.p_len) (blo + e.len) in
-                  if piece_hi > piece_lo && !remaining > 0 then begin
-                    let n = min !remaining (piece_hi - piece_lo) in
-                    Device.copy_within_nt t.dev cpu ~src:!src ~dst:(e.off + (piece_lo - blo))
-                      ~len:n;
-                    src := !src + n;
-                    remaining := !remaining - n;
-                    fo := !fo + n
-                  end)
-                exts);
-          Device.fence t.dev cpu;
+                  (* Preserve previously digested bytes of partial blocks. *)
+                  let copied = ref 0 in
+                  while !copied < e.len do
+                    (match Block_map.lookup f.bmap ~file_off:(!fo + !copied) with
+                    | Some (old_phys, old_run) ->
+                        let n = min old_run (e.len - !copied) in
+                        Device.copy_within_nt t.dev cpu ~src:old_phys ~dst:(e.off + !copied) ~len:n;
+                        copied := !copied + n
+                    | None ->
+                        Device.memset_nt t.dev cpu ~off:(e.off + !copied) ~len:(e.len - !copied)
+                          '\000';
+                        copied := e.len)
+                  done;
+                  fo := !fo + e.len)
+                exts;
+              (* Copy the logged data over the fresh blocks. *)
+              let in_piece = p.p_off - blo in
+              (match exts with
+              | [ e ] ->
+                  Device.copy_within_nt t.dev cpu ~src:p.p_log_phys ~dst:(e.off + in_piece)
+                    ~len:p.p_len
+              | exts ->
+                  (* Multi-extent digestion: copy piecewise. *)
+                  let remaining = ref p.p_len and src = ref p.p_log_phys and fo = ref p.p_off in
+                  List.iter
+                    (fun (e : Alloc.extent) ->
+                      let piece_lo = max !fo blo and piece_hi = min (p.p_off + p.p_len) (blo + e.len) in
+                      if piece_hi > piece_lo && !remaining > 0 then begin
+                        let n = min !remaining (piece_hi - piece_lo) in
+                        Device.copy_within_nt t.dev cpu ~src:!src ~dst:(e.off + (piece_lo - blo))
+                          ~len:n;
+                        src := !src + n;
+                        remaining := !remaining - n;
+                        fo := !fo + n
+                      end)
+                    exts);
+              Device.fence t.dev cpu);
           Counters.add t.counters "fs.digested_bytes" p.p_len;
           let freed = Block_map.remove_range f.bmap ~file_off:blo ~len:(bhi - blo) in
           let fo = ref blo in
@@ -427,9 +440,10 @@ let pwrite t cpu fd ~off ~src =
       let n = min piece_max (len - !cur) in
       if lg.head + n + 64 > lg.size then digest t cpu lg;
       let phys = lg.base + lg.head in
-      Device.write_nt t.dev cpu ~off:phys ~src:(Bytes.unsafe_of_string src) ~src_off:!cur
-        ~len:n;
-      Device.fence t.dev cpu;
+      Device.with_site t.dev site_data (fun () ->
+          Device.write_nt t.dev cpu ~off:phys ~src:(Bytes.unsafe_of_string src) ~src_off:!cur
+            ~len:n;
+          Device.fence t.dev cpu);
       lg.head <- lg.head + Units.round_up n 64;
       lg.entries <-
         { p_ino = f.ino; p_off = off + !cur; p_log_phys = phys; p_len = n } :: lg.entries;
@@ -484,7 +498,7 @@ let pread t cpu fd ~off ~len =
 (* fsync is cheap: the log is already durable. *)
 let fsync t cpu _fd =
   Cost.charge_syscall cpu;
-  Device.fence t.dev cpu;
+  Device.with_site t.dev site_fsync (fun () -> Device.fence t.dev cpu);
   Counters.incr t.counters "fs.fsync"
 
 let fallocate t cpu fd ~off ~len =
@@ -505,13 +519,14 @@ let fallocate t cpu fd ~off ~len =
             (match Alloc.alloc t.alloc ~cpu:0 ~len:(hole_end - !cur) with
             | Some exts ->
                 let fo = ref !cur in
-                List.iter
-                  (fun (e : Alloc.extent) ->
-                    Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
-                    Block_map.insert f.bmap ~file_off:!fo ~phys:e.off ~len:e.len;
-                    fo := !fo + e.len)
-                  exts;
-                Device.fence t.dev cpu
+                Device.with_site t.dev site_zero (fun () ->
+                    List.iter
+                      (fun (e : Alloc.extent) ->
+                        Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
+                        Block_map.insert f.bmap ~file_off:!fo ~phys:e.off ~len:e.len;
+                        fo := !fo + e.len)
+                      exts;
+                    Device.fence t.dev cpu)
             | None -> Types.err ENOSPC "fallocate");
             cur := hole_end
       done;
@@ -547,13 +562,14 @@ let mmap_backing t fd : Vmem.backing =
             match Alloc.alloc t.alloc ~cpu:0 ~len:block with
             | Some exts ->
                 let fo = ref file_off in
-                List.iter
-                  (fun (e : Alloc.extent) ->
-                    Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
-                    Block_map.insert f.bmap ~file_off:!fo ~phys:e.off ~len:e.len;
-                    fo := !fo + e.len)
-                  exts;
-                Device.fence t.dev cpu
+                Device.with_site t.dev site_fault (fun () ->
+                    List.iter
+                      (fun (e : Alloc.extent) ->
+                        Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
+                        Block_map.insert f.bmap ~file_off:!fo ~phys:e.off ~len:e.len;
+                        fo := !fo + e.len)
+                      exts;
+                    Device.fence t.dev cpu)
             | None -> ())
     in
     if huge_ok then begin

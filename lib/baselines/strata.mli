@@ -1,0 +1,8 @@
+(** Strata model (Kwon et al., SOSP '17): writes append to a per-process
+    update log (fast, sequential), and a digest step later copies the data
+    into the shared area â cheap foreground writes bought with deferred
+    copy traffic and digestion pauses. *)
+
+type t
+
+include Repro_vfs.Fs_intf.S with type t := t

@@ -1,0 +1,7 @@
+(** xfs-DAX personality: like ext4-DAX a redo-journalled extent file
+    system with locality-first allocation, differing in its directory
+    index and in skipping mballoc's power-of-two normalisation. *)
+
+type t = Basefs.t
+
+include Repro_vfs.Fs_intf.S with type t := t

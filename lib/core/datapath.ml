@@ -14,6 +14,7 @@ let site_data = Site.v "core" "data"
 let site_data_journal = Site.v "core" "data-journal"
 let site_cow = Site.v "core" "cow"
 let site_zero = Site.v "core" "zero"
+let site_fsync = Site.v "core" "fsync"
 
 type t = {
   dev : Device.t;
@@ -152,6 +153,7 @@ let overwrite_in_txn t cpu txn (f : Inode.file) ~off ~src ~src_off ~len =
         | None -> Types.err ENOSPC "CoW allocation of %d bytes" cow_len
       in
       let write_piece (e : Alloc.extent) ~piece_file_off =
+        Device.with_site t.dev site_cow @@ fun () ->
         let ov_lo = max piece_file_off file_off
         and ov_hi = min (piece_file_off + e.len) (file_off + n) in
         (* Preserve only the block edges the new data does not cover. *)
@@ -179,7 +181,7 @@ let overwrite_in_txn t cpu txn (f : Inode.file) ~off ~src ~src_off ~len =
       List.iter
         (fun (e : Alloc.extent) ->
           Device.annotate t.dev (Fresh { addr = e.off; len = e.len });
-          Device.with_site t.dev site_cow (fun () -> write_piece e ~piece_file_off:!pf);
+          write_piece e ~piece_file_off:!pf;
           pf := !pf + e.len)
         exts;
       let freed, _ = Extent_map.remove_records t.map cpu txn f ~file_off:blo ~len:cow_len in
@@ -403,7 +405,7 @@ let fsync t cpu (f : Inode.file) =
     let lines = (f.dirty_bytes + Units.cacheline - 1) / Units.cacheline in
     Simclock.advance cpu.Cpu.clock
       (int_of_float ((Device.cost t.dev).flush_ns *. float_of_int lines));
-    Device.fence t.dev cpu;
+    Device.with_site t.dev site_fsync (fun () -> Device.fence t.dev cpu);
     f.dirty_bytes <- 0
   end
 

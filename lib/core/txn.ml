@@ -31,7 +31,7 @@ let make dev cpus counter journals =
     counter;
     slots =
       Array.map
-        (fun j -> { journal = j; lock = Sched.create_mutex (); active = false })
+        (fun j -> { journal = j; lock = Sched.create_mutex ~name:"txn:s.lock" (); active = false })
         journals;
   }
 

@@ -19,6 +19,11 @@ module Registry = Repro_baselines.Registry
 module Vmem = Repro_memsim.Vmem
 module W = Repro_workloads.Micro
 module Fs = Winefs.Fs
+module Site = Repro_pmem.Site
+
+(* Durability-lint sites for the benchmark drivers' own PM traffic. *)
+let site_mmap_flush = Site.v "ablation" "mmap_flush"
+let site_numa_stream = Site.v "ablation" "numa_stream"
 
 (* A: hugepages on/off over the same aged file system. *)
 let huge_onoff setup =
@@ -43,7 +48,7 @@ let huge_onoff setup =
       for i = 0 to (file_bytes / Units.huge_page) - 1 do
         Vmem.write vm c region ~off:(i * Units.huge_page) ~src:payload
       done;
-      Device.fence (F.device fs) c;
+      Device.with_site (F.device fs) site_mmap_flush (fun () -> Device.fence (F.device fs) c);
       let ns = Cpu.now c - t0 in
       Table.add_row t
         [
@@ -141,12 +146,13 @@ let numa setup =
   let bench ~node ~base =
     let cpu = Cpu.make ~id:0 ~node () in
     let t0 = Cpu.now cpu in
-    for i = 0 to (bytes / Bytes.length payload) - 1 do
-      Device.write_nt dev cpu
-        ~off:(base + (i * Bytes.length payload))
-        ~src:payload ~src_off:0 ~len:(Bytes.length payload)
-    done;
-    Device.fence dev cpu;
+    Device.with_site dev site_numa_stream (fun () ->
+        for i = 0 to (bytes / Bytes.length payload) - 1 do
+          Device.write_nt dev cpu
+            ~off:(base + (i * Bytes.length payload))
+            ~src:payload ~src_off:0 ~len:(Bytes.length payload)
+        done;
+        Device.fence dev cpu);
     Exp_common.mb_per_s ~bytes ~ns:(Cpu.now cpu - t0)
   in
   (* The policy homes the writer on its own node; the ablation forces the

@@ -60,7 +60,7 @@ let run ?(scale = 1) () =
       Vmem.prefault vm cpu r;
       Vmem.munmap vm r;
       F.close fs cpu fd
-  | exception Types.Error _ -> ());
+  | exception Types.Error (ENOENT, _) -> ());
   let t1 = Cpu.now cpu in
   (* The defragmenter's reads+writes steal PM bandwidth mid-run: its copy
      traffic lands inline on the shared timeline. *)

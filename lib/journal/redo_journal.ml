@@ -8,6 +8,7 @@ let site_header = Site.v "redo" "header"
 let site_format = Site.v "redo" "format"
 let site_record = Site.v "redo" "record"
 let site_checkpoint = Site.v "redo" "checkpoint"
+let site_commit = Site.v "redo" "commit"
 let site_recovery = Site.v "redo" "recovery"
 
 (* Sanitizer transaction ids: negative of the commit sequence, so they can
@@ -76,7 +77,7 @@ let format dev cpu ~off ~size =
       dev;
       base = off;
       size;
-      lock = Sched.create_mutex ();
+      lock = Sched.create_mutex ~name:"redo_journal:t.lock" ();
       seq = 0;
       head = 0;
       running = Hashtbl.create 64;
@@ -100,7 +101,7 @@ let attach dev ~off ~size =
     dev;
     base = off;
     size;
-    lock = Sched.create_mutex ();
+    lock = Sched.create_mutex ~name:"redo_journal:t.lock" ();
     seq = Int64.to_int (Bytes.get_int64_le buf 8);
     head = Int64.to_int (Bytes.get_int64_le buf 16);
     running = Hashtbl.create 64;
@@ -157,10 +158,11 @@ let commit t cpu =
         Device.annotate t.dev (Txn_begin { txn });
         (* Journal all records, then the commit block; one fence covers the
            record flushes, a second orders the commit block after them. *)
-        List.iter (fun (addr, data) -> write_record t cpu ~seq ~ty:1 ~addr ~data) records;
-        Device.fence t.dev cpu;
-        write_record t cpu ~seq ~ty:2 ~addr:0 ~data:"";
-        Device.fence t.dev cpu;
+        Device.with_site t.dev site_commit (fun () ->
+            List.iter (fun (addr, data) -> write_record t cpu ~seq ~ty:1 ~addr ~data) records;
+            Device.fence t.dev cpu;
+            write_record t cpu ~seq ~ty:2 ~addr:0 ~data:"";
+            Device.fence t.dev cpu);
         (* The commit block is durable: replay can reconstruct every record,
            so in-place checkpointing is crash-safe from here. *)
         List.iter

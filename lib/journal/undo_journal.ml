@@ -15,6 +15,7 @@ let site_undo_copy = Site.v "journal" "undo-copy"
 let site_commit = Site.v "journal" "commit"
 let site_abort = Site.v "journal" "abort"
 let site_recovery = Site.v "journal" "recovery"
+let site_reclaim = Site.v "journal" "reclaim"
 
 module Txn_counter = struct
   (* One counter is shared by every per-CPU journal (§3.6), so unlike the
@@ -23,7 +24,7 @@ module Txn_counter = struct
      threaded callers are unaffected. *)
   type t = { mutable next : int; mu : Sched.mutex }
 
-  let create () = { next = 1; mu = Sched.create_mutex () }
+  let create () = { next = 1; mu = Sched.create_mutex ~name:"undo_journal:t.mu" () }
 
   let note ~write ~site =
     if Sched.monitored () then Sched.access ~obj:"journal.txn_counter" ~write ~site
@@ -197,9 +198,10 @@ let reclaim t cpu =
   end
 
 let invalidate_head_slot_fwd t cpu =
-  Device.write t.dev cpu ~off:(slot_off t t.head) ~src:(Bytes.make entry_bytes '\000')
-    ~src_off:0 ~len:entry_bytes;
-  Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes
+  Device.with_site t.dev site_reclaim (fun () ->
+      Device.write t.dev cpu ~off:(slot_off t t.head) ~src:(Bytes.make entry_bytes '\000')
+        ~src_off:0 ~len:entry_bytes;
+      Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes)
 
 let begin_txn t cpu ~reserve =
   note t ~write:true ~site:"undo.begin_txn";
@@ -364,9 +366,10 @@ let scan_pending t cpu =
 (* Invalidate the slot at the reclaim point so stale entries of the
    rolled-back transaction can never be rescanned as pending. *)
 let invalidate_head_slot t cpu =
-  Device.write t.dev cpu ~off:(slot_off t t.head) ~src:(Bytes.make entry_bytes '\000')
-    ~src_off:0 ~len:entry_bytes;
-  Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes
+  Device.with_site t.dev site_recovery (fun () ->
+      Device.write t.dev cpu ~off:(slot_off t t.head) ~src:(Bytes.make entry_bytes '\000')
+        ~src_off:0 ~len:entry_bytes;
+      Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes)
 
 let rollback_pending t cpu (p : pending) =
   note t ~write:true ~site:"undo.rollback_pending";

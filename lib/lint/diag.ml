@@ -1,0 +1,29 @@
+type t = { file : string; line : int; col : int; rule : string; msg : string; hint : string }
+
+let at ~file ~line ~col ~rule ~hint msg = { file; line; col; rule; msg; hint }
+
+let v ~loc ~rule ~hint fmt =
+  let p = loc.Location.loc_start in
+  Printf.ksprintf
+    (fun msg ->
+      {
+        file = p.Lexing.pos_fname;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        rule;
+        msg;
+        hint;
+      })
+    fmt
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d %s %s%s" d.file d.line d.col d.rule d.msg
+    (if d.hint = "" then "" else Printf.sprintf " (fix: %s)" d.hint)
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> ( match Int.compare a.col b.col with 0 -> String.compare a.rule b.rule | c -> c)
+      | c -> c)
+  | c -> c

@@ -1,0 +1,27 @@
+(** Structured static-analysis diagnostics.
+
+    Every rule reports findings through this one type so `srccheck` output
+    is uniformly greppable ([file:line:col rule-id message]) and tests can
+    assert exact diagnostics instead of scraping free-form text. *)
+
+type t = {
+  file : string;  (** path as scanned (workspace-relative when possible) *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  rule : string;  (** rule id, e.g. ["lock-order"] *)
+  msg : string;
+  hint : string;  (** how to fix; rendered after the message *)
+}
+
+val v : loc:Location.t -> rule:string -> hint:string -> ('a, unit, string, t) format4 -> 'a
+(** Build a diagnostic anchored at [loc]'s start position. *)
+
+val at : file:string -> line:int -> col:int -> rule:string -> hint:string -> string -> t
+(** Build a diagnostic from explicit coordinates (for file-level findings
+    with no AST location, e.g. a facade size limit). *)
+
+val to_string : t -> string
+(** ["file:line:col rule-id message (fix: hint)"]. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, then rule id — stable report order. *)

@@ -1,0 +1,115 @@
+open Parsetree
+
+let rule = "error-discipline"
+
+let scope_dirs =
+  [ "lib/core/"; "lib/journal/"; "lib/baselines/"; "lib/aging/"; "lib/workloads/";
+    "lib/race/"; "lib/experiments/" ]
+
+let in_scope (f : Source.file) =
+  f.kind = Source.Impl
+  && List.exists
+       (fun d -> String.length f.path >= String.length d && String.sub f.path 0 (String.length d) = d)
+       scope_dirs
+
+let contains_raise body =
+  let found = ref false in
+  let open Ast_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match List.rev (Longident.flatten txt) with
+        | ("raise" | "raise_notrace" | "reraise") :: _ -> found := true
+        | _ -> ())
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it body;
+  !found
+
+let is_types_error env lid =
+  match List.rev (Resolve.resolve env lid) with
+  | "Error" :: rest -> List.exists (fun c -> c = "Types") rest
+  | _ -> false
+
+(* errno component discriminated = a constructor (possibly or-patterns of
+   constructors), not a wildcard/variable. *)
+let rec errno_discriminated (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> false
+  | Ppat_or (a, b) -> errno_discriminated a && errno_discriminated b
+  | Ppat_alias (inner, _) -> errno_discriminated inner
+  | _ -> true
+
+let rec check_exc_pattern env diags (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ ->
+      diags :=
+        Diag.v ~loc:p.ppat_loc ~rule
+          ~hint:
+            "match the specific exceptions this operation can raise and re-raise the rest; a \
+             wildcard here eats Media_error (EIO) and EROFS"
+          "catch-all exception handler"
+        :: !diags
+  | Ppat_or (a, b) ->
+      check_exc_pattern env diags a;
+      check_exc_pattern env diags b
+  | Ppat_alias (inner, _) -> check_exc_pattern env diags inner
+  | Ppat_construct (lid, payload) when is_types_error env lid.txt ->
+      let undiscriminated =
+        match payload with
+        | None -> true
+        | Some (_, pay) -> (
+            match pay.ppat_desc with
+            | Ppat_any | Ppat_var _ -> true
+            | Ppat_tuple (errno :: _) -> not (errno_discriminated errno)
+            | _ -> false)
+      in
+      if undiscriminated then
+        diags :=
+          Diag.v ~loc:p.ppat_loc ~rule
+            ~hint:
+              "narrow to the errnos this path expects, e.g. Types.Error ((ENOENT | ENOTDIR), \
+               _); an unqualified handler also swallows EIO/EROFS"
+            "Types.Error handler does not discriminate errnos"
+          :: !diags
+  | _ -> ()
+
+let check_case env diags (c : case) =
+  if c.pc_guard = None && not (contains_raise c.pc_rhs) then
+    check_exc_pattern env diags c.pc_lhs
+
+let check_file (f : Source.file) diags =
+  let env = Resolve.env_of_file f in
+  let open Ast_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_try (_, cases) -> List.iter (check_case env diags) cases
+    | Pexp_match (_, cases) ->
+        List.iter
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_exception p -> check_case env diags { c with pc_lhs = p }
+            | _ -> ())
+          cases
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = ign; _ }; _ }, [ (Asttypes.Nolabel, arg) ])
+      when (match List.rev (Longident.flatten ign) with "ignore" :: _ -> true | _ -> false) -> (
+        match Resolve.calls env arg with
+        | Some (comps, _) when (match List.rev comps with "check_invariants" :: _ -> true | _ -> false) ->
+            diags :=
+              Diag.v ~loc:e.pexp_loc ~rule
+                ~hint:"match on the result and fail (or log) on Error — ignoring it defeats the check"
+                "result of check_invariants is ignored"
+              :: !diags
+        | _ -> ())
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.structure it f.impl
+
+let check files =
+  let diags = ref [] in
+  List.iter (fun f -> if in_scope f then check_file f diags) files;
+  List.sort Diag.compare !diags

@@ -1,0 +1,44 @@
+type allow = { a_rule : string; a_file : string; a_reason : string }
+
+type report = {
+  diags : Diag.t list;
+  suppressed : int;
+  files_scanned : int;
+  parse_errors : int;
+}
+
+let rules =
+  [
+    ("lock-order", Lock_order.check);
+    ("persist-site", Persist_sites.check);
+    ("ownership", Ownership.check);
+    ("error-discipline", Error_discipline.check);
+  ]
+
+let default_allowlist = []
+
+let run ?(allowlist = default_allowlist) files ~parse =
+  let raw = List.concat_map (fun (_, checker) -> checker files) rules in
+  let suppressed, kept =
+    List.partition
+      (fun (d : Diag.t) ->
+        List.exists (fun a -> a.a_rule = d.rule && a.a_file = d.file) allowlist)
+      raw
+  in
+  {
+    diags = List.sort Diag.compare (parse @ kept);
+    suppressed = List.length suppressed;
+    files_scanned = List.length files;
+    parse_errors = List.length parse;
+  }
+
+let analyze ?allowlist roots =
+  let files, parse = Source.load_roots roots in
+  run ?allowlist files ~parse
+
+let analyze_string ~path text =
+  match Source.parse_string ~path text with
+  | Error d -> [ d ]
+  | Ok f -> (run [ f ] ~parse:[]).diags
+
+let exit_code r = if r.parse_errors > 0 then 2 else if r.diags <> [] then 1 else 0

@@ -1,0 +1,47 @@
+(** srccheck: AST-based static analysis of this repository's own sources.
+
+    Four rules over real parse trees (see {!Lock_order},
+    {!Persist_sites}, {!Ownership}, {!Error_discipline}), replacing the
+    old substring archcheck.  The engine is deliberately small: rules are
+    [Source.file list -> Diag.t list] functions; suppression is an
+    explicit per-rule/per-file allowlist with a reason, and suppressed
+    counts are reported so an allowlist can never silently grow. *)
+
+type allow = {
+  a_rule : string;
+  a_file : string;  (** normalised path the suppression applies to *)
+  a_reason : string;
+}
+
+type report = {
+  diags : Diag.t list;  (** surviving diagnostics, sorted by position *)
+  suppressed : int;  (** diagnostics removed by the allowlist *)
+  files_scanned : int;
+  parse_errors : int;  (** unparseable files (their ["parse"] diags are in [diags]) *)
+}
+
+val rules : (string * (Source.file list -> Diag.t list)) list
+(** [(rule-id, checker)]; the ids are the ones diagnostics carry. *)
+
+val default_allowlist : allow list
+(** Empty on HEAD: every violation the rules surfaced was fixed rather
+    than suppressed.  The machinery stays so a future, justified
+    exception is one reviewed entry — with a reason — instead of a
+    weakened rule. *)
+
+val run : ?allowlist:allow list -> Source.file list -> parse:Diag.t list -> report
+(** Run every rule over already-loaded files.  [parse] diagnostics are
+    folded into the report (and force exit code 2). *)
+
+val analyze : ?allowlist:allow list -> string list -> report
+(** [analyze roots]: {!Source.load_roots} + {!run} — the srccheck entry
+    point, normally over [["lib"; "bin"]]. *)
+
+val analyze_string : path:string -> string -> Diag.t list
+(** All rules over a single synthetic file — the fixture hook for tests.
+    The [path] matters: rules scope by it (e.g. [lib/core/x.ml] is inside
+    the error-discipline scope, [lib/pmem/x.ml] is exempt from
+    persist-site). *)
+
+val exit_code : report -> int
+(** 0 clean, 1 violations, 2 parse errors. *)

@@ -1,0 +1,55 @@
+let rule = "persist-site"
+let low = String.lowercase_ascii
+
+let triggers =
+  [
+    "write"; "write_string"; "memset"; "copy_within";
+    "write_nt"; "write_string_nt"; "memset_nt"; "copy_within_nt";
+    "write_u64"; "flush"; "fence"; "persist";
+  ]
+
+let in_scope (f : Source.file) =
+  f.kind = Source.Impl
+  && not (String.length f.path >= 9 && String.sub f.path 0 9 = "lib/pmem/")
+
+let device_fn env e =
+  match Resolve.calls env e with
+  | Some (comps, args) -> (
+      match List.rev comps with
+      | fn :: m :: _ when low m = "device" -> Some (fn, args)
+      | _ -> None)
+  | None -> None
+
+let check_file (f : Source.file) diags =
+  let env = Resolve.env_of_file f in
+  let depth = ref 0 in
+  let open Ast_iterator in
+  let expr it e =
+    match device_fn env e with
+    | Some ("with_site", args) -> (
+        match List.rev (List.filter_map (function Asttypes.Nolabel, a -> Some a | _ -> None) args) with
+        | thunk :: rest ->
+            List.iter (it.expr it) (List.rev rest);
+            incr depth;
+            it.expr it thunk;
+            decr depth
+        | [] -> ())
+    | Some (fn, args) when List.mem fn triggers ->
+        if !depth = 0 then
+          diags :=
+            Diag.v ~loc:e.Parsetree.pexp_loc ~rule
+              ~hint:
+                "wrap the persistence section in Device.with_site dev (Site.v ~layer ~op) so \
+                 sanitizer/faultcheck reports can attribute it"
+              "Device.%s outside any Device.with_site annotation" fn
+            :: !diags;
+        List.iter (fun (_, a) -> it.expr it a) args
+    | _ -> default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.structure it f.impl
+
+let check files =
+  let diags = ref [] in
+  List.iter (fun f -> if in_scope f then check_file f diags) files;
+  List.sort Diag.compare !diags

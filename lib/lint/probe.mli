@@ -1,0 +1,28 @@
+(** Dynamic cross-check of the static lock-order graph.
+
+    Replays the race-detector scenarios (one deterministic
+    earliest-clock schedule each) plus a small two-thread PMFS-baseline
+    workload, with the {!Repro_sched.Sched.Lock_order} recorder capturing
+    the {e observed} acquired-before relation.  Soundness obligation:
+    static graph ⊇ observed graph —
+
+    - an observed cycle is reported outright (a deadlock the schedule
+      explorer merely has not triggered yet);
+    - an observed edge between {e named} mutexes that the static graph
+      does not imply means the analyzer (or a mutex name) is out of date,
+      also reported.
+
+    Only explicitly-named mutexes participate (the convention is
+    "name = dominant static lock-site label", e.g. ["undo_journal:t.mu"]);
+    per-object locks (file/inode) stay anonymous, because many runtime
+    instances share one syntactic site and hierarchical same-class
+    nesting would read as a false self-cycle. *)
+
+type result = {
+  observed_edges : (string * string) list;  (** named-mutex acquired-before pairs *)
+  runtime_cycle : string list option;
+  acquisitions : int;  (** total lock acquisitions recorded *)
+  diags : Diag.t list;
+}
+
+val run : Source.file list -> result

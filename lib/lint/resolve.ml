@@ -1,0 +1,63 @@
+open Parsetree
+
+(* module X = A.B aliases: X -> [A; B].  A flat, file-wide map is a sound
+   approximation for this codebase: module aliases are file-scoped
+   conventions (every file binds its own [Device]/[Sched]/...), and a
+   same-name alias in a nested scope would only widen, never hide, what
+   the rules see. *)
+type env = (string, string list) Hashtbl.t
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let env_of_file (f : Source.file) =
+  let env : env = Hashtbl.create 16 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      module_binding =
+        (fun it mb ->
+          (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+          | Some name, Pmod_ident { txt = lid; _ } -> Hashtbl.replace env name (flatten lid)
+          | _ -> ());
+          Ast_iterator.default_iterator.module_binding it mb);
+    }
+  in
+  it.structure it f.impl;
+  it.signature it f.intf;
+  env
+
+let resolve env lid =
+  let rec expand depth comps =
+    match comps with
+    | head :: rest when depth < 8 -> (
+        match Hashtbl.find_opt env head with
+        | Some target when target <> comps -> expand (depth + 1) (target @ rest)
+        | _ -> comps)
+    | _ -> comps
+  in
+  expand 0 (flatten lid)
+
+let mentions env lid name = List.mem name (resolve env lid)
+
+let rec calls env (e : expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "@@"; _ }; _ }, [ (_, f); (_, x) ]) -> (
+      match calls env f with
+      | Some (callee, fargs) -> Some (callee, fargs @ [ (Asttypes.Nolabel, x) ])
+      | None -> None)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "|>"; _ }; _ }, [ (_, x); (_, f) ]) -> (
+      match calls env f with
+      | Some (callee, fargs) -> Some (callee, fargs @ [ (Asttypes.Nolabel, x) ])
+      | None -> None)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = lid; _ }; _ }, args) ->
+      Some (resolve env lid, args)
+  | Pexp_ident { txt = lid; _ } -> Some (resolve env lid, [])
+  | _ -> None
+
+let rec label_of_expr (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = lid; _ } -> String.concat "." (flatten lid)
+  | Pexp_field (inner, { txt = field; _ }) ->
+      label_of_expr inner ^ "." ^ String.concat "." (flatten field)
+  | Pexp_constraint (inner, _) -> label_of_expr inner
+  | _ -> "<expr>"

@@ -1,0 +1,32 @@
+(** Longident resolution and application normalisation shared by the
+    rules.
+
+    Rules match on {e resolved} module paths: a per-file environment maps
+    local aliases ([module Undo = Repro_journal.Undo_journal]) and opens
+    to their targets, so [Undo.commit] and
+    [Repro_journal.Undo_journal.commit] are the same reference — the
+    precision the substring archcheck lacked (no matches inside comments,
+    strings, or unrelated identifiers). *)
+
+type env
+
+val env_of_file : Source.file -> env
+(** Collect [module X = Path] aliases (at any nesting depth). *)
+
+val resolve : env -> Longident.t -> string list
+(** Expanded component list, aliases substituted recursively (cycle-safe);
+    e.g. with [module Undo = Repro_journal.Undo_journal],
+    [Undo.commit] resolves to [["Repro_journal"; "Undo_journal"; "commit"]]. *)
+
+val mentions : env -> Longident.t -> string -> bool
+(** Does the resolved path contain this module component?  ([mentions env
+    lid "Undo_journal"]). *)
+
+val calls : env -> Parsetree.expression -> (string list * (Asttypes.arg_label * Parsetree.expression) list) option
+(** Normalised application view of an expression: [Some (resolved-callee,
+    args)] for [f a b], [f @@ a] and [a |> f]; [None] otherwise. *)
+
+val label_of_expr : Parsetree.expression -> string
+(** Short syntactic label for a mutex expression: identifiers and field
+    paths render as written ([parent.lock], [t.mu]); anything else as
+    ["<expr>"].  Lock-order nodes are keyed on [stem ^ ":" ^ label]. *)

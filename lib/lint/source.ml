@@ -1,0 +1,91 @@
+type kind = Impl | Intf
+
+type file = {
+  path : string;
+  kind : kind;
+  stem : string;
+  impl : Parsetree.structure;
+  intf : Parsetree.signature;
+  line_count : int;
+}
+
+let normalise path =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) path in
+  (* Strip leading ./ and ../ segments so paths are workspace-relative
+     regardless of where the checker was launched (dune rules pass
+     %{workspace_root}-prefixed roots like ../lib). *)
+  let rec strip p =
+    if String.length p > 2 && String.sub p 0 2 = "./" then strip (String.sub p 2 (String.length p - 2))
+    else if String.length p > 3 && String.sub p 0 3 = "../" then
+      strip (String.sub p 3 (String.length p - 3))
+    else p
+  in
+  strip p
+
+let stem_of path =
+  String.lowercase_ascii (Filename.remove_extension (Filename.basename path))
+
+let count_lines s =
+  let n = ref (if String.length s = 0 then 0 else 1) in
+  String.iter (fun c -> if c = '\n' then incr n) s;
+  (* A trailing newline does not start a new line. *)
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then decr n;
+  !n
+
+let parse_string ~path text =
+  let path = normalise path in
+  let kind = if Filename.check_suffix path ".mli" then Intf else Impl in
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  match
+    match kind with
+    | Impl -> `Impl (Parse.implementation lexbuf)
+    | Intf -> `Intf (Parse.interface lexbuf)
+  with
+  | `Impl impl ->
+      Ok { path; kind; stem = stem_of path; impl; intf = []; line_count = count_lines text }
+  | `Intf intf ->
+      Ok { path; kind; stem = stem_of path; impl = []; intf; line_count = count_lines text }
+  | exception exn ->
+      let loc =
+        match exn with
+        | Syntaxerr.Error e -> Syntaxerr.location_of_error e
+        | _ -> Location.in_file path
+      in
+      Error
+        (Diag.v ~loc ~rule:"parse" ~hint:"fix the syntax error; srccheck cannot vet this file"
+           "unparseable source (%s)"
+           (match exn with Syntaxerr.Error _ -> "syntax error" | e -> Printexc.to_string e))
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string ~path text
+
+let is_source f = Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else if is_source path then path :: acc
+  else acc
+
+let load_roots roots =
+  (* Open files by their on-disk path; [parse_string] normalises the
+     recorded path, so sort by the normalised form for stable order. *)
+  let paths =
+    List.fold_left collect [] roots
+    |> List.sort (fun a b -> compare (normalise a) (normalise b))
+  in
+  List.fold_left
+    (fun (files, diags) p ->
+      match load_file p with Ok f -> (f :: files, diags) | Error d -> (files, d :: diags))
+    ([], []) paths
+  |> fun (files, diags) -> (List.rev files, List.rev diags)

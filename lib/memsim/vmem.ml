@@ -1,5 +1,12 @@
 open Repro_util
 module Device = Repro_pmem.Device
+module Site = Repro_pmem.Site
+
+(* Durability-lint sites: user-space DAX stores and fault-time zeroing
+   flow through here, so they carry their own attribution labels. *)
+let site_fault = Site.v "vmem" "fault_zero"
+let site_store = Site.v "vmem" "store"
+let site_persist = Site.v "vmem" "persist"
 
 type fault_result = Huge of int | Base of int | Sigbus
 
@@ -153,10 +160,10 @@ let handle_fault t cpu r va =
         Counters.incr t.counters "mm.huge_faults";
         Counters.incr t.counters "mm.page_faults";
         charge t cpu t.cfg.fault_huge_ns;
-        if r.zero_on_fault then begin
-          Device.memset t.dev cpu ~off:phys ~len:huge '\000';
-          Device.persist t.dev cpu ~off:phys ~len:huge
-        end;
+        if r.zero_on_fault then
+          Device.with_site t.dev site_fault (fun () ->
+              Device.memset t.dev cpu ~off:phys ~len:huge '\000';
+              Device.persist t.dev cpu ~off:phys ~len:huge);
         phys + (va - (r.base_va + chunk_file)) / base * base
     | Base phys ->
         (* The FS may answer Base even when asked about a whole chunk
@@ -177,10 +184,10 @@ let handle_fault t cpu r va =
         r.base_pages <- r.base_pages + 1;
         Counters.incr t.counters "mm.page_faults";
         charge t cpu t.cfg.fault_base_ns;
-        if r.zero_on_fault then begin
-          Device.memset t.dev cpu ~off:phys ~len:base '\000';
-          Device.persist t.dev cpu ~off:phys ~len:base
-        end;
+        if r.zero_on_fault then
+          Device.with_site t.dev site_fault (fun () ->
+              Device.memset t.dev cpu ~off:phys ~len:base '\000';
+              Device.persist t.dev cpu ~off:phys ~len:base);
         phys
     | Sigbus -> raise (Sigbus_fault (Printf.sprintf "fault at file offset %d" file_off))
   in
@@ -282,7 +289,8 @@ let read t cpu r ~off ~len =
 let write_bytes t cpu r ~off ~src ~src_off ~len =
   check_region r ~off ~len;
   access t cpu r ~off ~len ~f:(fun ~phys ~n ~off:cur ->
-      Device.write_nt t.dev cpu ~off:phys ~src ~src_off:(src_off + cur - off) ~len:n)
+      Device.with_site t.dev site_store (fun () ->
+          Device.write_nt t.dev cpu ~off:phys ~src ~src_off:(src_off + cur - off) ~len:n))
 
 let write t cpu r ~off ~src =
   write_bytes t cpu r ~off ~src:(Bytes.unsafe_of_string src) ~src_off:0
@@ -291,7 +299,7 @@ let write t cpu r ~off ~src =
 let fill t cpu r ~off ~len c =
   check_region r ~off ~len;
   access t cpu r ~off ~len ~f:(fun ~phys ~n ~off:_ ->
-      Device.memset_nt t.dev cpu ~off:phys ~len:n c)
+      Device.with_site t.dev site_store (fun () -> Device.memset_nt t.dev cpu ~off:phys ~len:n c))
 
 let read_u64 t cpu r ~off =
   check_region r ~off ~len:8;
@@ -309,7 +317,8 @@ let read_u64 t cpu r ~off =
 let write_u64 t cpu r ~off v =
   check_region r ~off ~len:8;
   let phys, avail = translate t cpu r (r.base_va + off) in
-  if avail >= 8 then Device.write_u64 t.dev cpu ~off:phys v
+  if avail >= 8 then
+    Device.with_site t.dev site_store (fun () -> Device.write_u64 t.dev cpu ~off:phys v)
   else begin
     let buf = Bytes.create 8 in
     Bytes.set_int64_le buf 0 v;
@@ -318,9 +327,10 @@ let write_u64 t cpu r ~off v =
 
 let persist t cpu r ~off ~len =
   check_region r ~off ~len;
-  access t cpu r ~off ~len ~f:(fun ~phys ~n ~off:_ ->
-      Device.flush t.dev cpu ~off:phys ~len:n);
-  Device.fence t.dev cpu
+  Device.with_site t.dev site_persist (fun () ->
+      access t cpu r ~off ~len ~f:(fun ~phys ~n ~off:_ ->
+          Device.flush t.dev cpu ~off:phys ~len:n);
+      Device.fence t.dev cpu)
 
 let prefault t cpu r =
   let off = ref 0 in

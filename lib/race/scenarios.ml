@@ -3,6 +3,11 @@ module Device = Repro_pmem.Device
 module Sched = Repro_sched.Sched
 module Journal = Repro_journal.Undo_journal
 module Pool_alloc = Repro_alloc.Pool_alloc
+module Site = Repro_pmem.Site
+
+(* Durability-lint sites for the scenarios' own PM stores. *)
+let site_journal_store = Site.v "scenario" "journal_store"
+let site_shared_line = Site.v "scenario" "shared_line"
 
 (* Concurrency scenarios exercised under the race detector.  The clean
    suite encodes the per-CPU discipline the paper's design relies on
@@ -41,7 +46,8 @@ let pcpu_journal =
           for i = 1 to 4 do
             let txn = Journal.begin_txn j cpu ~reserve:2 in
             Journal.log_range j cpu txn ~addr ~len:64;
-            Device.write_u64 dev cpu ~off:addr (Int64.of_int i);
+            Device.with_site dev site_journal_store (fun () ->
+                Device.write_u64 dev cpu ~off:addr (Int64.of_int i));
             Sched.yield ();
             Journal.commit j cpu txn;
             Sched.yield ()
@@ -91,7 +97,7 @@ let locked_counter =
     sc_prepare =
       (fun () ->
         let dev = Device.create ~cost:Device.Cost.free ~size:Units.base_page () in
-        let m = Sched.create_mutex () in
+        let m = Sched.create_mutex ~name:"scenarios:m" () in
         let counter = ref 0 in
         let body (_ : Cpu.t) =
           for _ = 1 to 5 do
@@ -150,7 +156,8 @@ let pm_shared_line =
         let dev = Device.create ~cost:Device.Cost.free ~size:Units.base_page () in
         let body (cpu : Cpu.t) =
           for i = 1 to 3 do
-            Device.write_u64 dev cpu ~off:0 (Int64.of_int ((cpu.id * 10) + i));
+            Device.with_site dev site_shared_line (fun () ->
+                Device.write_u64 dev cpu ~off:0 (Int64.of_int ((cpu.id * 10) + i)));
             Sched.yield ()
           done
         in

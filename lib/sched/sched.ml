@@ -19,6 +19,7 @@ type thread = {
 
 type mutex = {
   mid : int;
+  name : string option; (* lock-class name for order diagnostics *)
   mutable holder : thread option;
   waiters : thread Queue.t;
   mutable held_outside : bool; (* degraded single-threaded mode *)
@@ -34,12 +35,117 @@ type _ Effect.t +=
    deliberately never reset. *)
 let next_mutex_id = ref 0
 
-let create_mutex () =
+let create_mutex ?name () =
   let mid = !next_mutex_id in
   incr next_mutex_id;
-  { mid; holder = None; waiters = Queue.create (); held_outside = false }
+  { mid; name; holder = None; waiters = Queue.create (); held_outside = false }
 
 let mutex_id m = m.mid
+let mutex_name m = match m.name with Some n -> n | None -> "m" ^ string_of_int m.mid
+
+(* ------------------------------------------------------------------ *)
+(* Lockdep-style acquired-before recorder.  Global (never cleared by
+   [reset_run_state]): the relation accumulates across sequential runs
+   until [Lock_order.reset], so a whole scenario suite contributes to one
+   observed graph.  Recording covers every acquisition path — the
+   uncontended effect handler, the FIFO handoff in [Unlock], and the
+   degraded outside-scheduler mode (keyed as pseudo-thread -1). *)
+
+module Lock_order = struct
+  let held : (int, int list ref) Hashtbl.t = Hashtbl.create 8 (* thread -> mids, innermost first *)
+  let edge_tbl : (int * int, unit) Hashtbl.t = Hashtbl.create 64
+  let names : (int, string) Hashtbl.t = Hashtbl.create 16 (* only explicitly named mutexes *)
+  let acq_count = ref 0
+
+  let reset () =
+    Hashtbl.reset held;
+    Hashtbl.reset edge_tbl;
+    Hashtbl.reset names;
+    acq_count := 0
+
+  let stack thread =
+    match Hashtbl.find_opt held thread with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add held thread s;
+        s
+
+  let record_acquire ~thread m =
+    incr acq_count;
+    (match m.name with Some n -> Hashtbl.replace names m.mid n | None -> ());
+    let s = stack thread in
+    let fresh = ref 0 in
+    List.iter
+      (fun h ->
+        if not (Hashtbl.mem edge_tbl (h, m.mid)) then begin
+          Hashtbl.add edge_tbl (h, m.mid) ();
+          incr fresh
+        end)
+      !s;
+    s := m.mid :: !s;
+    if Repro_stats.Stats.enabled () then begin
+      Repro_stats.Stats.counter_add "sched.lock_order.acquisitions" 1;
+      if !fresh > 0 then Repro_stats.Stats.counter_add "sched.lock_order.edges" !fresh
+    end
+
+  let record_release ~thread m =
+    let s = stack thread in
+    let rec drop = function
+      | [] -> []
+      | mid :: rest -> if mid = m.mid then rest else mid :: drop rest
+    in
+    s := drop !s
+
+  let label mid =
+    match Hashtbl.find_opt names mid with Some n -> n | None -> "m" ^ string_of_int mid
+
+  let acquisitions () = !acq_count
+  let edges () = Hashtbl.fold (fun e () acc -> e :: acc) edge_tbl [] |> List.sort compare
+
+  let named_edges () =
+    Hashtbl.fold
+      (fun (a, b) () acc ->
+        match (Hashtbl.find_opt names a, Hashtbl.find_opt names b) with
+        | Some na, Some nb -> (na, nb) :: acc
+        | _ -> acc)
+      edge_tbl []
+    |> List.sort_uniq compare
+
+  (* Smallest observed acquired-before cycle, as lock labels; [None] when
+     the relation is acyclic.  Total: never raises. *)
+  let cycle () =
+    let succs v =
+      Hashtbl.fold (fun (a, b) () acc -> if a = v then b :: acc else acc) edge_tbl []
+    in
+    let nodes = Hashtbl.fold (fun (a, b) () acc -> a :: b :: acc) edge_tbl [] |> List.sort_uniq compare in
+    (* DFS with colors; a back edge closes a cycle. *)
+    let color = Hashtbl.create 16 in
+    let found = ref None in
+    let rec visit path v =
+      match Hashtbl.find_opt color v with
+      | Some `Done -> ()
+      | Some `Active ->
+          (* [path] is [v :: ancestors], innermost first; the cycle is v
+             plus the ancestors back to v's earlier occurrence. *)
+          if !found = None then begin
+            let rec upto = function
+              | [] -> []
+              | x :: rest -> if x = v then [] else x :: upto rest
+            in
+            found :=
+              Some (List.rev (match path with [] -> [] | h :: rest -> h :: upto rest))
+          end
+      | None ->
+          Hashtbl.replace color v `Active;
+          List.iter (fun w -> if !found = None then visit (w :: path) w) (succs v);
+          Hashtbl.replace color v `Done
+    in
+    List.iter (fun v -> if !found = None then visit [ v ] v) nodes;
+    Option.map (List.map label) !found
+end
+
+let outside_thread = -1
 
 let default_cpu = Cpu.make ~id:0 ()
 
@@ -53,7 +159,11 @@ let lock_wait_total = ref 0
 let reset_run_state () =
   active := false;
   current := None;
-  lock_wait_total := 0
+  lock_wait_total := 0;
+  (* Drop held-lock stacks of simulated threads (a deadlocked run never
+     releases); the outside pseudo-thread's stack survives, as do the
+     accumulated acquired-before edges. *)
+  Hashtbl.iter (fun t s -> if t >= 0 then s := []) Lock_order.held
 
 let uncontended_lock_ns = 18
 let handoff_ns = 40
@@ -98,12 +208,16 @@ let lock m =
   else begin
     if m.held_outside then invalid_arg "Sched.lock: deadlock outside scheduler";
     m.held_outside <- true;
+    Lock_order.record_acquire ~thread:outside_thread m;
     Simclock.advance default_cpu.clock uncontended_lock_ns
   end
 
 let unlock m =
   if !active then perform (Unlock m)
-  else if m.held_outside then m.held_outside <- false
+  else if m.held_outside then begin
+    m.held_outside <- false;
+    Lock_order.record_release ~thread:outside_thread m
+  end
   else invalid_arg "Sched.unlock: not held"
 
 let with_lock m f =
@@ -170,6 +284,7 @@ let run ?(numa_nodes = 1) ?(policy = Earliest_clock) ~threads:nthreads body =
                           Simclock.advance t.cpu.clock uncontended_lock_ns;
                           if m.holder = None && Queue.is_empty m.waiters then begin
                             m.holder <- Some t;
+                            Lock_order.record_acquire ~thread:t.cpu.id m;
                             mon (fun mo -> mo.on_acquire ~thread:t.cpu.id ~mutex:m.mid);
                             t.resume <- Some (fun () -> continue k ())
                           end
@@ -185,6 +300,7 @@ let run ?(numa_nodes = 1) ?(policy = Earliest_clock) ~threads:nthreads body =
                           | Some h when h == t -> ()
                           | _ -> invalid_arg "Sched.unlock: not held by caller");
                           m.holder <- None;
+                          Lock_order.record_release ~thread:t.cpu.id m;
                           mon (fun mo -> mo.on_release ~thread:t.cpu.id ~mutex:m.mid);
                           (match Queue.take_opt m.waiters with
                           | Some w ->
@@ -192,6 +308,7 @@ let run ?(numa_nodes = 1) ?(policy = Earliest_clock) ~threads:nthreads body =
                               (* FIFO handoff: the longest-blocked waiter
                                  acquires at release time plus a fixed
                                  transfer cost. *)
+                              Lock_order.record_acquire ~thread:w.cpu.id m;
                               mon (fun mo -> mo.on_acquire ~thread:w.cpu.id ~mutex:m.mid);
                               let wake = Simclock.now t.cpu.clock + handoff_ns in
                               let waited = max 0 (wake - w.blocked_since) in

@@ -22,11 +22,21 @@ open Repro_util
 
 type mutex
 
-val create_mutex : unit -> mutex
+val create_mutex : ?name:string -> unit -> mutex
+(** [name] declares the mutex's {e lock class} for order diagnostics; the
+    convention is "file-stem:lock-site label" (["undo_journal:t.mu"]),
+    matching the node names of the srccheck static lock-order graph.
+    Several mutexes may share a name (one class, many instances).  Only
+    name genuinely-global mutexes: naming per-object locks (file/inode)
+    would make legitimate hierarchical parent→child nesting look like a
+    same-class self-cycle. *)
 
 val mutex_id : mutex -> int
 (** Process-unique id, stable for the lifetime of the mutex.  Concurrency
     diagnostics use it to name locks ("m3") in lockset reports. *)
+
+val mutex_name : mutex -> string
+(** The declared class name, or ["m<id>"] when anonymous. *)
 
 val lock : mutex -> unit
 (** Acquire; blocks the calling simulated thread while held by another.
@@ -94,6 +104,38 @@ val access : obj:string -> write:bool -> site:string -> unit
     cursor, index) for the monitor.  [obj] names the object instance
     ("alloc.pool[2]"), [site] the accessing code ("alloc.alloc").  A no-op
     outside {!run} or without a monitor. *)
+
+(** {2 Lock-order recorder}
+
+    Lockdep-style observed acquired-before relation: whenever a thread
+    acquires a mutex while holding others, each (held, acquired) pair is
+    recorded.  Every acquisition path is covered — uncontended, FIFO
+    handoff to a blocked waiter, and the degraded outside-{!run} mode —
+    so the relation is exactly what actually happened.  State is global
+    and accumulates across sequential runs until {!Lock_order.reset}:
+    srccheck's dynamic probe runs a whole scenario suite and checks the
+    union against the static graph (static ⊇ observed).  When
+    {!Repro_stats.Stats.enabled}, bumps [sched.lock_order.acquisitions]
+    and [sched.lock_order.edges].  All report functions are total. *)
+
+module Lock_order : sig
+  val reset : unit -> unit
+
+  val acquisitions : unit -> int
+  (** Total acquisitions recorded since the last {!reset}. *)
+
+  val edges : unit -> (int * int) list
+  (** Distinct (held-mutex-id, acquired-mutex-id) pairs, sorted. *)
+
+  val named_edges : unit -> (string * string) list
+  (** The edges whose {e both} endpoints are explicitly named mutexes, as
+      class names — the statically checkable subset. *)
+
+  val cycle : unit -> string list option
+  (** A cycle in the observed relation (mutex labels, ["m<id>"] for
+      anonymous locks), or [None] if acyclic.  An observed cycle is a
+      real potential deadlock regardless of what any schedule did. *)
+end
 
 (** {2 Scheduling policies} *)
 

@@ -81,7 +81,7 @@ let run (Fs_intf.Handle ((module F), fs)) ?(seed = 31) ~personality ~threads ~fi
             let fd = F.openf fs cpu p Types.o_rdonly in
             ignore (F.pread fs cpu fd ~off:0 ~len:(F.file_size fs fd));
             F.close fs cpu fd
-          with Types.Error _ -> ()
+          with Types.Error ((ENOENT | ENOTDIR | EBADF), _) -> ()
         in
         let op_append_fsync p =
           try
@@ -89,7 +89,7 @@ let run (Fs_intf.Handle ((module F), fs)) ?(seed = 31) ~personality ~threads ~fi
             ignore (F.append fs cpu fd ~src:append_chunk);
             F.fsync fs cpu fd;
             F.close fs cpu fd
-          with Types.Error _ -> ()
+          with Types.Error ((ENOENT | ENOTDIR | EBADF | ENOSPC), _) -> ()
         in
         let op_create_new ?(then_delete = false) ?(reads = 0) () =
           let id = !next_new in
@@ -104,10 +104,14 @@ let run (Fs_intf.Handle ((module F), fs)) ?(seed = 31) ~personality ~threads ~fi
               op_read_whole p
             done;
             if then_delete then F.unlink fs cpu p
-          with Types.Error _ -> ()
+          with Types.Error ((ENOENT | ENOTDIR | EBADF | EEXIST | ENOSPC), _) -> ()
         in
-        let op_delete () = try F.unlink fs cpu (pick ()) with Types.Error _ -> () in
-        let op_stat () = try ignore (F.stat fs cpu (pick ())) with Types.Error _ -> () in
+        let op_delete () =
+          try F.unlink fs cpu (pick ()) with Types.Error ((ENOENT | ENOTDIR), _) -> ()
+        in
+        let op_stat () =
+          try ignore (F.stat fs cpu (pick ())) with Types.Error ((ENOENT | ENOTDIR), _) -> ()
+        in
         let op_log_append () = op_append_fsync (root ^ "/log") in
         for _ = 1 to ops_per_thread do
           (match personality with

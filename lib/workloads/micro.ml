@@ -2,6 +2,11 @@ open Repro_util
 open Repro_vfs
 module Vmem = Repro_memsim.Vmem
 module Device = Repro_pmem.Device
+module Site = Repro_pmem.Site
+
+(* Durability-lint site: the mmap workloads' application-level final
+   flush+fence (PM-native persistence, outside any FS call). *)
+let site_mmap_flush = Site.v "micro" "mmap_flush"
 
 type rw_result = {
   bytes : int;
@@ -76,7 +81,8 @@ let mmap_rw (Fs_intf.Handle ((module F), fs) as h) ?(seed = 7) ~path ~file_bytes
   done;
   (* PM-native applications persist with a final flush + fence. *)
   (match mode with
-  | `Seq_write | `Rand_write -> Device.fence (F.device fs) cpu
+  | `Seq_write | `Rand_write ->
+      Device.with_site (F.device fs) site_mmap_flush (fun () -> Device.fence (F.device fs) cpu)
   | `Seq_read | `Rand_read -> ());
   let elapsed = Cpu.now cpu - t0 in
   F.close fs cpu fd;
@@ -142,7 +148,7 @@ let mmap_write_2mb_file (Fs_intf.Handle ((module F), fs)) ~path ~huge_ok =
   for i = 0 to (Units.huge_page / String.length payload) - 1 do
     Vmem.write vm cpu region ~off:(i * String.length payload) ~src:payload
   done;
-  Device.fence (F.device fs) cpu;
+  Device.with_site (F.device fs) site_mmap_flush (fun () -> Device.fence (F.device fs) cpu);
   let total = Cpu.now cpu - t0 in
   let c = Vmem.counters vm in
   let r = (total, Counters.get c "mm.fault_ns", Counters.get c "mm.page_faults") in

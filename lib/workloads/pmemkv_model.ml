@@ -39,7 +39,7 @@ let create (Fs_intf.Handle ((module F), fs) as h) ?(dir = "/pmemkv")
     value_bytes;
     pools = [||];
     tail = 0;
-    lock = Sched.create_mutex ();
+    lock = Sched.create_mutex ~name:"pmemkv_model:t.lock" ();
     index = Hashtbl.create 4096;
   }
 

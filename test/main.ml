@@ -26,4 +26,5 @@ let () =
       ("sanitizer", Test_sanitizer.suite);
       ("race", Test_race.suite);
       ("faultcheck", Test_faultcheck.suite);
+      ("lint", Test_lint.suite);
     ]
