@@ -13,10 +13,14 @@
    one is repaired or safely refused — never silently absorbed.
 
    `pmcheck srccheck` runs the AST-based static analyzer over this
-   repository's own sources (lock-order, persist-site coverage, module
-   ownership, error discipline), plus a dynamic probe that replays the
-   scenario suite and cross-checks the observed lock order against the
-   static graph.
+   repository's own sources (all six rules), plus a dynamic probe that
+   replays the scenario suite and cross-checks the observed lock order
+   against the static graph.
+
+   `pmcheck flowcheck` runs just the two flow-sensitive dataflow rules
+   (persist-order, determinism), plus the flow containment probe that
+   replays the paired crash-consistency scenarios and requires the
+   static analysis to subsume everything the dynamic sanitizer catches.
 
    Examples:
      pmcheck                       # all ACE workloads + micro suite, report
@@ -27,7 +31,8 @@
      pmcheck racecheck --seed 7    # replay the single schedule seed 7 picks
      pmcheck faultcheck            # fault campaign over the ACE seq-1 corpus
      pmcheck faultcheck --seed 9   # replay the campaign seed 9 determines
-     pmcheck srccheck lib bin      # static rules + dynamic lock-order probe *)
+     pmcheck srccheck lib bin      # static rules + dynamic lock-order probe
+     pmcheck flowcheck --format=json   # dataflow rules, machine-readable *)
 
 open Cmdliner
 module Ace = Repro_crashcheck.Ace
@@ -189,11 +194,30 @@ let run_racecheck schedules base_seed replay_seed scenario_filter verbose =
     1
   end
 
-(* srccheck: the four AST rules over the repo's own sources, then the
+(* Shared by srccheck/flowcheck: the --format=json payload is the lint
+   report plus whichever probe ran, one self-describing object on stdout
+   (the exit code still carries the verdict). *)
+let check_format = function
+  | "human" | "json" -> ()
+  | f ->
+      Printf.eprintf "--format must be human or json (got %s)\n" f;
+      exit 2
+
+let print_json report ~probe_fields ~probe_diags =
+  let open Repro_stats.Json in
+  let base = match Lint.report_to_json report with Obj fields -> fields | j -> [ ("report", j) ] in
+  let fields =
+    base @ probe_fields @ [ ("probe_diags", List (List.map Lint_diag.to_json probe_diags)) ]
+  in
+  print_endline (to_string ~indent:true (Obj fields))
+
+(* srccheck: all six AST rules over the repo's own sources, then the
    dynamic probe (scenario suite + a small basefs workload under the
    lock-order recorder) cross-checking static ⊇ observed.  Exit 0 clean,
    1 on violations, 2 when a source file does not even parse. *)
-let run_srccheck roots no_probe verbose =
+let run_srccheck roots no_probe format verbose =
+  check_format format;
+  let json = format = "json" in
   let roots = match roots with [] -> [ "lib"; "bin" ] | r -> r in
   let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
   if missing <> [] then begin
@@ -202,35 +226,127 @@ let run_srccheck roots no_probe verbose =
   end;
   let files, parse = Lint_source.load_roots roots in
   let report = Lint.run files ~parse in
-  Printf.printf "pmcheck srccheck: %d files under %s, rules: %s\n%!" report.Lint.files_scanned
-    (String.concat " " roots)
-    (String.concat ", " (List.map fst Lint.rules));
-  List.iter (fun d -> print_endline ("  " ^ Lint_diag.to_string d)) report.Lint.diags;
-  let probe_diags, probe_note =
-    if no_probe then ([], "skipped")
-    else begin
-      let p = Probe.run files in
-      ( p.Probe.diags,
-        Printf.sprintf "%d acquisition(s), %d named edge(s), %s" p.Probe.acquisitions
-          (List.length p.Probe.observed_edges)
-          (match p.Probe.runtime_cycle with Some _ -> "CYCLIC" | None -> "acyclic") )
-    end
-  in
-  List.iter (fun d -> print_endline ("  " ^ Lint_diag.to_string d)) probe_diags;
-  if verbose then
-    List.iter
-      (fun (rule, checker) ->
-        Printf.printf "  %-16s %d diagnostic(s)\n" rule
-          (List.length (List.filter (fun d -> d.Lint_diag.rule = rule) report.Lint.diags));
-        ignore checker)
-      Lint.rules;
+  if not json then begin
+    Printf.printf "pmcheck srccheck: %d files under %s, rules: %s\n%!" report.Lint.files_scanned
+      (String.concat " " roots)
+      (String.concat ", " (List.map fst Lint.rules));
+    List.iter (fun d -> print_endline ("  " ^ Lint_diag.to_string d)) report.Lint.diags
+  end;
+  let probe = if no_probe then None else Some (Probe.run files) in
+  let probe_diags = match probe with None -> [] | Some p -> p.Probe.diags in
+  if json then
+    let open Repro_stats.Json in
+    let probe_fields =
+      match probe with
+      | None -> [ ("probe", String "skipped") ]
+      | Some p ->
+          [
+            ( "probe",
+              Obj
+                [
+                  ("acquisitions", Int p.Probe.acquisitions);
+                  ("named_edges", Int (List.length p.Probe.observed_edges));
+                  ("cyclic", Bool (p.Probe.runtime_cycle <> None));
+                ] );
+          ]
+    in
+    print_json report ~probe_fields ~probe_diags
+  else begin
+    let probe_note =
+      match probe with
+      | None -> "skipped"
+      | Some p ->
+          Printf.sprintf "%d acquisition(s), %d named edge(s), %s" p.Probe.acquisitions
+            (List.length p.Probe.observed_edges)
+            (match p.Probe.runtime_cycle with Some _ -> "CYCLIC" | None -> "acyclic")
+    in
+    List.iter (fun d -> print_endline ("  " ^ Lint_diag.to_string d)) probe_diags;
+    if verbose then
+      List.iter
+        (fun (rule, checker) ->
+          Printf.printf "  %-16s %d diagnostic(s)\n" rule
+            (List.length (List.filter (fun d -> d.Lint_diag.rule = rule) report.Lint.diags));
+          ignore checker)
+        Lint.rules;
+    Printf.printf "srccheck: %d diagnostic(s), %d suppressed, dynamic probe: %s\n"
+      (List.length report.Lint.diags + List.length probe_diags)
+      report.Lint.suppressed probe_note
+  end;
   let total = List.length report.Lint.diags + List.length probe_diags in
-  Printf.printf "srccheck: %d diagnostic(s), %d suppressed, dynamic probe: %s\n" total
-    report.Lint.suppressed probe_note;
   if report.Lint.parse_errors > 0 then 2
   else if total > 0 then 1
   else begin
-    print_endline "No layering, lock-order, persist-site or error-discipline violations.";
+    if not json then
+      print_endline "No layering, lock-order, persist-site or error-discipline violations.";
+    0
+  end
+
+(* flowcheck: the two flow-sensitive dataflow rules (persist-order,
+   determinism) over the repo's own sources, plus the containment probe
+   replaying the paired crash-consistency scenarios — every dynamic
+   sanitizer error must be statically subsumed, and the planted
+   branch-only bug must stay dynamically invisible but statically
+   caught.  Exit 0 clean, 1 on violations, 2 on parse errors. *)
+let run_flowcheck roots no_probe format verbose =
+  check_format format;
+  let json = format = "json" in
+  let roots = match roots with [] -> [ "lib"; "bin" ] | r -> r in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    Printf.eprintf "flowcheck: no such file or directory: %s\n" (String.concat ", " missing);
+    exit 2
+  end;
+  let files, parse = Lint_source.load_roots roots in
+  let report = Lint.run ~only:Lint.flow_rules files ~parse in
+  let flow = if no_probe then None else Some (Probe.run_flow ()) in
+  let probe_diags = match flow with None -> [] | Some f -> f.Probe.flow_diags in
+  if json then
+    let open Repro_stats.Json in
+    let probe_fields =
+      match flow with
+      | None -> [ ("probe", String "skipped") ]
+      | Some f ->
+          [
+            ( "probe",
+              List
+                (List.map
+                   (fun (name, st, dyn) ->
+                     Obj
+                       [
+                         ("scenario", String name);
+                         ("static_flagged", Bool st);
+                         ("dynamic_error", Bool dyn);
+                       ])
+                   f.Probe.flow_scenarios) );
+          ]
+    in
+    print_json report ~probe_fields ~probe_diags
+  else begin
+    Printf.printf "pmcheck flowcheck: %d files under %s, rules: %s\n%!" report.Lint.files_scanned
+      (String.concat " " roots)
+      (String.concat ", " Lint.flow_rules);
+    List.iter (fun d -> print_endline ("  " ^ Lint_diag.to_string d)) report.Lint.diags;
+    (match flow with
+    | None -> print_endline "containment probe: skipped"
+    | Some f ->
+        if verbose || f.Probe.flow_diags <> [] then
+          List.iter
+            (fun (name, st, dyn) ->
+              Printf.printf "  scenario %-24s static=%-5b dynamic=%b\n" name st dyn)
+            f.Probe.flow_scenarios;
+        List.iter (fun d -> print_endline ("  " ^ Lint_diag.to_string d)) f.Probe.flow_diags;
+        Printf.printf "containment probe: %d scenario(s), static ⊇ dynamic %s\n"
+          (List.length f.Probe.flow_scenarios)
+          (if f.Probe.flow_diags = [] then "holds" else "VIOLATED"));
+    Printf.printf "flowcheck: %d diagnostic(s), %d suppressed\n"
+      (List.length report.Lint.diags + List.length probe_diags)
+      report.Lint.suppressed
+  end;
+  let total = List.length report.Lint.diags + List.length probe_diags in
+  if report.Lint.parse_errors > 0 then 2
+  else if total > 0 then 1
+  else begin
+    if not json then print_endline "No persist-order or determinism violations.";
     0
   end
 
@@ -334,10 +450,13 @@ let faultcheck_cmd =
        ~doc:"Media-fault campaign: verify faults are repaired or safely refused")
     Term.(const run_faultcheck $ seed $ seq $ torn_fences $ verbose)
 
+let roots_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"ROOT" ~doc:"Source roots (default lib bin)")
+
+let format_arg =
+  Arg.(value & opt string "human" & info [ "format" ] ~doc:"Output format: human or json")
+
 let srccheck_cmd =
-  let roots =
-    Arg.(value & pos_all string [] & info [] ~docv:"ROOT" ~doc:"Source roots (default lib bin)")
-  in
   let no_probe =
     Arg.(
       value & flag
@@ -346,8 +465,25 @@ let srccheck_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-rule diagnostic counts") in
   Cmd.v
     (Cmd.info "srccheck" ~doc:"AST-based static analysis of the repository's own sources")
-    Term.(const run_srccheck $ roots $ no_probe $ verbose)
+    Term.(const run_srccheck $ roots_arg $ no_probe $ format_arg $ verbose)
+
+let flowcheck_cmd =
+  let no_probe =
+    Arg.(
+      value & flag
+      & info [ "no-probe" ] ~doc:"Skip the flow containment probe (static rules only)")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every probe scenario outcome")
+  in
+  Cmd.v
+    (Cmd.info "flowcheck"
+       ~doc:"Flow-sensitive persist-order and determinism dataflow over the sources")
+    Term.(const run_flowcheck $ roots_arg $ no_probe $ format_arg $ verbose)
 
 let () =
   let info = Cmd.info "pmcheck" ~doc:"Concurrency and persistence checkers for the WineFS PM stack" in
-  exit (Cmd.eval' (Cmd.group ~default:lint_term info [ racecheck_cmd; faultcheck_cmd; srccheck_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default:lint_term info
+          [ racecheck_cmd; faultcheck_cmd; srccheck_cmd; flowcheck_cmd ]))

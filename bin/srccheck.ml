@@ -1,11 +1,14 @@
 (* srccheck — standalone entry point for the AST-based source analyzer.
 
    Same checks as `pmcheck srccheck`: parse every .ml/.mli under the
-   given roots (default lib bin) with compiler-libs, run the four rules
-   (lock-order, persist-site, ownership, error-discipline), then the
-   dynamic probe that replays the concurrency scenarios under the
-   scheduler's lock-order recorder and requires the static graph to
-   contain everything observed.
+   given roots (default lib bin) with compiler-libs, run the six rules
+   (lock-order, persist-site, ownership, error-discipline, persist-order,
+   determinism), then the dynamic probe that replays the concurrency
+   scenarios under the scheduler's lock-order recorder and requires the
+   static graph to contain everything observed.
+
+   `--format=json` prints one self-describing object instead of the
+   human report; the exit code still carries the verdict.
 
    Exit codes: 0 clean, 1 violations, 2 parse/usage errors. *)
 
@@ -13,19 +16,24 @@ module Lint = Repro_lint.Lint
 module Source = Repro_lint.Source
 module Diag = Repro_lint.Diag
 module Probe = Repro_lint.Probe
+module Json = Repro_stats.Json
 
 let usage () =
-  prerr_endline "usage: srccheck [--no-probe] [ROOT...]   (default roots: lib bin)";
+  prerr_endline
+    "usage: srccheck [--no-probe] [--format=human|json] [ROOT...]   (default roots: lib bin)";
   exit 2
 
 let () =
   let no_probe = ref false in
+  let json = ref false in
   let roots = ref [] in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         match arg with
         | "--no-probe" -> no_probe := true
+        | "--format=human" -> json := false
+        | "--format=json" -> json := true
         | "--help" | "-h" -> usage ()
         | _ when String.length arg > 0 && arg.[0] = '-' ->
             Printf.eprintf "srccheck: unknown option %s\n" arg;
@@ -40,21 +48,48 @@ let () =
       exit 2);
   let files, parse = Source.load_roots roots in
   let report = Lint.run files ~parse in
-  Printf.printf "srccheck: %d files under %s\n%!" report.Lint.files_scanned
-    (String.concat " " roots);
-  List.iter (fun d -> print_endline ("  " ^ Diag.to_string d)) report.Lint.diags;
-  let probe_diags =
-    if !no_probe then []
-    else begin
-      let p = Probe.run files in
-      Printf.printf "dynamic probe: %d acquisition(s), %d named edge(s), %s\n"
-        p.Probe.acquisitions
-        (List.length p.Probe.observed_edges)
-        (match p.Probe.runtime_cycle with Some _ -> "CYCLIC" | None -> "acyclic");
-      p.Probe.diags
-    end
-  in
-  List.iter (fun d -> print_endline ("  " ^ Diag.to_string d)) probe_diags;
+  if not !json then begin
+    Printf.printf "srccheck: %d files under %s\n%!" report.Lint.files_scanned
+      (String.concat " " roots);
+    List.iter (fun d -> print_endline ("  " ^ Diag.to_string d)) report.Lint.diags
+  end;
+  let probe = if !no_probe then None else Some (Probe.run files) in
+  let probe_diags = match probe with None -> [] | Some p -> p.Probe.diags in
+  if !json then
+    let base =
+      match Lint.report_to_json report with Json.Obj fields -> fields | j -> [ ("report", j) ]
+    in
+    let probe_fields =
+      match probe with
+      | None -> [ ("probe", Json.String "skipped") ]
+      | Some p ->
+          [
+            ( "probe",
+              Json.Obj
+                [
+                  ("acquisitions", Json.Int p.Probe.acquisitions);
+                  ("named_edges", Json.Int (List.length p.Probe.observed_edges));
+                  ("cyclic", Json.Bool (p.Probe.runtime_cycle <> None));
+                ] );
+          ]
+    in
+    let fields =
+      base @ probe_fields
+      @ [ ("probe_diags", Json.List (List.map Diag.to_json probe_diags)) ]
+    in
+    print_endline (Json.to_string ~indent:true (Json.Obj fields))
+  else begin
+    (match probe with
+    | None -> ()
+    | Some p ->
+        Printf.printf "dynamic probe: %d acquisition(s), %d named edge(s), %s\n"
+          p.Probe.acquisitions
+          (List.length p.Probe.observed_edges)
+          (match p.Probe.runtime_cycle with Some _ -> "CYCLIC" | None -> "acyclic"));
+    List.iter (fun d -> print_endline ("  " ^ Diag.to_string d)) probe_diags;
+    Printf.printf "srccheck: %d diagnostic(s), %d suppressed\n"
+      (List.length report.Lint.diags + List.length probe_diags)
+      report.Lint.suppressed
+  end;
   let total = List.length report.Lint.diags + List.length probe_diags in
-  Printf.printf "srccheck: %d diagnostic(s), %d suppressed\n" total report.Lint.suppressed;
   if report.Lint.parse_errors > 0 then exit 2 else exit (if total > 0 then 1 else 0)

@@ -29,7 +29,7 @@ type t = {
 let create ~dev ~cfg ~txns ~inodes ~map ~alloc ~counters =
   { dev; cfg; txns; inodes; map; alloc; counters }
 
-let strict t = t.cfg.Types.mode = Types.Strict
+let strict t = Types.is_strict t.cfg.Types.mode
 let acpu t (cpu : Cpu.t) = cpu.id mod t.cfg.Types.cpus
 let lookup_run = Extent_map.lookup_run
 let next_mapped = Extent_map.next_mapped
@@ -461,7 +461,7 @@ let fault t ~read_only ~enqueue ino : Vmem.backing =
     match Extent_map.chunk_huge_phys f ~chunk_off:file_off with
     | Some phys -> Vmem.Huge phys
     | None ->
-        let covered = lookup_run f ~file_off <> None in
+        let covered = Option.is_some (lookup_run f ~file_off) in
         if covered then begin
           (* Unaligned or fragmented backing: fall back to base pages,
              and queue the file for reactive rewriting (§3.6). *)

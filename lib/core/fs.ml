@@ -98,7 +98,7 @@ let write_sb t cpu ~clean =
       Codec.Superblock.size = t.layout.size;
       cpus = t.cfg.cpus;
       inodes_per_cpu = t.layout.inodes_per_cpu;
-      mode_strict = t.cfg.mode = Types.Strict;
+      mode_strict = Types.is_strict t.cfg.mode;
       clean;
     }
   in
@@ -215,7 +215,8 @@ let mount dev cfg =
         degraded := true)
   in
   if Inode.is_bad inodes root_ino then Types.err EIO "corrupt image: root inode refused";
-  if Inode.find_opt inodes root_ino = None then Types.err EINVAL "corrupt image: no root";
+  if Option.is_none (Inode.find_opt inodes root_ino) then
+    Types.err EINVAL "corrupt image: no root";
   (* Phase 3: allocator — from the serialized free list when the unmount
      was clean, otherwise recomputed from the used-extent set. *)
   let serial_ok =
@@ -267,7 +268,7 @@ let mount dev cfg =
      block on a poisoned line refuses the directory (paths through it then
      fail with EIO) but not the mount. *)
   Inode.iter t.inodes (fun f ->
-      if f.dir <> None then
+      if Option.is_some f.dir then
         try Namespace.load_dir_index t.ns cpu f
         with Device.Media_error _ ->
           if f.ino = root_ino then Types.err EIO "corrupt image: root directory unreadable";
@@ -383,8 +384,8 @@ let openf t cpu path (flags : Types.open_flags) =
   | ino ->
       if flags.creat && flags.excl then Types.err EEXIST "%s" path;
       let f = Inode.find t.inodes ino in
-      if f.kind = Types.Directory && flags.wr then Types.err EISDIR "%s" path;
-      if flags.trunc && f.kind = Types.Regular && f.size > 0 then
+      if Types.is_dir f.kind && flags.wr then Types.err EISDIR "%s" path;
+      if flags.trunc && Types.is_regular f.kind && f.size > 0 then
         Datapath.truncate_on_open t.data cpu f;
       Fd_table.alloc t.fds ~ino ~flags
   | exception Types.Error (ENOENT, _) when flags.creat ->
@@ -410,7 +411,7 @@ let pwrite t cpu fd ~off ~src =
   let e = Fd_table.get t.fds fd in
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
   let f = Inode.find t.inodes e.ino in
-  if f.kind = Types.Directory then Types.err EISDIR "fd %d" fd;
+  if Types.is_dir f.kind then Types.err EISDIR "fd %d" fd;
   Datapath.pwrite t.data cpu f ~off ~src
 
 let append t cpu fd ~src =
@@ -424,7 +425,7 @@ let pread t cpu fd ~off ~len =
   let e = Fd_table.get t.fds fd in
   if not e.flags.rd then Types.err EBADF "fd %d not readable" fd;
   let f = Inode.find t.inodes e.ino in
-  if f.kind = Types.Directory then Types.err EISDIR "fd %d" fd;
+  if Types.is_dir f.kind then Types.err EISDIR "fd %d" fd;
   Datapath.pread t.data cpu f ~off ~len
 
 let fsync t cpu fd =

@@ -66,7 +66,7 @@ let slot_addr t f slot =
 let header_of f =
   {
     Codec.Inode.valid = true;
-    is_dir = f.kind = Types.Directory;
+    is_dir = Types.is_dir f.kind;
     xattr_align = f.xattr_align;
     size = f.size;
     nlink = f.nlink;
@@ -123,7 +123,7 @@ let install t ino kind =
       ino;
       kind;
       size = 0;
-      nlink = (if kind = Types.Directory then 2 else 1);
+      nlink = (if Types.is_dir kind then 2 else 1);
       xattr_align = false;
       parent = 0;
       dname = "";
@@ -131,7 +131,7 @@ let install t ino kind =
       free_slots = [];
       slot_cap = 0;
       overflow = [];
-      dir = (if kind = Types.Directory then Some (Dir_index.create Dram_rbtree) else None);
+      dir = (if Types.is_dir kind then Some (Dir_index.create Dram_rbtree) else None);
       free_dentries = [];
       lock = Sched.create_mutex ();
       dirty_bytes = 0;

@@ -36,7 +36,7 @@ let resolve_parent t cpu path =
   let dir = Path.dirname path and name = Path.basename path in
   let ino = resolve t cpu dir in
   let f = Inode.find t.inodes ino in
-  if f.kind <> Types.Directory then Types.err ENOTDIR "%s" dir;
+  if not (Types.is_dir f.kind) then Types.err ENOTDIR "%s" dir;
   (f, name)
 
 (* ------------------------------------------------------------------ *)
@@ -89,7 +89,7 @@ let create_node t cpu (parent : Inode.file) name kind ~xattr_align =
          let slot_phys = take_dentry_slot t cpu txn parent in
          write_dentry t cpu txn ~slot_phys ~ino ~name;
          Dir_index.add (Option.get parent.dir) cpu ~name ~ino ~slot:slot_phys;
-         if kind = Types.Directory then begin
+         if Types.is_dir kind then begin
            parent.nlink <- parent.nlink + 1;
            Inode.persist_header t.inodes cpu txn parent
          end)
@@ -119,7 +119,7 @@ let unlink t cpu path =
       | None -> Types.err ENOENT "%s" path
       | Some (ino, slot_phys) ->
           let f = Inode.find t.inodes ino in
-          if f.kind = Types.Directory then Types.err EISDIR "%s" path;
+          if Types.is_dir f.kind then Types.err EISDIR "%s" path;
           Sched.with_lock f.lock (fun () ->
               Txn.with_txn t.txns cpu ~reserve:6 (fun txn ->
                   clear_dentry t cpu txn ~slot_phys;
@@ -142,7 +142,7 @@ let rmdir t cpu path =
       | None -> Types.err ENOENT "%s" path
       | Some (ino, slot_phys) ->
           let f = Inode.find t.inodes ino in
-          if f.kind <> Types.Directory then Types.err ENOTDIR "%s" path;
+          if not (Types.is_dir f.kind) then Types.err ENOTDIR "%s" path;
           if Dir_index.size (Option.get f.dir) > 0 then Types.err ENOTEMPTY "%s" path;
           Txn.with_txn t.txns cpu ~reserve:6 (fun txn ->
               clear_dentry t cpu txn ~slot_phys;
@@ -178,7 +178,7 @@ let rename t cpu ~old_path ~new_path =
             | Some (dst_ino, _) when dst_ino = ino -> None
             | Some (dst_ino, _) ->
                 let victim = Inode.find t.inodes dst_ino in
-                if victim.kind = Types.Directory then Types.err EISDIR "%s" new_path;
+                if Types.is_dir victim.kind then Types.err EISDIR "%s" new_path;
                 Some victim
             | None -> None
           in
@@ -197,7 +197,7 @@ let rename t cpu ~old_path ~new_path =
                   dst_slot_used := dst_slot;
                   write_dentry t cpu txn ~slot_phys:dst_slot ~ino ~name:dst_name);
               clear_dentry t cpu txn ~slot_phys:src_slot;
-              if moved.kind = Types.Directory && src_parent.ino <> dst_parent.ino then begin
+              if Types.is_dir moved.kind && src_parent.ino <> dst_parent.ino then begin
                 src_parent.nlink <- src_parent.nlink - 1;
                 dst_parent.nlink <- dst_parent.nlink + 1;
                 Inode.persist_header t.inodes cpu txn src_parent;

@@ -76,7 +76,7 @@ let recover t cpu =
                incr refused;
                None)
     |> List.sort (fun (_, a) (_, b) ->
-           compare b.Journal.Recovery.txn_id a.Journal.Recovery.txn_id)
+           Int.compare b.Journal.Recovery.txn_id a.Journal.Recovery.txn_id)
   in
   List.iter (fun (j, p) -> Journal.Recovery.rollback_pending j cpu p) pendings;
   Array.iter (fun s -> Journal.Recovery.reset s.journal cpu) t.slots;

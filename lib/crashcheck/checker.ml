@@ -11,6 +11,14 @@ type result = {
   failures : (string * string) list;
 }
 
+(* FNV-1a over the content: the signature only needs a deterministic
+   digest — the runtime's polymorphic hash is an implementation detail,
+   and Crc32c is owned by the metadata layers. *)
+let content_digest s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x7FFFFFFF) s;
+  !h
+
 (* Canonical tree signature: sorted (path kind size digest) lines.  In
    relaxed mode data content is not guaranteed, so digests are elided. *)
 let signature ?(with_content = true) (Fs_intf.Handle ((module F), fs)) cpu =
@@ -31,7 +39,7 @@ let signature ?(with_content = true) (Fs_intf.Handle ((module F), fs)) cpu =
                 let fd = F.openf fs cpu child Types.o_rdonly in
                 let content = F.pread fs cpu fd ~off:0 ~len:st.st_size in
                 F.close fs cpu fd;
-                Hashtbl.hash content
+                content_digest content
               end
               else 0
             in

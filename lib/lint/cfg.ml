@@ -1,0 +1,224 @@
+(* Forward dataflow over OCaml parse trees.
+
+   The parse tree of a function body already is its control-flow graph:
+   sequencing, [if], [match], [try], [while]/[for] and [let] chains are
+   the only control constructs the sources use, so instead of lowering to
+   an explicit node/edge graph we run the transfer function directly over
+   the structured syntax — each construct's evaluation rule encodes the
+   corresponding CFG edges (branch, merge, back-edge, exceptional edge).
+   Clients keep full control of the abstract domain: the engine only
+   knows how to join at merge points and where the exceptional edges go.
+
+   Evaluation of an expression yields an [outcome]: the state on the
+   normal (fall-through) edge and the join of the states at every
+   potential raise point inside it ([None] = edge unreachable).  A
+   [try] consumes the body's exceptional edge as its handlers' entry
+   state; anything the client marks as diverging ([normal = None]) makes
+   the continuation unreachable.  Handlers are assumed to catch whatever
+   the body raises (non-exhaustive handler patterns re-raise in reality;
+   modelling that per-exception would need types, and the journalled
+   call sites all use catch-all or [Fun.protect] shapes). *)
+
+type 'st outcome = { normal : 'st option; exc : 'st option }
+
+type 'st hooks = {
+  join : kind:string -> loc:Location.t -> 'st -> 'st -> 'st;
+      (** Merge two reachable states.  [kind] names the construct edge
+          being merged ("else branch", "match case", "exception handler
+          path", "loop back-edge") so domains can record which path
+          weakened a fact. *)
+  equal : 'st -> 'st -> bool;  (** Loop fixpoint termination test. *)
+  apply :
+    eval:('st -> Parsetree.expression -> 'st outcome) ->
+    'st ->
+    Parsetree.expression ->
+    'st outcome option;
+      (** Called on every application node with the state reached after
+          no argument has been evaluated — the hook owns argument
+          evaluation (so it can inline lambda arguments or skip them) and
+          the call's effect.  [None] falls back to structural descent:
+          callee and arguments evaluated left to right, call itself a
+          no-op. *)
+  setfield : 'st -> Longident.t -> 'st option;
+      (** Effect of [e.field <- v] (after both sides evaluated); [None]
+          for no-op. *)
+}
+
+let some_join h ~kind ~loc a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (h.join ~kind ~loc a b)
+
+let join_outcome h ~kind ~loc a b =
+  {
+    normal = some_join h ~kind ~loc a.normal b.normal;
+    exc = some_join h ~kind ~loc a.exc b.exc;
+  }
+
+let unreachable = { normal = None; exc = None }
+
+let max_loop_iters = 16
+
+let rec eval h st (e : Parsetree.expression) =
+  let loc = e.pexp_loc in
+  (* Chain: evaluate [e] from an optional entry state, accumulating the
+     exceptional join. *)
+  let step (o : _ outcome) e =
+    match o.normal with
+    | None -> o (* continuation unreachable; keep accumulated exc *)
+    | Some st ->
+        let o' = eval h st e in
+        { o' with exc = some_join h ~kind:"raise point" ~loc o.exc o'.exc }
+  in
+  let seq st es = List.fold_left step { normal = Some st; exc = None } es in
+  match e.pexp_desc with
+  | Pexp_ident _ | Pexp_constant _ | Pexp_unreachable | Pexp_extension _
+  | Pexp_function _ | Pexp_fun _ | Pexp_lazy _ | Pexp_object _ | Pexp_pack _
+  | Pexp_new _ ->
+      (* Values (lambdas and lazy bodies are not run here: the [apply]
+         hook decides if and where a lambda's body executes). *)
+      { normal = Some st; exc = None }
+  | Pexp_let (_, vbs, body) ->
+      let o = seq st (List.map (fun vb -> vb.Parsetree.pvb_expr) vbs) in
+      step o body
+  | Pexp_sequence (a, b) -> seq st [ a; b ]
+  | Pexp_apply _ -> (
+      match h.apply ~eval:(eval h) st e with
+      | Some o -> o
+      | None -> (
+          match e.pexp_desc with
+          | Pexp_apply (f, args) -> seq st (f :: List.map snd args)
+          | _ -> assert false))
+  | Pexp_ifthenelse (c, t, e_opt) -> (
+      let oc = seq st [ c ] in
+      match oc.normal with
+      | None -> oc
+      | Some stc ->
+          let ot = eval h stc t in
+          let oe =
+            match e_opt with Some e -> eval h stc e | None -> { normal = Some stc; exc = None }
+          in
+          let kind = if e_opt = None then "implicit else branch" else "else branch" in
+          let o = join_outcome h ~kind ~loc ot oe in
+          { o with exc = some_join h ~kind:"raise point" ~loc oc.exc o.exc })
+  | Pexp_match (scrut, cases) -> (
+      let os = seq st [ scrut ] in
+      (* [match e with exception E -> ...] cases enter on the scrutinee's
+         exceptional edge; ordinary cases on its normal edge. *)
+      let is_exc c =
+        match c.Parsetree.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false
+      in
+      let exc_cases, norm_cases = List.partition is_exc cases in
+      let case_outcome entry c =
+        match entry with
+        | None -> unreachable
+        | Some st ->
+            let o =
+              match c.Parsetree.pc_guard with
+              | Some g -> seq st [ g ]
+              | None -> { normal = Some st; exc = None }
+            in
+            step o c.pc_rhs
+      in
+      let outcomes =
+        List.map (case_outcome os.normal) norm_cases
+        @ List.map (case_outcome os.exc) exc_cases
+      in
+      let body_exc_consumed = exc_cases <> [] in
+      match outcomes with
+      | [] -> os
+      | o0 :: rest ->
+          let o = List.fold_left (join_outcome h ~kind:"match case" ~loc) o0 rest in
+          if body_exc_consumed then o
+          else { o with exc = some_join h ~kind:"raise point" ~loc os.exc o.exc })
+  | Pexp_try (body, handlers) -> (
+      let ob = eval h st body in
+      let handler_outcome c =
+        match ob.exc with
+        | None -> unreachable
+        | Some st ->
+            let o =
+              match c.Parsetree.pc_guard with
+              | Some g -> seq st [ g ]
+              | None -> { normal = Some st; exc = None }
+            in
+            step o c.pc_rhs
+      in
+      let oh =
+        match List.map handler_outcome handlers with
+        | [] -> unreachable
+        | o0 :: rest ->
+            List.fold_left (join_outcome h ~kind:"exception handler path" ~loc) o0 rest
+      in
+      match ob.normal with
+      | None -> oh
+      | Some stn ->
+          join_outcome h ~kind:"exception handler path" ~loc { normal = Some stn; exc = None } oh)
+  | Pexp_while (c, body) ->
+      (* Fixpoint over the back-edge: entry ⊔ post-body, with the
+         condition re-evaluated each round.  Exit on the condition's
+         false edge (i.e. post-condition state at the fixpoint). *)
+      let exc = ref None in
+      let note_exc o = exc := some_join h ~kind:"raise point" ~loc !exc o.exc in
+      let rec fix st n =
+        let oc = eval h st c in
+        note_exc oc;
+        match oc.normal with
+        | None -> None
+        | Some stc -> (
+            let ob = eval h stc body in
+            note_exc ob;
+            match ob.normal with
+            | None -> Some stc
+            | Some stb ->
+                let st' = h.join ~kind:"loop back-edge" ~loc st stb in
+                if h.equal st' st || n >= max_loop_iters then Some st' else fix st' (n + 1))
+      in
+      { normal = fix st 0; exc = !exc }
+  | Pexp_for (_, lo, hi, _, body) ->
+      let o = seq st [ lo; hi ] in
+      (match o.normal with
+      | None -> o
+      | Some st0 ->
+          let exc = ref o.exc in
+          let rec fix st n =
+            let ob = eval h st body in
+            exc := some_join h ~kind:"raise point" ~loc !exc ob.exc;
+            match ob.normal with
+            | None -> st
+            | Some stb ->
+                let st' = h.join ~kind:"loop back-edge" ~loc st stb in
+                if h.equal st' st || n >= max_loop_iters then st' else fix st' (n + 1)
+          in
+          (* The body may run zero times: the exit state joins the entry. *)
+          { normal = Some (fix st0 0); exc = !exc })
+  | Pexp_setfield (obj, fld, v) -> (
+      let o = seq st [ obj; v ] in
+      match o.normal with
+      | None -> o
+      | Some st -> (
+          match h.setfield st fld.txt with
+          | Some st' -> { o with normal = Some st' }
+          | None -> o))
+  | Pexp_assert a -> (
+      let o = seq st [ a ] in
+      match a.pexp_desc with
+      | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) ->
+          (* [assert false] diverges. *)
+          { normal = None; exc = some_join h ~kind:"raise point" ~loc o.exc o.normal }
+      | _ -> o)
+  | Pexp_tuple es | Pexp_array es -> seq st es
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> (
+      match arg with Some a -> seq st [ a ] | None -> { normal = Some st; exc = None })
+  | Pexp_record (fields, base) ->
+      seq st ((match base with Some b -> [ b ] | None -> []) @ List.map snd fields)
+  | Pexp_field (a, _) -> seq st [ a ]
+  | Pexp_constraint (a, _) | Pexp_coerce (a, _, _) | Pexp_newtype (_, a)
+  | Pexp_open (_, a) | Pexp_letmodule (_, _, a) | Pexp_letexception (_, a)
+  | Pexp_poly (a, _) | Pexp_send (a, _) ->
+      seq st [ a ]
+  | Pexp_letop { let_; ands; body } ->
+      let o = seq st (let_.pbop_exp :: List.map (fun a -> a.Parsetree.pbop_exp) ands) in
+      step o body
+  | Pexp_setinstvar (_, a) -> seq st [ a ]
+  | Pexp_override fields -> seq st (List.map snd fields)

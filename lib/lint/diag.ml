@@ -24,6 +24,29 @@ let compare a b =
   match String.compare a.file b.file with
   | 0 -> (
       match Int.compare a.line b.line with
-      | 0 -> ( match Int.compare a.col b.col with 0 -> String.compare a.rule b.rule | c -> c)
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> (
+              match String.compare a.rule b.rule with
+              | 0 -> (
+                  match String.compare a.msg b.msg with
+                  | 0 -> String.compare a.hint b.hint
+                  | c -> c)
+              | c -> c)
+          | c -> c)
       | c -> c)
   | c -> c
+
+let normalize ds = List.sort_uniq compare ds
+
+let to_json d =
+  let open Repro_stats.Json in
+  Obj
+    [
+      ("file", String d.file);
+      ("line", Int d.line);
+      ("col", Int d.col);
+      ("rule", String d.rule);
+      ("msg", String d.msg);
+      ("hint", String d.hint);
+    ]

@@ -24,4 +24,14 @@ val to_string : t -> string
 (** ["file:line:col rule-id message (fix: hint)"]. *)
 
 val compare : t -> t -> int
-(** Order by file, line, column, then rule id — stable report order. *)
+(** Total order: file, line, column, rule id, then message and hint, so a
+    diagnostic list has exactly one sorted form regardless of rule
+    traversal order. *)
+
+val normalize : t list -> t list
+(** Sort by {!compare} and drop exact duplicates — every printed or
+    serialised report goes through this, making output byte-stable. *)
+
+val to_json : t -> Repro_stats.Json.t
+(** [{file; line; col; rule; msg; hint}] as a JSON object, for
+    [--format=json] consumers. *)

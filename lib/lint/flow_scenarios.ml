@@ -1,0 +1,227 @@
+(* Paired static/dynamic crash-consistency scenarios.
+
+   Each scenario is the same PM store/flush/fence/commit sequence twice:
+   once as OCaml source text (what {!Flowcheck} analyzes) and once as a
+   runnable closure against a real device with the durability sanitizer
+   attached (what the dynamic rules see).  The pairing carries the
+   containment obligation static ⊇ dynamic — anything the sanitizer
+   catches on the executed path, the dataflow must catch on the tree —
+   and documents the inclusion being strict: [hidden_error_path] is the
+   planted branch-only bug the dynamic run (which takes the healthy
+   branch) cannot see but every-path analysis must. *)
+
+module Device = Repro_pmem.Device
+module Site = Repro_pmem.Site
+module Sanitizer = Repro_sanitizer.Sanitizer
+open Repro_util
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** the sequence as source text, for {!Flowcheck} *)
+  run : unit -> Sanitizer.diag list;  (** the sequence executed under the sanitizer *)
+  expect_static : bool;  (** flowcheck must flag the source *)
+  expect_dynamic : bool;  (** the sanitizer must flag the execution *)
+}
+
+let cpu = Cpu.make ~id:0 ()
+let site = Site.v "flow" "scenario"
+
+let with_dev f =
+  let dev = Device.create ~cost:Device.Cost.free ~size:4096 () in
+  let (), ds = Sanitizer.with_device dev (fun _ -> f dev) in
+  ds
+
+let store ?(nt = false) dev ~off =
+  let src = Bytes.make 64 'x' in
+  Device.with_site dev site (fun () ->
+      if nt then Device.write_nt dev cpu ~off ~src ~src_off:0 ~len:64
+      else Device.write dev cpu ~off ~src ~src_off:0 ~len:64)
+
+let flush dev ~off ~len = Device.with_site dev site (fun () -> Device.flush dev cpu ~off ~len)
+let fence dev = Device.with_site dev site (fun () -> Device.fence dev cpu)
+let persist dev ~off ~len = Device.with_site dev site (fun () -> Device.persist dev cpu ~off ~len)
+
+let commit_dirty_line =
+  {
+    name = "commit-dirty-line";
+    description = "store then commit with no flush at all (dynamic R1 class)";
+    source =
+      {|
+let scenario dev cpu src =
+  Device.with_site dev site (fun () ->
+      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);
+  Device.annotate dev (Txn_commit { txn = 1 })
+|};
+    run =
+      (fun () ->
+        with_dev (fun dev ->
+            Device.annotate dev (Txn_begin { txn = 1 });
+            Device.annotate dev (Covered { txn = 1; addr = 0; len = 64 });
+            store dev ~off:0;
+            Device.annotate dev (Txn_commit { txn = 1 })));
+    expect_static = true;
+    expect_dynamic = true;
+  }
+
+let flush_no_fence_commit =
+  {
+    name = "flush-no-fence-commit";
+    description = "flushed but never fenced before the commit record (dynamic R5 class)";
+    source =
+      {|
+let scenario dev cpu src =
+  Device.with_site dev site (fun () ->
+      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);
+  Device.flush dev cpu ~off:0 ~len:64;
+  Device.annotate dev (Txn_commit { txn = 1 })
+|};
+    run =
+      (fun () ->
+        with_dev (fun dev ->
+            Device.annotate dev (Txn_begin { txn = 1 });
+            Device.annotate dev (Covered { txn = 1; addr = 0; len = 64 });
+            store dev ~off:0;
+            flush dev ~off:0 ~len:64;
+            Device.annotate dev (Txn_commit { txn = 1 })));
+    expect_static = true;
+    expect_dynamic = true;
+  }
+
+let try_swallows_fence =
+  {
+    name = "try-swallows-fence";
+    description =
+      "the fence sits after a raising call inside try, and the handler swallows \
+       (dynamic R2 class: flushed line never fenced before unmount)";
+    source =
+      {|
+let scenario dev cpu src risky =
+  Device.with_site dev site (fun () ->
+      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);
+  Device.flush dev cpu ~off:0 ~len:64;
+  try
+    risky ();
+    Device.fence dev cpu
+  with _ -> ()
+|};
+    run =
+      (fun () ->
+        let risky () = if Sys.opaque_identity true then failwith "risky" in
+        with_dev (fun dev ->
+            store dev ~off:0;
+            flush dev ~off:0 ~len:64;
+            try
+              risky ();
+              fence dev
+            with _ -> ()));
+    expect_static = true;
+    expect_dynamic = true;
+  }
+
+let hidden_error_path =
+  {
+    name = "hidden-error-path";
+    description =
+      "the fence is skipped only on the degraded branch; the run takes the healthy \
+       branch, so the sanitizer sees a clean sequence — only every-path analysis \
+       reaches the bug";
+    source =
+      {|
+let scenario dev cpu src degraded =
+  Device.with_site dev site (fun () ->
+      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);
+  Device.flush dev cpu ~off:0 ~len:64;
+  if degraded then () else Device.fence dev cpu;
+  Device.annotate dev (Txn_commit { txn = 1 })
+|};
+    run =
+      (fun () ->
+        let degraded = false in
+        with_dev (fun dev ->
+            Device.annotate dev (Txn_begin { txn = 1 });
+            Device.annotate dev (Covered { txn = 1; addr = 0; len = 64 });
+            store dev ~off:0;
+            flush dev ~off:0 ~len:64;
+            if degraded then () else fence dev;
+            Device.annotate dev (Txn_commit { txn = 1 })));
+    expect_static = true;
+    expect_dynamic = false;
+  }
+
+let clean_merge =
+  {
+    name = "clean-merge";
+    description = "both branches persist before the commit; the merge is uniformly durable";
+    source =
+      {|
+let scenario dev cpu src small =
+  Device.with_site dev site (fun () ->
+      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);
+  if small then Device.persist dev cpu ~off:0 ~len:64
+  else begin
+    Device.flush dev cpu ~off:0 ~len:64;
+    Device.fence dev cpu
+  end;
+  Device.annotate dev (Txn_commit { txn = 1 })
+|};
+    run =
+      (fun () ->
+        with_dev (fun dev ->
+            Device.annotate dev (Txn_begin { txn = 1 });
+            Device.annotate dev (Covered { txn = 1; addr = 0; len = 64 });
+            store dev ~off:0;
+            persist dev ~off:0 ~len:64;
+            Device.annotate dev (Txn_commit { txn = 1 })));
+    expect_static = false;
+    expect_dynamic = false;
+  }
+
+let deferred_nt_batch =
+  {
+    name = "deferred-nt-batch";
+    description =
+      "two non-temporal stores drained by one trailing fence — the batching idiom \
+       must stay clean on both sides";
+    source =
+      {|
+let scenario dev cpu src =
+  Device.with_site dev site (fun () ->
+      Device.write_nt dev cpu ~off:0 ~src ~src_off:0 ~len:64;
+      Device.write_nt dev cpu ~off:64 ~src ~src_off:0 ~len:64);
+  Device.fence dev cpu
+|};
+    run =
+      (fun () ->
+        with_dev (fun dev ->
+            store ~nt:true dev ~off:0;
+            store ~nt:true dev ~off:64;
+            fence dev));
+    expect_static = false;
+    expect_dynamic = false;
+  }
+
+let all =
+  [
+    commit_dirty_line;
+    flush_no_fence_commit;
+    try_swallows_fence;
+    hidden_error_path;
+    clean_merge;
+    deferred_nt_batch;
+  ]
+
+(* The scenario sources pose as a core implementation file so they land
+   inside flowcheck's scope. *)
+let static_path = "lib/core/flow_scenario.ml"
+
+let static_diags sc =
+  match Source.parse_string ~path:static_path sc.source with
+  | Error d -> [ d ]
+  | Ok f -> List.filter (fun (d : Diag.t) -> d.rule = Flowcheck.rule) (Flowcheck.check [ f ])
+
+let dynamic_errors sc =
+  List.filter
+    (fun (d : Sanitizer.diag) ->
+      match d.severity with Sanitizer.Error -> true | Sanitizer.Warning -> false)
+    (sc.run ())

@@ -1,0 +1,31 @@
+(** Paired static/dynamic crash-consistency scenarios.
+
+    The same store/flush/fence/commit sequence expressed twice: as
+    source text for {!Flowcheck} and as a closure executed against a
+    sanitizer-attached device.  {!Probe.run_flow} replays them to check
+    the containment obligation (static ⊇ dynamic on the executed path)
+    and that the inclusion is strict ([hidden_error_path] is a planted
+    branch-only bug the dynamic side provably misses). *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** the sequence as source text, for {!Flowcheck} *)
+  run : unit -> Repro_sanitizer.Sanitizer.diag list;
+      (** the sequence executed under the sanitizer *)
+  expect_static : bool;  (** flowcheck must flag the source *)
+  expect_dynamic : bool;  (** the sanitizer must flag the execution *)
+}
+
+val all : t list
+
+val hidden_error_path : t
+(** The strict-inclusion witness: dynamically clean (the run takes the
+    healthy branch), statically a persist-order violation. *)
+
+val static_diags : t -> Diag.t list
+(** Parse [source] (as a core-scope file) and run {!Flowcheck} over it,
+    keeping only persist-order diagnostics. *)
+
+val dynamic_errors : t -> Repro_sanitizer.Sanitizer.diag list
+(** Execute [run] and keep error-severity diagnostics. *)

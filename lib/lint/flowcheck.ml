@@ -1,0 +1,596 @@
+(* persist-order: flow-sensitive crash-consistency checking.
+
+   The dynamic sanitizer (R1–R5) validates only the paths a workload
+   happens to execute; this rule runs the same ordering discipline over
+   {e every} path of the parse tree.  Each PM store becomes an abstract
+   token walked forward by {!Cfg} through the lattice
+
+       Stored < Flushed < Fenced
+
+   [Device.flush] acts as a flush barrier (promotes every tracked Stored
+   token — byte-range precision stays the dynamic checker's job, which
+   keeps this pass optimistic and false-positive-free), [Device.fence]
+   promotes Flushed to Fenced, non-temporal stores enter at Flushed
+   (durable at the next fence), and [Device.persist] is flush+fence.
+
+   Diagnostics fire at three anchors, chosen so the deliberate
+   deferred-persistence idioms stay clean:
+
+   - a commit point — a [Txn_commit] annotation, or a call to a function
+     that (transitively) commits — reached while any token is below
+     Fenced: the commit record must never persist over a line that can
+     still be lost (the static analogue of dynamic R1/R5);
+   - a [Recovery_begin] annotation with pending tokens — recovery input
+     must be durable (static R2);
+   - function exit with a token whose state {e differed} across merged
+     paths ("mixed") — the branch-only-on-error bug class: persisted on
+     the path the tests run, skipped on the one they don't.
+
+   A token uniformly pending on every exit path is not an error: that is
+   the residue a helper deliberately leaves for its caller
+   ([Txn.meta_write] flushes and lets the commit fence), so it is
+   exported through the function's summary instead; an assignment to a
+   [dirty_bytes] field discharges tokens into the relaxed-mode ledger
+   (fsync persists them later).  Summaries make the pass
+   interprocedural-lite: per function we record whether it
+   flush-barriers/fences every normal path, whether it commits, the
+   weakest residue it leaves, and whether it diverges; a whole-program
+   fixpoint (a few rounds, diagnostics only in the last) lets
+   [Txn.with_txn]'s commit fence discharge tokens created in an inlined
+   body lambda three files away.
+
+   Scope: implementation files outside [lib/pmem/] (the device below the
+   discipline) and [lib/lint/] (this analyzer and its deliberately buggy
+   probe scenarios).  Exception paths are not checked: raising with
+   pending stores is the journals' abort protocol, exercised dynamically
+   by sanitizer R4. *)
+
+let rule = "persist-order"
+let low = String.lowercase_ascii
+
+type pstate = Stored | Flushed | Fenced
+
+let rank = function Stored -> 0 | Flushed -> 1 | Fenced -> 2
+let weaker a b = if rank a <= rank b then a else b
+
+let describe = function
+  | Stored -> "still dirty (no flush+fence)"
+  | Flushed -> "flushed but not fenced"
+  | Fenced -> "durable"
+
+type tok = {
+  t_loc : Location.t;  (* store site (or call site for residues) *)
+  t_what : string;  (* "Device.write", "call to txn.meta_write", ... *)
+  t_state : pstate;
+  t_mixed : bool;  (* state differed at a merge point *)
+  t_weak : string;  (* which merge left it weakest, for the report *)
+  t_may : bool;
+      (* existence is path-dependent: the token was born inside a loop
+         (zero iterations elide it) or imported from a may-residue
+         summary.  The abstraction cannot see that the branch guarding
+         its persistence is correlated with the loop having run, so may
+         tokens are tracked and promoted but never diagnosed — executed
+         loops are the dynamic sanitizer's jurisdiction. *)
+}
+
+module SMap = Map.Make (String)
+
+type st = {
+  toks : tok SMap.t;
+  flushed_all : bool;  (* flush barrier on every path since entry *)
+  fenced_all : bool;
+}
+
+let init = { toks = SMap.empty; flushed_all = false; fenced_all = false }
+
+type summary = {
+  s_flushes : bool;  (* flush barrier on every normal path *)
+  s_fences : bool;  (* fence on every normal path *)
+  s_commits : bool;  (* reaches a commit point on some path *)
+  s_out : (pstate * bool) option;
+      (* weakest residue left on normal exit; the flag is [t_may] — true
+         when every pending token's existence was path-dependent *)
+  s_diverges : bool;  (* never returns normally *)
+}
+
+let no_summary =
+  { s_flushes = false; s_fences = false; s_commits = false; s_out = None; s_diverges = false }
+
+(* ------------------------------------------------------------------ *)
+(* Domain operations                                                   *)
+
+let join_tok ~kind ~(loc : Location.t) a b =
+  if a.t_state = b.t_state then
+    {
+      a with
+      t_mixed = a.t_mixed || b.t_mixed;
+      t_may = a.t_may || b.t_may;
+      t_weak = (if a.t_weak <> "" then a.t_weak else b.t_weak);
+    }
+  else
+    {
+      a with
+      t_state = weaker a.t_state b.t_state;
+      t_mixed = true;
+      t_may = a.t_may || b.t_may;
+      t_weak = Printf.sprintf "the %s merging at line %d" kind loc.loc_start.Lexing.pos_lnum;
+    }
+
+let join ~kind ~loc a b =
+  {
+    toks =
+      SMap.merge
+        (fun _ l r ->
+          match (l, r) with
+          | Some a, Some b -> Some (join_tok ~kind ~loc a b)
+          (* Present on one side only: created on that path; a
+             maybe-written store is not a bug by itself.  At a loop
+             back-edge the absent side is the zero-iteration path, so
+             the token's very existence becomes path-dependent: mark it
+             [t_may] — later branches (typically guarded by the same
+             condition as the loop) legitimately skip persisting it. *)
+          | Some x, None | None, Some x ->
+              Some (if kind = "loop back-edge" then { x with t_may = true } else x)
+          | None, None -> None)
+        a.toks b.toks;
+    flushed_all = a.flushed_all && b.flushed_all;
+    fenced_all = a.fenced_all && b.fenced_all;
+  }
+
+let equal_st a b =
+  a.flushed_all = b.flushed_all && a.fenced_all = b.fenced_all
+  && SMap.equal
+       (fun x y ->
+         x.t_state = y.t_state && x.t_mixed = y.t_mixed && x.t_may = y.t_may
+         && x.t_weak = y.t_weak)
+       a.toks b.toks
+
+let promote st ~from ~to_ =
+  { st with toks = SMap.map (fun t -> if t.t_state = from then { t with t_state = to_ } else t) st.toks }
+
+let promote_flush st = { (promote st ~from:Stored ~to_:Flushed) with flushed_all = true }
+let promote_fence st = { (promote st ~from:Flushed ~to_:Fenced) with fenced_all = true }
+let promote_all st = { st with toks = SMap.map (fun t -> { t with t_state = Fenced }) st.toks }
+let promote_persist st = { (promote_all st) with flushed_all = true; fenced_all = true }
+
+let key_of_loc (loc : Location.t) =
+  Printf.sprintf "%d:%d" loc.loc_start.Lexing.pos_lnum
+    (loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol)
+
+let add_tok ?(may = false) st ~loc ~what state =
+  {
+    st with
+    toks =
+      SMap.add (key_of_loc loc)
+        { t_loc = loc; t_what = what; t_state = state; t_mixed = false; t_weak = ""; t_may = may }
+        st.toks;
+  }
+
+let join_opt ~kind ~loc a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (join ~kind ~loc a b)
+
+(* ------------------------------------------------------------------ *)
+(* Call classification                                                 *)
+
+let store_fns =
+  [
+    ("write", Stored); ("write_string", Stored); ("memset", Stored);
+    ("copy_within", Stored); ("write_u64", Stored);
+    ("write_nt", Flushed); ("write_string_nt", Flushed);
+    ("memset_nt", Flushed); ("copy_within_nt", Flushed);
+  ]
+
+let device_fn env e =
+  match Resolve.calls env e with
+  | Some (comps, args) -> (
+      match List.rev comps with
+      | fn :: m :: _ when low m = "device" -> Some (fn, args)
+      | _ -> None)
+  | None -> None
+
+let divergers = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+let is_diverger comps =
+  match List.rev comps with
+  | fn :: rest ->
+      (List.mem fn divergers && (rest = [] || rest = [ "Stdlib" ]))
+      || (match rest with m :: _ -> low m = "types" && fn = "err" | [] -> false)
+  | [] -> false
+
+(* Combinators whose lambda arguments run unconditionally (a callback
+   handed to anything else is joined with the skip path instead). *)
+let always_runs comps =
+  match List.rev comps with
+  | fn :: rest ->
+      String.length fn > 5 && String.sub fn 0 5 = "with_"
+      || fn = "kasprintf" || fn = "ksprintf"
+      || (fn = "protect" && (match rest with m :: _ -> low m = "fun" | [] -> false))
+  | [] -> false
+
+(* Peel a lambda down to its executable bodies (one per [function] case). *)
+let rec lambda_bodies (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> (
+      match lambda_bodies body with [] -> [ body ] | bs -> bs)
+  | Pexp_function cases -> List.map (fun c -> c.Parsetree.pc_rhs) cases
+  | Pexp_newtype (_, body) | Pexp_constraint (body, _) -> lambda_bodies body
+  | _ -> []
+
+let is_lambda e = lambda_bodies e <> []
+
+(* Local [let f = fun ...] closures, collected at any depth, so calls to
+   them inline instead of vanishing into the unknown-callee case. *)
+let collect_closures body =
+  let tbl = Hashtbl.create 8 in
+  let open Ast_iterator in
+  let expr it e =
+    (match e.Parsetree.pexp_desc with
+    | Pexp_let (_, vbs, _) ->
+        List.iter
+          (fun vb ->
+            match (vb.Parsetree.pvb_pat.ppat_desc, lambda_bodies vb.pvb_expr) with
+            | Ppat_var { txt; _ }, (_ :: _ as bodies) -> Hashtbl.replace tbl txt bodies
+            | _ -> ())
+          vbs
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it body;
+  tbl
+
+let annotate_construct args =
+  List.find_map
+    (fun (_, (a : Parsetree.expression)) ->
+      match a.pexp_desc with
+      | Pexp_construct ({ txt; _ }, _) -> Some (Longident.last txt)
+      | _ -> None)
+    args
+
+(* ------------------------------------------------------------------ *)
+(* Per-function analysis                                               *)
+
+type fctx = {
+  env : Resolve.env;
+  stem : string;
+  summaries : (string, summary) Hashtbl.t;
+  closures : (string, Parsetree.expression list) Hashtbl.t;
+  mutable inline_stack : Location.t list;
+  mutable did_commit : bool;
+  emit : Diag.t list ref option;  (* [Some] only in the final round *)
+}
+
+let summary_keys ctx comps =
+  match List.rev comps with
+  | [ fn ] -> [ ctx.stem ^ "." ^ fn ]
+  | fn :: m :: _ -> [ low m ^ "." ^ fn ]
+  | [] -> []
+
+let lookup_summary ctx comps =
+  List.find_map
+    (fun k -> match Hashtbl.find_opt ctx.summaries k with Some s -> Some (k, s) | None -> None)
+    (summary_keys ctx comps)
+
+(* Diagnose every pending token at a commit/recovery anchor, then
+   silence them (promote to Fenced) so one bad store reports once, not
+   again at every later anchor or at exit. *)
+let anchor_check ctx st ~anchor ~(loc : Location.t) =
+  ctx.did_commit <- true;
+  let line = loc.loc_start.Lexing.pos_lnum in
+  let diag_tok t =
+    match ctx.emit with
+    | None -> ()
+    | Some _ when t.t_may -> () (* path-dependent existence: not provably reached *)
+    | Some diags ->
+        diags :=
+          Diag.v ~loc:t.t_loc ~rule
+            ~hint:
+              "flush+fence (Device.persist) the store on every path before the commit/recovery \
+               point, or log it so the journal's own fence covers it"
+            "%s may reach the %s at line %d %s%s" t.t_what anchor line (describe t.t_state)
+            (if t.t_mixed then Printf.sprintf ", unpersisted via %s" t.t_weak else "")
+          :: !diags
+  in
+  {
+    st with
+    toks =
+      SMap.map
+        (fun t ->
+          if t.t_state <> Fenced then begin
+            diag_tok t;
+            { t with t_state = Fenced }
+          end
+          else t)
+        st.toks;
+  }
+
+let hooks ctx =
+  let rec h =
+    {
+      Cfg.join;
+      equal = equal_st;
+      apply =
+        (fun ~eval st e ->
+          (* Any call can raise (device reads throw [Media_error], the
+             layers throw [Types.err]); the conservative raise point
+             carries the pre-call state, so [try] handlers that swallow
+             an exception see the weakest tokens — that reachability is
+             what catches a fence stranded after a raising call. *)
+          match apply ~eval st e with
+          | None -> None
+          | Some o ->
+              Some { o with exc = join_opt ~kind:"raise point" ~loc:e.pexp_loc o.exc (Some st) });
+      setfield =
+        (fun st fld ->
+          (* [f.dirty_bytes <- ...]: the relaxed-mode deferral ledger —
+             pending stores become fsync's responsibility. *)
+          match Longident.last fld with
+          | "dirty_bytes" -> Some (promote_all st)
+          | _ -> None);
+    }
+  (* Evaluate non-lambda arguments left to right (lambdas are values
+     here; where their bodies run is the callee's business). *)
+  and eval_args ~eval st args : st Cfg.outcome =
+    List.fold_left
+      (fun (o : st Cfg.outcome) (_, (a : Parsetree.expression)) ->
+        match o.normal with
+        | None -> o
+        | Some s ->
+            if is_lambda a then o
+            else
+              let o' : st Cfg.outcome = eval s a in
+              { o' with exc = join_opt ~kind:"raise point" ~loc:a.pexp_loc o.exc o'.exc })
+      { normal = Some st; exc = None }
+      args
+  and inline_bodies ~eval ~run (o : st Cfg.outcome) ~(loc : Location.t) bodies : st Cfg.outcome =
+    match o.normal with
+    | None -> o
+    | Some st ->
+        let fresh =
+          List.filter (fun (b : Parsetree.expression) -> not (List.memq b.pexp_loc ctx.inline_stack)) bodies
+        in
+        if fresh = [] || List.length ctx.inline_stack > 24 then o
+        else begin
+          ctx.inline_stack <- List.map (fun (b : Parsetree.expression) -> b.pexp_loc) fresh @ ctx.inline_stack;
+          let ran =
+            match
+              List.map (fun (b : Parsetree.expression) -> eval st b) fresh
+            with
+            | [] -> o
+            | o0 :: rest ->
+                List.fold_left (Cfg.join_outcome h ~kind:"callback case" ~loc) o0 rest
+          in
+          ctx.inline_stack <-
+            List.filter
+              (fun l -> not (List.exists (fun (b : Parsetree.expression) -> b.pexp_loc == l) fresh))
+              ctx.inline_stack;
+          let ran = { ran with exc = join_opt ~kind:"raise point" ~loc o.exc ran.exc } in
+          match run with
+          | `Always -> ran
+          | `May ->
+              (* The callback may not run at all (or run repeatedly):
+                 join with the skip path. *)
+              Cfg.join_outcome h ~kind:"may-skip callback" ~loc { normal = Some st; exc = None } ran
+        end
+  and inline_lams ~eval ~run o args =
+    List.fold_left
+      (fun o (_, (a : Parsetree.expression)) ->
+        match lambda_bodies a with
+        | [] -> o
+        | bodies -> inline_bodies ~eval ~run o ~loc:a.pexp_loc bodies)
+      o args
+  and apply_summary st ~loc ~what (s : summary) : st Cfg.outcome =
+    let st = if s.s_flushes then promote_flush st else st in
+    let st = if s.s_fences then promote_fence st else st in
+    let st =
+      if s.s_commits then anchor_check ctx st ~anchor:("commit point inside " ^ what) ~loc else st
+    in
+    let st =
+      match s.s_out with
+      | None -> st
+      | Some (p, may) -> add_tok ~may st ~loc ~what:("call to " ^ what) p
+    in
+    if s.s_diverges then { normal = None; exc = Some st } else { normal = Some st; exc = None }
+  and apply ~eval st (e : Parsetree.expression) : st Cfg.outcome option =
+    let loc = e.pexp_loc in
+    match device_fn ctx.env e with
+    | Some ("with_site", args) ->
+        let o = eval_args ~eval st args in
+        Some (inline_lams ~eval ~run:`Always o args)
+    | Some (fn, args) when List.mem_assoc fn store_fns ->
+        let o = eval_args ~eval st args in
+        Some
+          { o with
+            normal =
+              Option.map (fun st -> add_tok st ~loc ~what:("Device." ^ fn) (List.assoc fn store_fns)) o.normal
+          }
+    | Some ("flush", args) ->
+        let o = eval_args ~eval st args in
+        Some { o with normal = Option.map promote_flush o.normal }
+    | Some ("fence", args) ->
+        let o = eval_args ~eval st args in
+        Some { o with normal = Option.map promote_fence o.normal }
+    | Some ("persist", args) ->
+        let o = eval_args ~eval st args in
+        Some { o with normal = Option.map promote_persist o.normal }
+    | Some ("annotate", args) ->
+        let o = eval_args ~eval st args in
+        Some
+          (match (o.normal, annotate_construct args) with
+          | Some st, Some "Txn_commit" ->
+              { o with normal = Some (anchor_check ctx st ~anchor:"commit point" ~loc) }
+          | Some st, Some "Recovery_begin" ->
+              { o with normal = Some (anchor_check ctx st ~anchor:"recovery read point" ~loc) }
+          | _ -> o)
+    | Some (_, args) -> Some (eval_args ~eval st args)
+    | None -> (
+        match Resolve.calls ctx.env e with
+        | None -> None (* not a resolvable application; structural descent *)
+        | Some (comps, args) ->
+            if is_diverger comps then
+              let o = eval_args ~eval st args in
+              Some
+                {
+                  normal = None;
+                  exc = (match o.normal with Some s -> Some s | None -> o.exc);
+                }
+            else
+              let o = eval_args ~eval st args in
+              let run = if always_runs comps then `Always else `May in
+              let o = inline_lams ~eval ~run o args in
+              let closure =
+                match comps with [ f ] -> Hashtbl.find_opt ctx.closures f | _ -> None
+              in
+              (match closure with
+              | Some bodies -> Some (inline_bodies ~eval ~run:`Always o ~loc bodies)
+              | None -> (
+                  match lookup_summary ctx comps with
+                  | Some (key, s) ->
+                      Some
+                        (match o.normal with
+                        | None -> o
+                        | Some st ->
+                            let os = apply_summary st ~loc ~what:key s in
+                            { os with exc = join_opt ~kind:"raise point" ~loc o.exc os.exc })
+                  | None -> Some o)))
+  in
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Function discovery and driver                                       *)
+
+type fn_decl = { d_key : string; d_name : string; d_bodies : Parsetree.expression list }
+
+let decls_of_file (f : Source.file) =
+  let out = ref [] in
+  let add name bodies =
+    if bodies <> [] then
+      out := { d_key = f.stem ^ "." ^ name; d_name = name; d_bodies = bodies } :: !out
+  in
+  let rec item (si : Parsetree.structure_item) =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let name =
+              match vb.Parsetree.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } -> txt
+              | _ -> "<toplevel>"
+            in
+            match lambda_bodies vb.pvb_expr with
+            | [] -> add name [ vb.pvb_expr ] (* top-level effectful value *)
+            | bodies -> add name bodies)
+          vbs
+    | Pstr_module { pmb_expr; _ } -> module_expr pmb_expr
+    | Pstr_recmodule mbs -> List.iter (fun mb -> module_expr mb.Parsetree.pmb_expr) mbs
+    | _ -> ()
+  and module_expr (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> List.iter item items
+    | Pmod_constraint (me, _) | Pmod_functor (_, me) -> module_expr me
+    | _ -> ()
+  in
+  List.iter item f.impl;
+  List.rev !out
+
+let in_scope (f : Source.file) =
+  let starts p =
+    String.length f.path >= String.length p && String.sub f.path 0 (String.length p) = p
+  in
+  f.kind = Source.Impl && not (starts "lib/pmem/") && not (starts "lib/lint/")
+
+let analyze_fn ~summaries ~emit (f : Source.file) (d : fn_decl) =
+  let env = Resolve.env_of_file f in
+  let committed = ref false in
+  let outcomes =
+    List.map
+      (fun (body : Parsetree.expression) ->
+        let ctx =
+          {
+            env;
+            stem = f.stem;
+            summaries;
+            closures = collect_closures body;
+            inline_stack = [];
+            did_commit = false;
+            emit;
+          }
+        in
+        let o = Cfg.eval (hooks ctx) init body in
+        if ctx.did_commit then committed := true;
+        (body.pexp_loc, o))
+      d.d_bodies
+  in
+  let joined =
+    List.fold_left
+      (fun acc (loc, (o : st Cfg.outcome)) -> join_opt ~kind:"function clause" ~loc acc o.normal)
+      None outcomes
+  in
+  (* Exit check (final round only): a token whose persistence depended on
+     which path ran is the branch-only bug class.  Only local [Device.*]
+     stores qualify: a call residue is a helper's deliberate deferral
+     whose contract is judged at commit anchors, and "mixed" on one is
+     usually a sibling callee's global fence promoting it incidentally.
+     May tokens are excluded — the skipping branch is typically guarded
+     by the same condition as the loop that created them. *)
+  let local t =
+    String.length t.t_what >= 7 && String.sub t.t_what 0 7 = "Device."
+  in
+  (match (emit, joined) with
+  | Some diags, Some exit_st ->
+      SMap.iter
+        (fun _ t ->
+          if t.t_state <> Fenced && t.t_mixed && local t && not t.t_may then
+            diags :=
+              Diag.v ~loc:t.t_loc ~rule
+                ~hint:
+                  "persist the store on every path (or defer it explicitly via the dirty-bytes \
+                   ledger) so no branch leaves it weaker than its siblings"
+                "%s is persisted on some paths of %s but %s via %s" t.t_what d.d_name
+                (describe t.t_state) t.t_weak
+              :: !diags)
+        exit_st.toks
+  | _ -> ());
+  match joined with
+  | None -> { no_summary with s_diverges = true; s_commits = !committed }
+  | Some exit_st ->
+      (* Residue: weakest pending token.  A must token dominates — if any
+         pending token exists on every path, the residue is must. *)
+      let pending =
+        SMap.fold
+          (fun _ t acc ->
+            if t.t_state = Fenced then acc
+            else
+              Some
+                (match acc with
+                | None -> (t.t_state, t.t_may)
+                | Some (p, may) -> (weaker p t.t_state, may && t.t_may)))
+          exit_st.toks None
+      in
+      {
+        s_flushes = exit_st.flushed_all;
+        s_fences = exit_st.fenced_all;
+        s_commits = !committed;
+        s_out = pending;
+        s_diverges = false;
+      }
+
+let max_rounds = 5
+
+let check files =
+  let files = List.filter in_scope files in
+  let decls = List.concat_map (fun f -> List.map (fun d -> (f, d)) (decls_of_file f)) files in
+  let summaries = Hashtbl.create 256 in
+  let round emit = List.map (fun (f, d) -> (d.d_key, analyze_fn ~summaries ~emit f d)) decls in
+  let install l = List.iter (fun (k, s) -> Hashtbl.replace summaries k s) l in
+  let rec fix prev n =
+    let cur = round None in
+    install cur;
+    if cur = prev || n >= max_rounds then () else fix cur (n + 1)
+  in
+  fix [] 1;
+  let diags = ref [] in
+  ignore (round (Some diags) : (string * summary) list);
+  Diag.normalize !diags

@@ -1,0 +1,29 @@
+(** persist-order: flow-sensitive crash-consistency rule.
+
+    Forward dataflow (via {!Cfg}) tracking each PM store as a token
+    through [Stored < Flushed < Fenced], with interprocedural-lite
+    function summaries.  Diagnoses tokens below [Fenced] at commit and
+    recovery anchors, and tokens whose state diverged across merged
+    paths at function exit — the branch-only-on-error bug class the
+    dynamic sanitizer cannot see at partial path coverage.  See the
+    implementation header for the full lattice, join and anchor rules
+    (mirrored in DESIGN.md §12). *)
+
+val rule : string
+(** ["persist-order"]. *)
+
+val check : Source.file list -> Diag.t list
+
+type pstate = Stored | Flushed | Fenced
+(** The per-token lattice (exposed for tests and DESIGN.md §12). *)
+
+type summary = {
+  s_flushes : bool;  (** flush barrier on every normal path *)
+  s_fences : bool;  (** fence on every normal path *)
+  s_commits : bool;  (** reaches a commit point on some path *)
+  s_out : (pstate * bool) option;
+      (** weakest residue left for the caller; the flag is the may bit —
+          [true] when every pending token was born on a path-dependent
+          edge (inside a loop), so callers track but never diagnose it *)
+  s_diverges : bool;  (** never returns normally *)
+}

@@ -13,12 +13,30 @@ let rules =
     ("persist-site", Persist_sites.check);
     ("ownership", Ownership.check);
     ("error-discipline", Error_discipline.check);
+    ("persist-order", Flowcheck.check);
+    ("determinism", Determinism.check);
   ]
 
-let default_allowlist = []
+let flow_rules = [ "persist-order"; "determinism" ]
 
-let run ?(allowlist = default_allowlist) files ~parse =
-  let raw = List.concat_map (fun (_, checker) -> checker files) rules in
+let default_allowlist =
+  [
+    {
+      a_rule = "determinism";
+      a_file = "bin/agectl.ml";
+      a_reason =
+        "operator-facing wall-clock progress line on long aging runs; the elapsed time is \
+         printed, never recorded in a result or compared by a test";
+    };
+  ]
+
+let run ?(allowlist = default_allowlist) ?only files ~parse =
+  let selected =
+    match only with
+    | None -> rules
+    | Some ids -> List.filter (fun (id, _) -> List.mem id ids) rules
+  in
+  let raw = List.concat_map (fun (_, checker) -> checker files) selected in
   let suppressed, kept =
     List.partition
       (fun (d : Diag.t) ->
@@ -26,19 +44,29 @@ let run ?(allowlist = default_allowlist) files ~parse =
       raw
   in
   {
-    diags = List.sort Diag.compare (parse @ kept);
+    diags = Diag.normalize (parse @ kept);
     suppressed = List.length suppressed;
     files_scanned = List.length files;
     parse_errors = List.length parse;
   }
 
-let analyze ?allowlist roots =
+let analyze ?allowlist ?only roots =
   let files, parse = Source.load_roots roots in
-  run ?allowlist files ~parse
+  run ?allowlist ?only files ~parse
 
-let analyze_string ~path text =
+let analyze_string ?only ~path text =
   match Source.parse_string ~path text with
   | Error d -> [ d ]
-  | Ok f -> (run [ f ] ~parse:[]).diags
+  | Ok f -> (run ?only [ f ] ~parse:[]).diags
+
+let report_to_json r =
+  let open Repro_stats.Json in
+  Obj
+    [
+      ("files_scanned", Int r.files_scanned);
+      ("parse_errors", Int r.parse_errors);
+      ("suppressed", Int r.suppressed);
+      ("diags", List (List.map Diag.to_json r.diags));
+    ]
 
 let exit_code r = if r.parse_errors > 0 then 2 else if r.diags <> [] then 1 else 0

@@ -1,11 +1,13 @@
 (** srccheck: AST-based static analysis of this repository's own sources.
 
-    Four rules over real parse trees (see {!Lock_order},
-    {!Persist_sites}, {!Ownership}, {!Error_discipline}), replacing the
-    old substring archcheck.  The engine is deliberately small: rules are
-    [Source.file list -> Diag.t list] functions; suppression is an
-    explicit per-rule/per-file allowlist with a reason, and suppressed
-    counts are reported so an allowlist can never silently grow. *)
+    Six rules over real parse trees — the four syntactic ones from the
+    original srccheck ({!Lock_order}, {!Persist_sites}, {!Ownership},
+    {!Error_discipline}) plus the two flow-sensitive flowcheck rules
+    ({!Flowcheck} persist-order dataflow, {!Determinism}).  The engine
+    is deliberately small: rules are [Source.file list -> Diag.t list]
+    functions; suppression is an explicit per-rule/per-file allowlist
+    with a reason, and suppressed counts are reported so an allowlist
+    can never silently grow. *)
 
 type allow = {
   a_rule : string;
@@ -23,25 +25,35 @@ type report = {
 val rules : (string * (Source.file list -> Diag.t list)) list
 (** [(rule-id, checker)]; the ids are the ones diagnostics carry. *)
 
+val flow_rules : string list
+(** [["persist-order"; "determinism"]] — the subset [pmcheck flowcheck]
+    runs. *)
+
 val default_allowlist : allow list
-(** Empty on HEAD: every violation the rules surfaced was fixed rather
-    than suppressed.  The machinery stays so a future, justified
-    exception is one reviewed entry — with a reason — instead of a
-    weakened rule. *)
+(** One reviewed entry on HEAD: [bin/agectl.ml]'s operator-facing
+    wall-clock progress line is exempt from the determinism rule (with
+    its reason).  The persist-order allowlist is empty — every violation
+    the dataflow surfaced was fixed, not suppressed. *)
 
-val run : ?allowlist:allow list -> Source.file list -> parse:Diag.t list -> report
-(** Run every rule over already-loaded files.  [parse] diagnostics are
-    folded into the report (and force exit code 2). *)
+val run : ?allowlist:allow list -> ?only:string list -> Source.file list -> parse:Diag.t list -> report
+(** Run rules over already-loaded files ([only] restricts to a rule-id
+    subset; default all).  [parse] diagnostics are folded into the
+    report (and force exit code 2).  Diagnostics are {!Diag.normalize}d:
+    sorted and deduplicated, so reports are byte-stable. *)
 
-val analyze : ?allowlist:allow list -> string list -> report
+val analyze : ?allowlist:allow list -> ?only:string list -> string list -> report
 (** [analyze roots]: {!Source.load_roots} + {!run} — the srccheck entry
     point, normally over [["lib"; "bin"]]. *)
 
-val analyze_string : path:string -> string -> Diag.t list
-(** All rules over a single synthetic file — the fixture hook for tests.
+val analyze_string : ?only:string list -> path:string -> string -> Diag.t list
+(** Rules over a single synthetic file — the fixture hook for tests.
     The [path] matters: rules scope by it (e.g. [lib/core/x.ml] is inside
-    the error-discipline scope, [lib/pmem/x.ml] is exempt from
-    persist-site). *)
+    the error-discipline and poly-compare scopes, [lib/pmem/x.ml] is
+    exempt from persist-site and persist-order). *)
+
+val report_to_json : report -> Repro_stats.Json.t
+(** The [--format=json] payload: scan counters plus every diagnostic as
+    a structured record. *)
 
 val exit_code : report -> int
 (** 0 clean, 1 violations, 2 parse errors. *)

@@ -19,7 +19,9 @@ let add_edge g a b loc =
 
 let nodes g = Hashtbl.fold (fun n () acc -> n :: acc) g.nodes [] |> List.sort compare
 let edges g = Hashtbl.fold (fun e _ acc -> e :: acc) g.adj [] |> List.sort compare
-let succs g a = Hashtbl.fold (fun (x, y) _ acc -> if x = a then y :: acc else acc) g.adj []
+let succs g a =
+  Hashtbl.fold (fun (x, y) _ acc -> if x = a then y :: acc else acc) g.adj []
+  |> List.sort compare
 
 let reaches g a b =
   let seen = Hashtbl.create 16 in
@@ -135,12 +137,19 @@ let rec collect_structure env (file : Source.file) summaries prefix stru =
 
 let fixpoint summaries =
   let reach = Hashtbl.create 64 in
-  Hashtbl.iter (fun k (s : summary) -> Hashtbl.replace reach k (SS.of_list s.locks)) summaries;
+  (* The fixpoint's result is iteration-order independent, but walking a
+     sorted key list keeps the pass deterministic by construction (and
+     appeases its own determinism rule). *)
+  let keys =
+    Hashtbl.fold (fun k (s : summary) acc -> (k, s) :: acc) summaries []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter (fun (k, (s : summary)) -> Hashtbl.replace reach k (SS.of_list s.locks)) keys;
   let changed = ref true in
   while !changed do
     changed := false;
-    Hashtbl.iter
-      (fun k (s : summary) ->
+    List.iter
+      (fun (k, (s : summary)) ->
         let cur = Hashtbl.find reach k in
         let next =
           List.fold_left
@@ -154,7 +163,7 @@ let fixpoint summaries =
           Hashtbl.replace reach k next;
           changed := true
         end)
-      summaries
+      keys
   done;
   reach
 
@@ -267,7 +276,7 @@ let sccs g =
       out := pop [] :: !out
     end
   in
-  Hashtbl.iter (fun v () -> if not (Hashtbl.mem index v) then strongconnect v) g.nodes;
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes g);
   !out
 
 let cycle_diags g =
@@ -285,9 +294,11 @@ let cycle_diags g =
            let witness =
              Hashtbl.fold
                (fun (a, b) loc acc ->
-                 if acc = None && List.mem a members && List.mem b members then Some loc
+                 if List.mem a members && List.mem b members then ((a, b), loc) :: acc
                  else acc)
-               g.adj None
+               g.adj []
+             |> List.sort (fun (e1, _) (e2, _) -> compare e1 e2)
+             |> function [] -> None | (_, loc) :: _ -> Some loc
            in
            let loc = Option.value witness ~default:Location.none in
            Some

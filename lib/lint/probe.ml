@@ -60,3 +60,54 @@ let run files =
     acquisitions = Sched.Lock_order.acquisitions ();
     diags;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Flow containment: replay the paired persist-order scenarios.        *)
+
+type flow_result = {
+  flow_scenarios : (string * bool * bool) list;  (* name, static flagged, dynamic error *)
+  flow_diags : Diag.t list;
+}
+
+let run_flow () =
+  let results =
+    List.map
+      (fun (sc : Flow_scenarios.t) ->
+        let st = Flow_scenarios.static_diags sc <> [] in
+        let dyn = Flow_scenarios.dynamic_errors sc <> [] in
+        (sc, st, dyn))
+      Flow_scenarios.all
+  in
+  let diags =
+    List.concat_map
+      (fun ((sc : Flow_scenarios.t), st, dyn) ->
+        let fail hint fmt =
+          Printf.ksprintf
+            (fun msg -> [ Diag.at ~file:"<flow-probe>" ~line:0 ~col:0 ~rule:Flowcheck.rule ~hint msg ])
+            fmt
+        in
+        (if dyn && not st then
+           fail
+             "the dataflow must subsume the dynamic rules on every executed path; widen the \
+              lattice/anchor handling rather than weakening the scenario"
+             "containment violated: the sanitizer flags scenario %s but flowcheck does not" sc.name
+         else [])
+        @ (if st <> sc.expect_static then
+             fail "the scenario or the analyzer regressed; see Flow_scenarios"
+               "scenario %s: flowcheck %s but the scenario expects %s" sc.name
+               (if st then "fires" else "is silent")
+               (if sc.expect_static then "a diagnostic" else "silence")
+           else [])
+        @
+        if dyn <> sc.expect_dynamic then
+          fail "the scenario or the sanitizer regressed; see Flow_scenarios"
+            "scenario %s: the sanitizer %s but the scenario expects %s" sc.name
+            (if dyn then "errors" else "is silent")
+            (if sc.expect_dynamic then "an error" else "silence")
+        else [])
+      results
+  in
+  {
+    flow_scenarios = List.map (fun ((sc : Flow_scenarios.t), st, dyn) -> (sc.name, st, dyn)) results;
+    flow_diags = diags;
+  }

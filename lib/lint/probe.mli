@@ -26,3 +26,15 @@ type result = {
 }
 
 val run : Source.file list -> result
+
+type flow_result = {
+  flow_scenarios : (string * bool * bool) list;
+      (** (scenario, flowcheck flagged, sanitizer errored) per {!Flow_scenarios.all} *)
+  flow_diags : Diag.t list;
+}
+
+val run_flow : unit -> flow_result
+(** Replay every {!Flow_scenarios} pair, checking containment (a dynamic
+    error on the executed path implies a static diagnostic) and each
+    scenario's recorded static/dynamic expectations.  [flow_diags] is
+    empty when the obligation holds. *)

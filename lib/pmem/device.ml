@@ -424,12 +424,8 @@ let fence t (cpu : Cpu.t) =
   t.fence_seq <- t.fence_seq + 1;
   (match t.fence_hook with Some hook -> hook t.fence_seq | None -> ());
   emit ~cpu t Fence;
-  if t.tracking then begin
-    let durable =
-      Hashtbl.fold (fun line p acc -> if p.flushed then line :: acc else acc) t.pending []
-    in
-    List.iter (Hashtbl.remove t.pending) durable
-  end
+  if t.tracking then
+    Hashtbl.filter_map_inplace (fun _ p -> if p.flushed then None else Some p) t.pending
 
 let persist t cpu ~off ~len =
   flush t cpu ~off ~len;
@@ -502,21 +498,21 @@ let crash_image t ~persisted =
       torn = Hashtbl.create 4;
     }
   in
-  Hashtbl.iter
-    (fun line p ->
-      if not (persisted line) then Bytes.blit p.old_bytes 0 img.data (line * cl) cl)
-    t.pending;
+  Hashtbl.fold (fun line p acc -> (line, p) :: acc) t.pending []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (line, p) ->
+         if not (persisted line) then Bytes.blit p.old_bytes 0 img.data (line * cl) cl);
   (* Torn words compose with the surviving-line choice: even when the
      containing line is chosen as persisted, the registered 8-byte word
      reverts to its pre-store bytes (intra-line tearing — the store of
      that word never reached the media).  Words on lines with no pending
      store are already durable and cannot tear. *)
-  Hashtbl.iter
-    (fun off () ->
-      match Hashtbl.find_opt t.pending (off / cl) with
-      | Some p -> Bytes.blit p.old_bytes (off mod cl) img.data off 8
-      | None -> ())
-    t.torn;
+  Hashtbl.fold (fun off () acc -> off :: acc) t.torn []
+  |> List.sort Int.compare
+  |> List.iter (fun off ->
+         match Hashtbl.find_opt t.pending (off / cl) with
+         | Some p -> Bytes.blit p.old_bytes (off mod cl) img.data off 8
+         | None -> ());
   img
 
 let fence_seq t = t.fence_seq

@@ -46,7 +46,7 @@ module Make (Ord : ORDERED) : S with type key = Ord.t = struct
     t.root <- E;
     t.count <- 0
 
-  let is_empty t = t.root = E
+  let is_empty t = match t.root with E -> true | T _ -> false
   let size t = t.count
 
   (* --- insertion --- *)
@@ -171,7 +171,7 @@ module Make (Ord : ORDERED) : S with type key = Ord.t = struct
     in
     go t.root
 
-  let mem t k = find t k <> None
+  let mem t k = Option.is_some (find t k)
 
   let min_binding t =
     let rec go = function
@@ -236,15 +236,14 @@ module Make (Ord : ORDERED) : S with type key = Ord.t = struct
           (match hi with
           | Some h when Ord.compare k h >= 0 -> raise (Bad "BST order violated (right)")
           | _ -> ());
-          (if col = R then
-             match (a, b) with
-             | T (R, _, _, _, _), _ | _, T (R, _, _, _, _) ->
-                 raise (Bad "red node with red child")
-             | _ -> ());
+          (match (col, a, b) with
+          | R, T (R, _, _, _, _), _ | R, _, T (R, _, _, _, _) ->
+              raise (Bad "red node with red child")
+          | _ -> ());
           let bh_l = go lo (Some k) a in
           let bh_r = go (Some k) hi b in
           if bh_l <> bh_r then raise (Bad "black height mismatch");
-          bh_l + (if col = B then 1 else 0)
+          bh_l + (match col with B -> 1 | R -> 0)
     in
     match go None None t.root with
     | _ ->

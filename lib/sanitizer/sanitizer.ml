@@ -142,7 +142,9 @@ let on_flush t site ~off ~len =
   done
 
 let on_fence t =
-  Hashtbl.iter (fun line () -> Hashtbl.remove t.shadow line) t.flushed;
+  Hashtbl.fold (fun line () acc -> line :: acc) t.flushed []
+  |> List.sort Int.compare
+  |> List.iter (Hashtbl.remove t.shadow);
   Hashtbl.reset t.flushed
 
 let on_load t _site ~off ~len =
@@ -297,17 +299,20 @@ let error_count t = t.error_count
    sfence; plain dirty lines are allowed — un-synced data is legal), plus
    the aggregated R3 per-site redundant-flush counts. *)
 let finish t =
-  Hashtbl.iter
-    (fun line () ->
-      match Hashtbl.find_opt t.shadow line with
-      | None -> ()
-      | Some store_site ->
-          emit t ~rule:R2_missing_fence ~severity:Error ~site:store_site ~line
-            (Printf.sprintf "line flushed by %s never fenced before unmount"
-               (Site.to_string store_site)))
-    t.flushed;
-  Hashtbl.iter
-    (fun site (n, first_line) ->
+  (* Sorted traversals: the report order must not depend on bucket order. *)
+  Hashtbl.fold (fun line () acc -> line :: acc) t.flushed []
+  |> List.sort Int.compare
+  |> List.iter (fun line ->
+         match Hashtbl.find_opt t.shadow line with
+         | None -> ()
+         | Some store_site ->
+             emit t ~rule:R2_missing_fence ~severity:Error ~site:store_site ~line
+               (Printf.sprintf "line flushed by %s never fenced before unmount"
+                  (Site.to_string store_site)));
+  Hashtbl.fold (fun site v acc -> (site, v) :: acc) t.redundant []
+  |> List.sort (fun (a, _) (b, _) -> String.compare (Site.to_string a) (Site.to_string b))
+  |> List.iter
+       (fun (site, (n, first_line)) ->
       let d =
         {
           rule = R3_redundant_flush;
@@ -319,8 +324,7 @@ let finish t =
             Printf.sprintf "%d flush(es) of clean or already-flushed lines (perf)" !n;
         }
       in
-      t.diags_rev <- d :: t.diags_rev)
-    t.redundant;
+      t.diags_rev <- d :: t.diags_rev);
   Hashtbl.reset t.redundant;
   diags t
 

@@ -117,6 +117,7 @@ module Lock_order = struct
   let cycle () =
     let succs v =
       Hashtbl.fold (fun (a, b) () acc -> if a = v then b :: acc else acc) edge_tbl []
+      |> List.sort compare
     in
     let nodes = Hashtbl.fold (fun (a, b) () acc -> a :: b :: acc) edge_tbl [] |> List.sort_uniq compare in
     (* DFS with colors; a back edge closes a cycle. *)
@@ -163,7 +164,9 @@ let reset_run_state () =
   (* Drop held-lock stacks of simulated threads (a deadlocked run never
      releases); the outside pseudo-thread's stack survives, as do the
      accumulated acquired-before edges. *)
-  Hashtbl.iter (fun t s -> if t >= 0 then s := []) Lock_order.held
+  Hashtbl.fold (fun t s acc -> (t, s) :: acc) Lock_order.held []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (t, s) -> if t >= 0 then s := [])
 
 let uncontended_lock_ns = 18
 let handoff_ns = 40

@@ -191,13 +191,13 @@ let summarize h =
 
 let snapshot ?(registry = global) () =
   let counters = ref [] and gauges = ref [] and hists = ref [] in
-  Hashtbl.iter
-    (fun key (name, labels, i) ->
-      match i with
-      | I_counter r -> counters := (key, (name, labels, !r)) :: !counters
-      | I_gauge r -> gauges := (key, (name, labels, !r)) :: !gauges
-      | I_hist h -> hists := (key, (name, labels, summarize h)) :: !hists)
-    registry.Registry.instruments;
+  Hashtbl.fold (fun key v acc -> (key, v) :: acc) registry.Registry.instruments []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (key, (name, labels, i)) ->
+         match i with
+         | I_counter r -> counters := (key, (name, labels, !r)) :: !counters
+         | I_gauge r -> gauges := (key, (name, labels, !r)) :: !gauges
+         | I_hist h -> hists := (key, (name, labels, summarize h)) :: !hists);
   let by_key l = List.sort (fun (a, _) (b, _) -> String.compare a b) l |> List.map snd in
   {
     s_counters = by_key !counters;

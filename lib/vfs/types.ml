@@ -30,6 +30,9 @@ let err e fmt = Format.kasprintf (fun msg -> raise (Error (e, msg))) fmt
 
 type file_kind = Regular | Directory
 
+let is_dir = function Directory -> true | Regular -> false
+let is_regular = function Regular -> true | Directory -> false
+
 type stat = {
   st_ino : int;
   st_kind : file_kind;
@@ -53,6 +56,8 @@ let o_creat_rdwr = { o_rdwr with creat = true }
 let o_append = { o_creat_rdwr with append = true }
 
 type mode = Strict | Relaxed
+
+let is_strict = function Strict -> true | Relaxed -> false
 
 type config = { cpus : int; mode : mode; numa_nodes : int; inodes_per_cpu : int }
 

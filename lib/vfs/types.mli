@@ -26,6 +26,12 @@ val errno_to_string : errno -> string
 
 type file_kind = Regular | Directory
 
+val is_dir : file_kind -> bool
+val is_regular : file_kind -> bool
+(** Monomorphic kind tests: the namespace and open paths test the kind
+    on every lookup, where polymorphic [=] would cost an indirect call
+    per comparison. *)
+
 type stat = {
   st_ino : int;
   st_kind : file_kind;
@@ -52,6 +58,8 @@ val o_append : open_flags
     atomic and synchronous (NOVA/Strata class); [Relaxed] guarantees only
     metadata atomicity (ext4-DAX/xfs-DAX/PMFS class). *)
 type mode = Strict | Relaxed
+
+val is_strict : mode -> bool
 
 type config = {
   cpus : int;  (** logical CPUs: number of per-CPU pools/journals *)

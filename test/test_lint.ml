@@ -12,6 +12,7 @@ module Lint = Repro_lint.Lint
 module Source = Repro_lint.Source
 module Diag = Repro_lint.Diag
 module Probe = Repro_lint.Probe
+module Flow_scenarios = Repro_lint.Flow_scenarios
 
 let diag_triple d = (d.Diag.line, d.Diag.col, d.Diag.rule)
 
@@ -151,6 +152,139 @@ let test_lock_order_self_nest () =
   | ds -> Alcotest.failf "expected exactly one lock-order diag, got %d" (List.length ds)
 
 (* ------------------------------------------------------------------ *)
+(* persist-order (flowcheck dataflow) *)
+
+let flow_fixture src = diags_of_rule "persist-order" (Lint.analyze_string ~path:"lib/core/fixture.ml" src)
+
+let test_persist_order_dirty_at_commit () =
+  let src =
+    "let f dev cpu src =\n\
+    \  Device.with_site dev site (fun () ->\n\
+    \      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);\n\
+    \  Device.annotate dev (Txn_commit { txn = 1 })\n"
+  in
+  match flow_fixture src with
+  | [ d ] ->
+      Alcotest.(check bool) "reaches the commit anchor" true (contains_sub ~sub:"may reach" d.Diag.msg);
+      Alcotest.(check bool) "state is still dirty" true (contains_sub ~sub:"still dirty" d.Diag.msg)
+  | ds -> Alcotest.failf "expected exactly one persist-order diag, got %d" (List.length ds)
+
+let test_persist_order_flush_without_fence () =
+  let src =
+    "let f dev cpu src =\n\
+    \  Device.with_site dev site (fun () ->\n\
+    \      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);\n\
+    \  Device.flush dev cpu ~off:0 ~len:64;\n\
+    \  Device.annotate dev (Txn_commit { txn = 1 })\n"
+  in
+  match flow_fixture src with
+  | [ d ] -> Alcotest.(check bool) "flushed but unfenced" true (contains_sub ~sub:"fence" d.Diag.msg)
+  | ds -> Alcotest.failf "expected exactly one persist-order diag, got %d" (List.length ds)
+
+let test_persist_order_branch_only_bug () =
+  (* The fence is skipped on one branch only: every-path analysis must
+     flag what a run down the healthy branch cannot. *)
+  let src =
+    "let f dev cpu src degraded =\n\
+    \  Device.with_site dev site (fun () ->\n\
+    \      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);\n\
+    \  Device.flush dev cpu ~off:0 ~len:64;\n\
+    \  if degraded then () else Device.fence dev cpu;\n\
+    \  Device.annotate dev (Txn_commit { txn = 1 })\n"
+  in
+  Alcotest.(check bool) "branch-only elision flagged" true (flow_fixture src <> [])
+
+let test_persist_order_try_handler_escape () =
+  let src =
+    "let f dev cpu src risky =\n\
+    \  Device.with_site dev site (fun () ->\n\
+    \      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);\n\
+    \  Device.flush dev cpu ~off:0 ~len:64;\n\
+    \  try risky (); Device.fence dev cpu with _ -> ()\n"
+  in
+  Alcotest.(check bool) "fence stranded after a raising call" true (flow_fixture src <> [])
+
+let test_persist_order_clean_merge () =
+  let src =
+    "let f dev cpu src small =\n\
+    \  Device.with_site dev site (fun () ->\n\
+    \      Device.write dev cpu ~off:0 ~src ~src_off:0 ~len:64);\n\
+    \  (if small then Device.persist dev cpu ~off:0 ~len:64\n\
+    \   else begin\n\
+    \     Device.flush dev cpu ~off:0 ~len:64;\n\
+    \     Device.fence dev cpu\n\
+    \   end);\n\
+    \  Device.annotate dev (Txn_commit { txn = 1 })\n"
+  in
+  Alcotest.(check int) "uniformly persisted merge is silent" 0 (List.length (flow_fixture src))
+
+let test_persist_order_deferred_nt_batch () =
+  let src =
+    "let f dev cpu src =\n\
+    \  Device.with_site dev site (fun () ->\n\
+    \      Device.write_nt dev cpu ~off:0 ~src ~src_off:0 ~len:64;\n\
+    \      Device.write_nt dev cpu ~off:64 ~src ~src_off:0 ~len:64);\n\
+    \  Device.fence dev cpu\n"
+  in
+  Alcotest.(check int) "batched NT stores drained by one fence" 0 (List.length (flow_fixture src))
+
+(* ------------------------------------------------------------------ *)
+(* determinism *)
+
+let det_fixture ?(path = "lib/core/fixture.ml") src =
+  diags_of_rule "determinism" (Lint.analyze_string ~path src)
+
+let test_determinism_wall_clock () =
+  match det_fixture "let f () = Unix.gettimeofday ()\n" with
+  | [ d ] ->
+      Alcotest.(check bool) "names the call" true (contains_sub ~sub:"Unix.gettimeofday" d.Diag.msg)
+  | ds -> Alcotest.failf "expected exactly one determinism diag, got %d" (List.length ds)
+
+let test_determinism_hash_order_flagged () =
+  match det_fixture "let f h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []\n" with
+  | [ d ] -> Alcotest.(check bool) "hash order" true (contains_sub ~sub:"hash order" d.Diag.msg)
+  | ds -> Alcotest.failf "expected exactly one determinism diag, got %d" (List.length ds)
+
+let test_determinism_sorted_traversal_exempt () =
+  let src = "let f cmp h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort cmp\n" in
+  Alcotest.(check int) "traversal feeding a sort is exempt" 0 (List.length (det_fixture src))
+
+let test_determinism_wildcard_callback_exempt () =
+  let src = "let f h = Hashtbl.iter (fun _ v -> close v) h\n" in
+  Alcotest.(check int) "key-insensitive callback is exempt" 0 (List.length (det_fixture src))
+
+let test_determinism_poly_eq_hot_path_only () =
+  let src = "let f k = k = Directory\n" in
+  (match det_fixture src with
+  | [ d ] ->
+      Alcotest.(check bool) "names the constructor" true (contains_sub ~sub:"Directory" d.Diag.msg)
+  | ds -> Alcotest.failf "expected exactly one determinism diag, got %d" (List.length ds));
+  Alcotest.(check int) "outside the hot-path scope poly = passes" 0
+    (List.length (det_fixture ~path:"lib/workloads/fixture.ml" src))
+
+(* ------------------------------------------------------------------ *)
+(* engine: deterministic output *)
+
+let test_diag_normalize_sorts_and_dedupes () =
+  let d file line col rule = Diag.at ~file ~line ~col ~rule ~hint:"h" "m" in
+  let shuffled =
+    [
+      d "b.ml" 3 0 "r1";
+      d "a.ml" 9 2 "r2";
+      d "a.ml" 9 2 "r2" (* exact duplicate *);
+      d "a.ml" 9 2 "r1";
+      d "a.ml" 1 5 "r9";
+    ]
+  in
+  let n = Diag.normalize shuffled in
+  Alcotest.(check int) "duplicates dropped" 4 (List.length n);
+  Alcotest.(check (list (triple int int string)))
+    "sorted by (file, line, col, rule)"
+    [ (1, 5, "r9"); (9, 2, "r1"); (9, 2, "r2"); (3, 0, "r1") ]
+    (List.map diag_triple n);
+  Alcotest.(check bool) "idempotent" true (Diag.normalize n = n)
+
+(* ------------------------------------------------------------------ *)
 (* engine: allowlist *)
 
 let test_allowlist_suppresses_and_counts () =
@@ -206,6 +340,30 @@ let test_probe_containment () =
   match p.Probe.diags with
   | [] -> ()
   | d :: _ -> Alcotest.failf "static graph must contain observed edges, first: %s" (Diag.to_string d)
+
+let test_flow_probe_containment () =
+  let r = Probe.run_flow () in
+  Alcotest.(check int) "all paired scenarios replayed" (List.length Flow_scenarios.all)
+    (List.length r.Probe.flow_scenarios);
+  match r.Probe.flow_diags with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "flow containment (static ⊇ dynamic) must hold, first: %s" (Diag.to_string d)
+
+(* The planted branch-only persist bug: the executed run takes the
+   healthy branch, so the sanitizer reports nothing — only the every-path
+   dataflow reaches the degraded branch's missing fence. *)
+let test_hidden_error_path_dynamic_miss_static_catch () =
+  let sc = Flow_scenarios.hidden_error_path in
+  Alcotest.(check int) "sanitizer sees a clean execution" 0
+    (List.length (Flow_scenarios.dynamic_errors sc));
+  match Flow_scenarios.static_diags sc with
+  | [] -> Alcotest.fail "flowcheck missed the planted branch-only bug"
+  | ds ->
+      List.iter
+        (fun (d : Diag.t) ->
+          Alcotest.(check string) "carried by the persist-order rule" "persist-order" d.Diag.rule)
+        ds
 
 (* ------------------------------------------------------------------ *)
 (* the planted ABBA the dynamic detector cannot see *)
@@ -288,10 +446,33 @@ let suite =
     Alcotest.test_case "lock-order: consistent order clean" `Quick
       test_lock_order_nested_one_way_is_clean;
     Alcotest.test_case "lock-order: self nest" `Quick test_lock_order_self_nest;
+    Alcotest.test_case "persist-order: dirty at commit" `Quick test_persist_order_dirty_at_commit;
+    Alcotest.test_case "persist-order: flush without fence" `Quick
+      test_persist_order_flush_without_fence;
+    Alcotest.test_case "persist-order: branch-only bug" `Quick test_persist_order_branch_only_bug;
+    Alcotest.test_case "persist-order: try handler escape" `Quick
+      test_persist_order_try_handler_escape;
+    Alcotest.test_case "persist-order: clean merge" `Quick test_persist_order_clean_merge;
+    Alcotest.test_case "persist-order: deferred NT batch" `Quick
+      test_persist_order_deferred_nt_batch;
+    Alcotest.test_case "determinism: wall clock" `Quick test_determinism_wall_clock;
+    Alcotest.test_case "determinism: hash-order traversal" `Quick
+      test_determinism_hash_order_flagged;
+    Alcotest.test_case "determinism: sorted traversal exempt" `Quick
+      test_determinism_sorted_traversal_exempt;
+    Alcotest.test_case "determinism: wildcard callback exempt" `Quick
+      test_determinism_wildcard_callback_exempt;
+    Alcotest.test_case "determinism: poly = scoped to hot paths" `Quick
+      test_determinism_poly_eq_hot_path_only;
+    Alcotest.test_case "engine: normalize sorts and dedupes" `Quick
+      test_diag_normalize_sorts_and_dedupes;
     Alcotest.test_case "engine: allowlist suppresses" `Quick test_allowlist_suppresses_and_counts;
     Alcotest.test_case "engine: parse error exit code" `Quick test_parse_error_exit_code;
     Alcotest.test_case "clean tree" `Quick test_clean_tree;
     Alcotest.test_case "probe containment" `Quick test_probe_containment;
+    Alcotest.test_case "flow probe containment" `Quick test_flow_probe_containment;
+    Alcotest.test_case "hidden error path: dynamic miss, static catch" `Quick
+      test_hidden_error_path_dynamic_miss_static_catch;
     Alcotest.test_case "planted ABBA: dynamic miss, static catch" `Quick
       test_planted_abba_dynamic_miss_static_catch;
   ]
