@@ -37,6 +37,8 @@
 open Cmdliner
 module Ace = Repro_crashcheck.Ace
 module Faultcheck = Repro_crashcheck.Faultcheck
+module Torturecheck = Repro_crashcheck.Torturecheck
+module Fsck_scenarios = Repro_fsck.Fsck_scenarios
 module Sanitize = Repro_crashcheck.Sanitize
 module Sanitizer = Sanitize.Sanitizer
 module Race = Repro_race.Race
@@ -393,6 +395,108 @@ let run_faultcheck seed seq torn_fences verbose =
     1
   end
 
+(* fsckcheck: the planted-corruption scenario suite for winefs_fsck —
+   each scenario damages an image in a precisely-known way, runs fsck
+   and demands the exact intended repair, convergence and a writable
+   remount.  Exit 0 clean, 1 on any misbehaving scenario. *)
+let run_fsckcheck format =
+  check_format format;
+  let outcomes = Fsck_scenarios.run () in
+  let bad = List.filter (fun o -> not o.Fsck_scenarios.ok) outcomes in
+  if format = "json" then
+    let open Repro_stats.Json in
+    print_endline
+      (to_string ~indent:true
+         (Obj
+            [
+              ("scenarios", Int (List.length outcomes));
+              ("failures", Int (List.length bad));
+              ( "outcomes",
+                List
+                  (List.map
+                     (fun (o : Fsck_scenarios.outcome) ->
+                       Obj
+                         [
+                           ("scenario", String o.s_name);
+                           ("ok", Bool o.ok);
+                           ("detail", String o.detail);
+                         ])
+                     outcomes) );
+            ]))
+  else begin
+    Printf.printf "pmcheck fsckcheck: %d planted-corruption scenarios\n%!"
+      (List.length outcomes);
+    List.iter
+      (fun (o : Fsck_scenarios.outcome) ->
+        Printf.printf "  %-18s %s  %s\n" o.s_name (if o.ok then "ok" else "FAIL") o.detail)
+      outcomes;
+    if bad = [] then print_endline "Every planted corruption was repaired as intended."
+  end;
+  if bad = [] then 0 else 1
+
+(* torturecheck: the seeded crash-fsck-remount campaign.  Exit 0 when
+   every iteration ends in a writable invariant-clean remount, 1
+   otherwise, 2 on usage errors. *)
+let run_torturecheck seed iterations fault_rate format verbose =
+  check_format format;
+  if iterations < 1 then begin
+    Printf.eprintf "--iterations must be positive (got %d)\n" iterations;
+    exit 2
+  end;
+  if fault_rate < 0.0 || fault_rate > 1.0 then begin
+    Printf.eprintf "--fault-rate must be in [0,1] (got %g)\n" fault_rate;
+    exit 2
+  end;
+  if format <> "json" then
+    Printf.printf "pmcheck torturecheck: %d crash+fsck+remount iterations (seed %d)\n%!"
+      iterations seed;
+  let r = Torturecheck.run ~seed ~iterations ~fault_rate () in
+  if format = "json" then
+    let open Repro_stats.Json in
+    print_endline
+      (to_string ~indent:true
+         (Obj
+            [
+              ("seed", Int r.Torturecheck.seed);
+              ("iterations", Int r.iterations);
+              ("workloads", Int r.workloads);
+              ("crashes", Int r.crashes);
+              ("faults_planted", Int r.faults_planted);
+              ("repairs", Int r.repairs);
+              ("orphans_reattached", Int r.orphans);
+              ( "failures",
+                List
+                  (List.map
+                     (fun (f : Torturecheck.failure) ->
+                       Obj
+                         [
+                           ("iteration", Int f.t_iter);
+                           ("workload", String f.t_workload);
+                           ("fence", Int f.t_fence);
+                           ("diagnosis", String f.t_diagnosis);
+                         ])
+                     r.failures) );
+            ]))
+  else begin
+    if verbose || r.failures <> [] then
+      List.iter
+        (fun (f : Torturecheck.failure) ->
+          Printf.printf "  FAILURE it %d %s fence %d: %s\n" f.t_iter f.t_workload f.t_fence
+            f.t_diagnosis)
+        r.failures;
+    Printf.printf
+      "torturecheck: %d iterations over %d workloads, %d crashes, %d faults planted, %d \
+       repairs, %d orphans reattached, %d failure(s) (seed %d)\n"
+      r.iterations r.workloads r.crashes r.faults_planted r.repairs r.orphans
+      (List.length r.failures) r.seed;
+    if r.failures = [] then
+      Printf.printf
+        "Every crash image repaired to a writable, invariant-clean mount (replay: --seed %d).\n"
+        r.seed
+    else Printf.printf "Unhealable crash images detected (replay: --seed %d).\n" r.seed
+  end;
+  if r.failures = [] then 0 else 1
+
 let lint_term =
   let seq = Arg.(value & opt int 0 & info [ "seq" ] ~doc:"ACE workload length (1-3; 0 = all)") in
   let strict =
@@ -450,6 +554,39 @@ let faultcheck_cmd =
        ~doc:"Media-fault campaign: verify faults are repaired or safely refused")
     Term.(const run_faultcheck $ seed $ seq $ torn_fences $ verbose)
 
+let fsckcheck_cmd =
+  let format =
+    Arg.(value & opt string "human" & info [ "format" ] ~doc:"Output format: human or json")
+  in
+  Cmd.v
+    (Cmd.info "fsckcheck"
+       ~doc:"Planted-corruption scenarios: fsck must repair each exactly as intended")
+    Term.(const run_fsckcheck $ format)
+
+let torturecheck_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed (printed in every report)")
+  in
+  let iterations =
+    Arg.(value & opt int 60 & info [ "iterations" ] ~doc:"Crash+fsck+remount iterations")
+  in
+  let fault_rate =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "fault-rate" ] ~doc:"Fraction of crash images that also get a media fault")
+  in
+  let format =
+    Arg.(value & opt string "human" & info [ "format" ] ~doc:"Output format: human or json")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every failure, even when clean")
+  in
+  Cmd.v
+    (Cmd.info "torturecheck"
+       ~doc:"Crash-fsck-remount torture campaign: every wreck must repair to writable")
+    Term.(const run_torturecheck $ seed $ iterations $ fault_rate $ format $ verbose)
+
 let roots_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"ROOT" ~doc:"Source roots (default lib bin)")
 
@@ -486,4 +623,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default:lint_term info
-          [ racecheck_cmd; faultcheck_cmd; srccheck_cmd; flowcheck_cmd ]))
+          [ racecheck_cmd; faultcheck_cmd; fsckcheck_cmd; torturecheck_cmd; srccheck_cmd;
+            flowcheck_cmd ]))

@@ -15,6 +15,7 @@ open Repro_util
 module Device = Repro_pmem.Device
 module Types = Repro_vfs.Types
 module Fs = Winefs.Fs
+module Fsck = Repro_fsck.Fsck
 
 let cpu () = Cpu.make ~id:0 ()
 
@@ -139,6 +140,40 @@ let df_cmd =
   Cmd.v (Cmd.info "df" ~doc:"Show space and hugepage-supply statistics")
     Term.(const run $ image_arg)
 
+let fsck_cmd =
+  let repair =
+    Arg.(value & flag & info [ "repair" ] ~doc:"Repair the image (and save it) instead of only checking")
+  in
+  let format =
+    Arg.(value & opt string "human" & info [ "format" ] ~doc:"Output format: human or json")
+  in
+  let run image repair format =
+    (match format with
+    | "human" | "json" -> ()
+    | f ->
+        Printf.eprintf "--format must be human or json (got %s)\n" f;
+        exit 2);
+    try
+      let dev = Device.load_file image in
+      let r = Fsck.run ~repair dev in
+      if repair then Device.save_file dev image;
+      if format = "json" then
+        print_endline (Repro_stats.Json.to_string ~indent:true (Fsck.to_json r))
+      else print_string (Fsck.to_string r);
+      if r.Fsck.clean then 0 else 1
+    with
+    | Types.Error (e, msg) ->
+        Printf.eprintf "error: %s: %s\n" (Types.errno_to_string e) msg;
+        1
+    | Sys_error m | Invalid_argument m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Offline multi-phase check (and with --repair, repair) of an unmounted image")
+    Term.(const run $ image_arg $ repair $ format)
+
 let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry snapshot as JSON")
@@ -149,6 +184,10 @@ let stats_cmd =
         Stats.reset ();
         Stats.set_enabled true;
         let dev = Device.load_file image in
+        (* A read-only fsck pass before mounting populates the fsck.*
+           counters (phase durations, repairs by category) alongside the
+           mount/walk metrics. *)
+        ignore (Fsck.run ~repair:false dev);
         let fs = Fs.mount dev (Types.config ()) in
         let c = cpu () in
         (* Walk the mounted tree read-only — stat directories, read every
@@ -182,4 +221,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ init_cmd; ls_cmd; mkdir_cmd; put_cmd; cat_cmd; rm_cmd; stat_cmd; df_cmd; stats_cmd ]))
+          [ init_cmd; ls_cmd; mkdir_cmd; put_cmd; cat_cmd; rm_cmd; stat_cmd; df_cmd; fsck_cmd;
+            stats_cmd ]))

@@ -346,6 +346,57 @@ let alloc ?contig_after t ~cpu ~len ~prefer_aligned =
     result
   end
 
+(* Offline occupancy computation (mount's free-list recompute and fsck's
+   extent cross-check): one tree per region, so free space never
+   coalesces across stripe boundaries the way a single shadow tree
+   would — restoring such a merged extent could place it in the wrong
+   pool. *)
+let free_lists_of_used ~regions ~used =
+  let n = Array.length regions in
+  let trees =
+    Array.map
+      (fun (off, len) ->
+        let tr = Extent_tree.create () in
+        Extent_tree.insert_free tr ~off ~len;
+        tr)
+      regions
+  in
+  let region_of off =
+    let rec find i =
+      if i >= n then None
+      else
+        let roff, rlen = regions.(i) in
+        if off >= roff && off < roff + rlen then Some i else find (i + 1)
+    in
+    find 0
+  in
+  let rec claim = function
+    | [] -> Ok ()
+    | (off, len) :: rest -> (
+        if len <= 0 then
+          Error (Printf.sprintf "extent [%d,%d): non-positive length" off (off + len))
+        else
+          match region_of off with
+          | None -> Error (Printf.sprintf "extent [%d,%d) outside every region" off (off + len))
+          | Some i ->
+              let roff, rlen = regions.(i) in
+              if off + len > roff + rlen then
+                Error (Printf.sprintf "extent [%d,%d) crosses region boundary" off (off + len))
+              else if not (Extent_tree.alloc_exact trees.(i) ~off ~len) then
+                Error (Printf.sprintf "extent [%d,%d) double-used" off (off + len))
+              else claim rest)
+  in
+  match claim used with
+  | Error _ as e -> e
+  | Ok () ->
+      let free = ref [] in
+      for i = n - 1 downto 0 do
+        let acc = ref [] in
+        Extent_tree.iter trees.(i) (fun ~off ~len -> acc := (off, len) :: !acc);
+        free := List.rev_append !acc !free
+      done;
+      Ok !free
+
 let snapshot t =
   let all = ref [] in
   Array.iter

@@ -106,6 +106,10 @@ module Inode = struct
   let extent_bytes = 24
   let extent_slot_off i = header_bytes + (i * extent_bytes)
 
+  (* Bit 62 of the stored length marks aligned-pool provenance (§3.4):
+     extents the rewriter/allocator must return to the 2MB-aligned pool. *)
+  let asrc_bit = 1 lsl 62
+
   let encode_extent ~file_off ~phys ~len =
     let b = Bytes.make extent_bytes '\000' in
     u64 b 0 file_off;
@@ -114,6 +118,8 @@ module Inode = struct
     b
 
   let decode_extent b = (g64 b 0, g64 b 8, g64 b 16)
+
+  let split_len_field lf = (lf land lnot asrc_bit, lf land asrc_bit <> 0)
 end
 
 module Dentry = struct

@@ -74,6 +74,12 @@ module Inode : sig
 
   val encode_extent : file_off:int -> phys:int -> len:int -> bytes
   val decode_extent : bytes -> int * int * int
+
+  val asrc_bit : int
+  (** Bit 62 of the stored length field marks aligned-pool provenance. *)
+
+  val split_len_field : int -> int * bool
+  (** Decode a raw length field into [(len, asrc)]. *)
 end
 
 module Dentry : sig

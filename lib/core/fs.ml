@@ -234,31 +234,25 @@ let mount dev cfg =
     end
   in
   (* Metadata-region blocks rebuild their own free list; data extents
-     rebuild the alignment-aware allocator. *)
-  let in_meta off = off >= layout.meta_pool_off && off < layout.meta_pool_off + layout.meta_pool_len in
+     rebuild the alignment-aware allocator (one tree per stripe, so free
+     space never coalesces across stripe boundaries). *)
+  let in_meta (off, len) = Layout.in_meta_pool layout ~off ~len in
   let meta_shadow = Extent_tree.create () in
   Extent_tree.insert_free meta_shadow ~off:layout.meta_pool_off ~len:layout.meta_pool_len;
   List.iter
     (fun (off, len) ->
-      if in_meta off then
+      if in_meta (off, len) then
         if not (Extent_tree.alloc_exact meta_shadow ~off ~len) then
           Types.err EINVAL "corrupt image: metadata block %d double-used" off)
     used;
   let free_list =
     match serial_ok with
     | Some l -> l
-    | None ->
-        let shadow = Extent_tree.create () in
-        Array.iter
-          (fun (off, len) -> Extent_tree.insert_free shadow ~off ~len)
-          layout.stripes;
-        List.iter
-          (fun (off, len) ->
-            if in_meta off then ()
-            else if not (Extent_tree.alloc_exact shadow ~off ~len) then
-              Types.err EINVAL "corrupt image: extent [%d,%d) double-used" off (off + len))
-          used;
-        Extent_tree.to_list shadow
+    | None -> (
+        let data_used = List.filter (fun e -> not (in_meta e)) used in
+        match Alloc.free_lists_of_used ~regions:layout.stripes ~used:data_used with
+        | Ok l -> l
+        | Error m -> Types.err EINVAL "corrupt image: %s" m)
   in
   let alloc = Alloc.restore ~cpus:sb.cpus ~regions:layout.stripes ~free:free_list in
   (* Layer assembly reuses the scanned inode layer. *)

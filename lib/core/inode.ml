@@ -95,10 +95,8 @@ let persist_size t cpu txn f =
   Txn.meta_write t.txns cpu txn ~addr:(addr + Codec.Inode.csum_off)
     (Bytes.sub hdr Codec.Inode.csum_off 8)
 
-let asrc_bit = 1 lsl 62
-
 let persist_slot t cpu txn f ~slot ~file_off ~phys ~len ~asrc =
-  let len_field = if asrc then len lor asrc_bit else len in
+  let len_field = if asrc then len lor Codec.Inode.asrc_bit else len in
   Txn.meta_write t.txns cpu txn ~addr:(slot_addr t f slot)
     (Codec.Inode.encode_extent ~file_off ~phys ~len:len_field)
 
@@ -220,8 +218,7 @@ let load_file t cpu ino (h : Codec.Inode.header) =
     let addr = slot_addr t f slot in
     Device.read t.dev cpu ~off:addr ~len:Codec.Inode.extent_bytes ~dst:buf ~dst_off:0;
     let file_off, phys, len_field = Codec.Inode.decode_extent buf in
-    let asrc = len_field land asrc_bit <> 0 in
-    let len = len_field land lnot asrc_bit in
+    let len, asrc = Codec.Inode.split_len_field len_field in
     if len > 0 then Int_map.insert f.records file_off { slot; phys; len; asrc }
     else f.free_slots <- slot :: f.free_slots
   done;

@@ -95,3 +95,8 @@ let max_ino t = t.cpus * t.inodes_per_cpu
 let inode_off t ino =
   let cpu = cpu_of_ino t ino and idx = idx_of_ino t ino in
   t.inode_table_off.(cpu) + (idx * inode_bytes)
+
+let in_meta_pool t ~off ~len =
+  len > 0 && off >= t.meta_pool_off && off + len <= t.meta_pool_off + t.meta_pool_len
+
+let in_data_area t ~off ~len = len > 0 && off >= t.data_off && off + len <= t.size

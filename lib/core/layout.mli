@@ -48,3 +48,9 @@ val ino_of : t -> cpu:int -> idx:int -> int
 val cpu_of_ino : t -> int -> int
 val idx_of_ino : t -> int -> int
 val max_ino : t -> int
+
+val in_meta_pool : t -> off:int -> len:int -> bool
+(** Does [off, off+len) lie entirely inside the metadata pool? *)
+
+val in_data_area : t -> off:int -> len:int -> bool
+(** Does [off, off+len) lie entirely inside the data area? *)

@@ -371,6 +371,15 @@ let invalidate_head_slot t cpu =
         ~src_off:0 ~len:entry_bytes;
       Device.persist t.dev cpu ~off:(slot_off t t.head) ~len:entry_bytes)
 
+(* Recovery rewinds the ring without scrubbing it, so the wrap epoch
+   must advance past every entry already on PM: the persisted tail may
+   trail the true crash position, and once fresh entries pave over the
+   early slots a later scan would otherwise walk off their end straight
+   into stale same-wrap entries — and mistake a stale START for a
+   pending transaction. *)
+let bump_epoch t =
+  t.wrap <- t.wrap + 1
+
 let rollback_pending t cpu (p : pending) =
   note t ~write:true ~site:"undo.rollback_pending";
   Device.with_site t.dev site_recovery (fun () ->
@@ -381,19 +390,70 @@ let rollback_pending t cpu (p : pending) =
         p.records);
   t.open_txn <- false;
   invalidate_head_slot t cpu;
+  bump_epoch t;
   write_header t cpu
 
 let reset t cpu =
   note t ~write:true ~site:"undo.reset";
   t.open_txn <- false;
   invalidate_head_slot t cpu;
+  bump_epoch t;
   write_header t cpu
+
+type entry = { e_slot : int; e_txn : int; e_kind : string; e_addr : int; e_len : int }
+
+(* Side-effect-free record iteration (fsck phase 2): walk the same live
+   window scan_pending honours — from the persisted tail, stopping at the
+   first stale/torn slot — handing every verified entry to [f] without
+   reading copy-area payloads or touching any PM state. *)
+let iter_live t cpu f =
+  note t ~write:false ~site:"undo.iter_live";
+  Device.with_site t.dev site_recovery @@ fun () ->
+  let buf = Bytes.create header_bytes in
+  Device.read t.dev cpu ~off:t.base ~len:header_bytes ~dst:buf ~dst_off:0;
+  let wrap = Int64.to_int (Bytes.get_int64_le buf 8) in
+  let tail = Int64.to_int (Bytes.get_int64_le buf 16) in
+  let i = ref tail and expected = ref wrap and scanned = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !scanned < t.slots do
+    (match parse_slot t cpu !i ~expected_wrap:!expected with
+    | None -> stop := true
+    | Some p ->
+        f
+          {
+            e_slot = !i;
+            e_txn = p.p_txn;
+            e_kind =
+              (match p.p_type with
+              | Start -> "START"
+              | Commit -> "COMMIT"
+              | Data_inline -> "UNDO-INLINE"
+              | Data_extent -> "UNDO-EXTENT");
+            e_addr = p.p_addr;
+            e_len = (match p.p_type with Data_inline -> String.length p.p_inline | _ -> p.p_len);
+          });
+    incr scanned;
+    incr i;
+    if !i >= t.slots then begin
+      i := 0;
+      incr expected
+    end
+  done
 
 module Recovery = struct
   type nonrec pending = pending = { txn_id : int; records : (int * string) list }
+
+  type nonrec entry = entry = {
+    e_slot : int;
+    e_txn : int;
+    e_kind : string;
+    e_addr : int;
+    e_len : int;
+  }
 
   let scan_pending = scan_pending
   let rollback_pending = rollback_pending
   let reset = reset
   let csum_failures t = t.csum_failures
+  let iter_live = iter_live
 end

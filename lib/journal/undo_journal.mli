@@ -92,4 +92,18 @@ module Recovery : sig
   (** Entries whose wraparound generation matched but whose CRC32C did
       not, observed by scans on this handle — each is a detected (and
       refused) journal corruption. *)
+
+  type entry = {
+    e_slot : int;
+    e_txn : int;
+    e_kind : string;  (** START, COMMIT, UNDO-INLINE or UNDO-EXTENT *)
+    e_addr : int;
+    e_len : int;
+  }
+
+  val iter_live : t -> Cpu.t -> (entry -> unit) -> unit
+  (** Record iteration without replay side effects (fsck): visit every
+      verified entry in the live window scan_pending would honour — from
+      the persisted tail to the first stale or torn slot — reading only
+      entry slots, writing nothing, rolling back nothing. *)
 end

@@ -10,7 +10,8 @@ let rules =
       target = "Undo_journal";
       allowed =
         [ "lib/journal/"; "lib/core/txn.ml"; "lib/core/txn.mli"; "lib/core/layout.ml";
-          "lib/baselines/basefs.ml"; "lib/baselines/basefs.mli"; "lib/race/scenarios.ml" ];
+          "lib/baselines/basefs.ml"; "lib/baselines/basefs.mli"; "lib/race/scenarios.ml";
+          "lib/fsck/" ];
       why = "undo journalling is a txn/layout-layer concern";
     };
     {
@@ -32,7 +33,9 @@ let rules =
     };
     {
       target = "Fault";
-      allowed = [ "lib/pmem/"; "lib/crashcheck/faultcheck.ml"; "lib/crashcheck/faultcheck.mli" ];
+      allowed =
+        [ "lib/pmem/"; "lib/crashcheck/faultcheck.ml"; "lib/crashcheck/faultcheck.mli";
+          "lib/crashcheck/torturecheck.ml"; "lib/crashcheck/torturecheck.mli" ];
       why = "media faults are injected only by the device layer and the faultcheck harness";
     };
     {

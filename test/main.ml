@@ -26,5 +26,6 @@ let () =
       ("sanitizer", Test_sanitizer.suite);
       ("race", Test_race.suite);
       ("faultcheck", Test_faultcheck.suite);
+      ("fsck", Test_fsck.suite);
       ("lint", Test_lint.suite);
     ]
