@@ -133,6 +133,69 @@ let substrate_tests () =
              Repro_journal.Undo_journal.log_range j cpu txn ~addr:Units.mib ~len:16;
              Repro_journal.Undo_journal.commit j cpu txn
            done));
+    (* Flat substrate vs the structures it replaced: same operation mix on
+       the open-addressing table and a stdlib Hashtbl, and on the
+       sorted-run extent index and the reference rbtree version. *)
+    Test.make ~name:"flat-table-churn-4k"
+      (Staged.stage (fun () ->
+           let t = Flat_table.create ~capacity:16 ~dummy:0 () in
+           for i = 1 to 4096 do
+             let k = i * 7919 mod 2048 in
+             Flat_table.set t k i;
+             if i land 3 = 0 then Flat_table.remove t ((k + 37) mod 2048);
+             ignore (Flat_table.get t ((k * 31) mod 2048) ~default:0)
+           done));
+    Test.make ~name:"hashtbl-churn-4k"
+      (Staged.stage (fun () ->
+           let t : (int, int) Hashtbl.t = Hashtbl.create 16 in
+           for i = 1 to 4096 do
+             let k = i * 7919 mod 2048 in
+             Hashtbl.replace t k i;
+             if i land 3 = 0 then Hashtbl.remove t ((k + 37) mod 2048);
+             ignore (Hashtbl.find_opt t ((k * 31) mod 2048))
+           done));
+    Test.make ~name:"flat-extent-mixed-512"
+      (Staged.stage (fun () ->
+           let t = Repro_rbtree.Extent_tree.create () in
+           Repro_rbtree.Extent_tree.insert_free t ~off:0 ~len:(64 * Units.mib);
+           for i = 1 to 512 do
+             match Repro_rbtree.Extent_tree.alloc_best_fit t ~len:(Units.base_page * (1 + (i mod 7))) with
+             | Some off when i land 3 = 0 ->
+                 Repro_rbtree.Extent_tree.insert_free t ~off
+                   ~len:(Units.base_page * (1 + (i mod 7)))
+             | _ -> ()
+           done));
+    Test.make ~name:"rbtree-extent-mixed-512"
+      (Staged.stage (fun () ->
+           let t = Repro_rbtree.Extent_tree_ref.create () in
+           Repro_rbtree.Extent_tree_ref.insert_free t ~off:0 ~len:(64 * Units.mib);
+           for i = 1 to 512 do
+             match
+               Repro_rbtree.Extent_tree_ref.alloc_best_fit t
+                 ~len:(Units.base_page * (1 + (i mod 7)))
+             with
+             | Some off when i land 3 = 0 ->
+                 Repro_rbtree.Extent_tree_ref.insert_free t ~off
+                   ~len:(Units.base_page * (1 + (i mod 7)))
+             | _ -> ()
+           done));
+    Test.make ~name:"device-fence-dirty-1k"
+      (Staged.stage (fun () ->
+           let dev =
+             Repro_pmem.Device.create ~cost:Repro_pmem.Device.Cost.free
+               ~size:(4 * Units.mib) ()
+           in
+           let cpu = Cpu.make ~id:0 () in
+           Repro_pmem.Device.set_tracking dev true;
+           let cl = Units.cacheline in
+           for i = 0 to 999 do
+             Repro_pmem.Device.write_string dev cpu ~off:(i * cl) "d"
+           done;
+           (* Many fences over a large pending set: O(flushed) sweeps. *)
+           for f = 0 to 9 do
+             Repro_pmem.Device.flush dev cpu ~off:(f * 16 * cl) ~len:(16 * cl);
+             Repro_pmem.Device.fence dev cpu
+           done));
     Test.make ~name:"lru-sets-access-4k"
       (Staged.stage (fun () ->
            let l = Repro_memsim.Lru_sets.create ~sets:16 ~ways:4 in

@@ -25,7 +25,7 @@ type pool = {
   stripe_off : int;
   stripe_len : int;
   aligned : int Queue.t; (* bases of free 2MB aligned extents *)
-  aligned_set : (int, unit) Hashtbl.t; (* mirror of [aligned] for O(1) overlap checks *)
+  aligned_set : unit Flat_table.t; (* mirror of [aligned] for O(1) overlap checks *)
   holes : Extent_tree.t;
 }
 
@@ -44,14 +44,14 @@ let note p ~write ~site =
 let aligned_push pool base =
   note pool ~write:true ~site:"aligned_alloc.push";
   Queue.add base pool.aligned;
-  Hashtbl.replace pool.aligned_set base ()
+  Flat_table.set pool.aligned_set base ()
 
 let aligned_pop pool =
   note pool ~write:true ~site:"aligned_alloc.pop";
   match Queue.take_opt pool.aligned with
   | None -> None
   | Some base ->
-      Hashtbl.remove pool.aligned_set base;
+      Flat_table.remove pool.aligned_set base;
       Some base
 
 type t = { pools : pool array }
@@ -114,7 +114,7 @@ let free t ~off ~len =
      to the tree — that double free would hand the same extent out twice. *)
   let base = ref (Units.round_down off huge) in
   while !base < off + len do
-    if Hashtbl.mem pool.aligned_set !base then
+    if Flat_table.mem pool.aligned_set !base then
       invalid_arg
         (Printf.sprintf
            "Aligned_alloc.free: double free — [%d,%d) overlaps free aligned extent [%d,%d)" off
@@ -135,7 +135,7 @@ let restore ~cpus ~regions ~free:free_list =
           stripe_off = off;
           stripe_len = len;
           aligned = Queue.create ();
-          aligned_set = Hashtbl.create 64;
+          aligned_set = Flat_table.create ~capacity:64 ~dummy:() ();
           holes = Extent_tree.create ();
         })
       regions
@@ -412,19 +412,19 @@ let check_invariants t =
     let shadow = Extent_tree.create () in
     Array.iteri
       (fun i p ->
-        if Queue.length p.aligned <> Hashtbl.length p.aligned_set then
+        if Queue.length p.aligned <> Flat_table.length p.aligned_set then
           raise
             (Bad
                (Printf.sprintf "cpu %d: aligned queue (%d) / set (%d) size mismatch" i
                   (Queue.length p.aligned)
-                  (Hashtbl.length p.aligned_set)));
+                  (Flat_table.length p.aligned_set)));
         Queue.iter
           (fun off ->
             if not (Units.is_aligned off huge) then
               raise (Bad (Printf.sprintf "cpu %d: unaligned extent %d in aligned pool" i off));
             if off < p.stripe_off || off + huge > p.stripe_off + p.stripe_len then
               raise (Bad (Printf.sprintf "cpu %d: aligned extent %d outside stripe" i off));
-            if not (Hashtbl.mem p.aligned_set off) then
+            if not (Flat_table.mem p.aligned_set off) then
               raise (Bad (Printf.sprintf "cpu %d: aligned extent %d missing from set" i off));
             Extent_tree.insert_free shadow ~off ~len:huge)
           p.aligned;

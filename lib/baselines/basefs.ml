@@ -65,7 +65,10 @@ type file = {
   mutable size : int;
   mutable nlink : int;
   bmap : Block_map.t;
-  unwritten : Extent_tree.t; (* fallocated-but-never-written file ranges *)
+  (* Fallocated-but-never-written file ranges.  Lazily allocated on the
+     first fallocate: the common create/write/unlink lifecycle never
+     fallocates, and the eager per-file tree was measurable in aging. *)
+  mutable unwritten : Extent_tree.t option;
   mutable dir : Dir_index.t option;
   lock : Sched.mutex;
   mutable dirty_bytes : int;
@@ -187,7 +190,7 @@ let format preset dev (cfg : Types.config) =
       size = 0;
       nlink = 2;
       bmap = Block_map.create ();
-      unwritten = Extent_tree.create ();
+      unwritten = None;
       dir = Some (Dir_index.create preset.dir_policy);
       lock = Sched.create_mutex ();
       dirty_bytes = 0;
@@ -229,7 +232,7 @@ let new_file t kind =
       size = 0;
       nlink = (if kind = Types.Directory then 2 else 1);
       bmap = Block_map.create ();
-      unwritten = Extent_tree.create ();
+      unwritten = None;
       dir = (if kind = Types.Directory then Some (Dir_index.create t.preset.dir_policy) else None);
       lock = Sched.create_mutex ();
       dirty_bytes = 0;
@@ -294,7 +297,17 @@ let ensure_backing t cpu f ~off ~len ~unwritten =
         List.iter
           (fun (e : Alloc.extent) ->
             Block_map.insert f.bmap ~file_off:!fo ~phys:e.off ~len:e.len;
-            if unwritten then Extent_tree.insert_free f.unwritten ~off:!fo ~len:e.len
+            if unwritten then begin
+              let tr =
+                match f.unwritten with
+                | Some tr -> tr
+                | None ->
+                    let tr = Extent_tree.create () in
+                    f.unwritten <- Some tr;
+                    tr
+              in
+              Extent_tree.insert_free tr ~off:!fo ~len:e.len
+            end
             else if t.preset.zero_on_fallocate then
               Device.with_site t.dev site_zero (fun () ->
                   Device.memset_nt t.dev cpu ~off:e.off ~len:e.len '\000';
@@ -309,13 +322,16 @@ let ensure_backing t cpu f ~off ~len ~unwritten =
 (* Clear the unwritten flag over a range, zeroing the partial edges the
    write will not cover (ext4 semantics). *)
 let mark_written t cpu f ~off ~len =
+  match f.unwritten with
+  | None -> () (* the file never fallocated: nothing can be unwritten *)
+  | Some unwritten ->
   let lo = Units.round_down off block and hi = Units.round_up (off + len) block in
   let cur = ref lo in
   while !cur < hi do
-    match Extent_tree.extent_at f.unwritten ~off:!cur with
+    match Extent_tree.extent_at unwritten ~off:!cur with
     | Some (u_off, u_len) ->
         let clear_lo = max u_off lo and clear_hi = min (u_off + u_len) hi in
-        ignore (Extent_tree.alloc_exact f.unwritten ~off:clear_lo ~len:(clear_hi - clear_lo));
+        ignore (Extent_tree.alloc_exact unwritten ~off:clear_lo ~len:(clear_hi - clear_lo));
         (* Zero the block-aligned edges outside the written range. *)
         let zero_edge file_lo file_hi =
           if file_hi > file_lo then
@@ -330,7 +346,7 @@ let mark_written t cpu f ~off ~len =
         if clear_hi > off + len then zero_edge (max (off + len) clear_lo) clear_hi;
         cur := clear_hi
     | None -> (
-        match Extent_tree.to_list f.unwritten with
+        match Extent_tree.to_list unwritten with
         | [] -> cur := hi
         | _ ->
             (* Jump to the next unwritten range inside [cur, hi). *)
@@ -338,7 +354,7 @@ let mark_written t cpu f ~off ~len =
               List.fold_left
                 (fun acc (o, _) -> if o > !cur && o < acc then o else acc)
                 hi
-                (Extent_tree.to_list f.unwritten)
+                (Extent_tree.to_list unwritten)
             in
             cur := next)
   done
@@ -498,13 +514,14 @@ let file_size t fd = (find_file t (Fd_table.get t.fds fd).ino).size
 (* ------------------------------------------------------------------ *)
 (* Data path: in-place, durable at fsync (metadata-consistency class)  *)
 
-let pwrite t cpu fd ~off ~src =
+let pwrite_sub t cpu fd ~off ~src ~src_off ~len =
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
   let f = find_file t e.ino in
   if f.kind = Types.Directory then Types.err EISDIR "fd %d" fd;
-  let len = String.length src in
+  if src_off < 0 || len < 0 || src_off + len > String.length src then
+    Types.err EINVAL "pwrite_sub outside src bounds";
   if len = 0 then 0
   else begin
     if off < 0 then Types.err EINVAL "negative offset";
@@ -512,15 +529,16 @@ let pwrite t cpu fd ~off ~src =
         ensure_backing t cpu f ~off ~len ~unwritten:false;
         mark_written t cpu f ~off ~len;
         let src_b = Bytes.unsafe_of_string src in
-        let cur = ref off in
-        while !cur < off + len do
-          let phys, run = Option.get (Block_map.lookup f.bmap ~file_off:!cur) in
-          let n = min (off + len - !cur) run in
-          Device.with_site t.dev site_data (fun () ->
-              Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n);
-          f.dirty_bytes <- f.dirty_bytes + n;
-          cur := !cur + n
-        done;
+        Device.with_site t.dev site_data (fun () ->
+            let cur = ref off in
+            while !cur < off + len do
+              let phys, run = Option.get (Block_map.lookup f.bmap ~file_off:!cur) in
+              let n = min (off + len - !cur) run in
+              Device.write_nt t.dev cpu ~off:phys ~src:src_b
+                ~src_off:(src_off + (!cur - off)) ~len:n;
+              f.dirty_bytes <- f.dirty_bytes + n;
+              cur := !cur + n
+            done);
         if off + len > f.size then begin
           f.size <- off + len;
           meta_buffered t cpu ~addr:f.meta_addr ~bytes:32
@@ -528,6 +546,9 @@ let pwrite t cpu fd ~off ~src =
     Counters.add t.counters "fs.write_bytes" len;
     len
   end
+
+let pwrite t cpu fd ~off ~src =
+  pwrite_sub t cpu fd ~off ~src ~src_off:0 ~len:(String.length src)
 
 let append t cpu fd ~src =
   let f = find_file t (Fd_table.get t.fds fd).ino in
@@ -607,12 +628,15 @@ let ftruncate t cpu fd new_size =
 
 let fault_zero t cpu f ~file_off ~phys ~len =
   (* ext4-class zeroing on first fault into an unwritten extent. *)
-  if Extent_tree.extent_at f.unwritten ~off:file_off <> None then begin
-    ignore (Extent_tree.alloc_exact f.unwritten ~off:file_off ~len);
-    Device.with_site t.dev site_fault (fun () ->
-        Device.memset_nt t.dev cpu ~off:phys ~len '\000';
-        Device.fence t.dev cpu)
-  end
+  match f.unwritten with
+  | None -> ()
+  | Some unwritten ->
+      if Extent_tree.extent_at unwritten ~off:file_off <> None then begin
+        ignore (Extent_tree.alloc_exact unwritten ~off:file_off ~len);
+        Device.with_site t.dev site_fault (fun () ->
+            Device.memset_nt t.dev cpu ~off:phys ~len '\000';
+            Device.fence t.dev cpu)
+      end
 
 let mmap_backing t fd : Vmem.backing =
   let ino = (Fd_table.get t.fds fd).ino in

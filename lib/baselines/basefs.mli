@@ -42,8 +42,9 @@ type file = {
   mutable size : int;
   mutable nlink : int;
   bmap : Repro_vfs.Block_map.t;
-  unwritten : Repro_rbtree.Extent_tree.t;
-      (** fallocated-but-never-written file ranges *)
+  mutable unwritten : Repro_rbtree.Extent_tree.t option;
+      (** fallocated-but-never-written file ranges; [None] until the
+          first fallocate (most files never fallocate) *)
   mutable dir : Repro_vfs.Dir_index.t option;
   lock : Repro_sched.Sched.mutex;
   mutable dirty_bytes : int;
@@ -105,6 +106,7 @@ val readdir : t -> Cpu.t -> string -> string list
 val stat : t -> Cpu.t -> string -> Repro_vfs.Types.stat
 val exists : t -> Cpu.t -> string -> bool
 val pwrite : t -> Cpu.t -> int -> off:int -> src:string -> int
+val pwrite_sub : t -> Cpu.t -> int -> off:int -> src:string -> src_off:int -> len:int -> int
 val pread : t -> Cpu.t -> int -> off:int -> len:int -> string
 val append : t -> Cpu.t -> int -> src:string -> int
 val fsync : t -> Cpu.t -> int -> unit

@@ -43,6 +43,7 @@ let readdir = Basefs.readdir
 let stat = Basefs.stat
 let exists = Basefs.exists
 let pwrite = Basefs.pwrite
+let pwrite_sub = Basefs.pwrite_sub
 let pread = Basefs.pread
 let append = Basefs.append
 let fsync = Basefs.fsync

@@ -478,7 +478,7 @@ let strict t = t.cfg.mode = Types.Strict
    tail blocks are copied into the fresh blocks before overlaying new
    data — the write amplification the paper observes on WiredTiger
    appends (§5.5). *)
-let write_cow t cpu f ~off ~src ~len =
+let write_cow t cpu f ~off ~src ~src_off ~len =
   let blo = Units.round_down off block and bhi = Units.round_up (off + len) block in
   let cow_len = bhi - blo in
   let exts = allocate t cpu ~len:cow_len in
@@ -510,7 +510,7 @@ let write_cow t cpu f ~off ~src ~len =
           preserve (max ov_hi !pf) (!pf + e.len);
           if ov_hi > ov_lo then
             Device.write_nt t.dev cpu ~off:(e.off + (ov_lo - !pf)) ~src:src_b
-              ~src_off:(ov_lo - off) ~len:(ov_hi - ov_lo);
+              ~src_off:(src_off + (ov_lo - off)) ~len:(ov_hi - ov_lo);
           Device.fence t.dev cpu);
       pf := !pf + e.len)
     exts;
@@ -528,36 +528,41 @@ let write_cow t cpu f ~off ~src ~len =
   maybe_gc t cpu f;
   List.iter (fun (o, l) -> Alloc.free t.alloc ~off:o ~len:l) freed
 
-let pwrite t cpu fd ~off ~src =
+let pwrite_sub t cpu fd ~off ~src ~src_off ~len =
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
   let f = find_file t e.ino in
   if f.kind = Types.Directory then Types.err EISDIR "fd %d" fd;
-  let len = String.length src in
+  if src_off < 0 || len < 0 || src_off + len > String.length src then
+    Types.err EINVAL "pwrite_sub outside src bounds";
   if len = 0 then 0
   else begin
     if off < 0 then Types.err EINVAL "negative offset";
     Sched.with_lock f.lock (fun () ->
-        if strict t then write_cow t cpu f ~off ~src ~len
+        if strict t then write_cow t cpu f ~off ~src ~src_off ~len
         else begin
           ensure_backing t cpu f ~off ~len ~zero:false;
           let src_b = Bytes.unsafe_of_string src in
-          let cur = ref off in
-          while !cur < off + len do
-            let phys, run = Option.get (Block_map.lookup f.bmap ~file_off:!cur) in
-            let n = min (off + len - !cur) run in
-            Device.with_site t.dev site_data (fun () ->
-                Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n);
-            f.dirty_bytes <- f.dirty_bytes + n;
-            cur := !cur + n
-          done;
+          Device.with_site t.dev site_data (fun () ->
+              let cur = ref off in
+              while !cur < off + len do
+                let phys, run = Option.get (Block_map.lookup f.bmap ~file_off:!cur) in
+                let n = min (off + len - !cur) run in
+                Device.write_nt t.dev cpu ~off:phys ~src:src_b
+                  ~src_off:(src_off + (!cur - off)) ~len:n;
+                f.dirty_bytes <- f.dirty_bytes + n;
+                cur := !cur + n
+              done);
           log_append t cpu f
         end;
         if off + len > f.size then f.size <- off + len);
     Counters.add t.counters "fs.write_bytes" len;
     len
   end
+
+let pwrite t cpu fd ~off ~src =
+  pwrite_sub t cpu fd ~off ~src ~src_off:0 ~len:(String.length src)
 
 let append t cpu fd ~src =
   let f = find_file t (Fd_table.get t.fds fd).ino in

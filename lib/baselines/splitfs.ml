@@ -100,11 +100,12 @@ let stat t cpu path =
 
 (* Overwrites within the committed size bypass the kernel entirely (mmap
    path: no syscall charge).  Writes past EOF are staged appends. *)
-let pwrite t cpu fd ~off ~src =
+let pwrite_sub t cpu fd ~off ~src ~src_off ~len =
   let e = Fd_table.get t.inner.Basefs.fds fd in
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
   let f = Basefs.find_file t.inner e.ino in
-  let len = String.length src in
+  if src_off < 0 || len < 0 || src_off + len > String.length src then
+    Types.err EINVAL "pwrite_sub outside src bounds";
   if len = 0 then 0
   else if off + len <= f.Basefs.size && Block_map.covered f.Basefs.bmap ~file_off:off ~len
   then begin
@@ -115,7 +116,8 @@ let pwrite t cpu fd ~off ~src =
         while !cur < off + len do
           let phys, run = Option.get (Block_map.lookup f.Basefs.bmap ~file_off:!cur) in
           let n = min (off + len - !cur) run in
-          Device.write_nt (dev_of t) cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+          Device.write_nt (dev_of t) cpu ~off:phys ~src:src_b
+            ~src_off:(src_off + (!cur - off)) ~len:n;
           cur := !cur + n
         done;
         Device.fence (dev_of t) cpu);
@@ -137,7 +139,8 @@ let pwrite t cpu fd ~off ~src =
           (fun (ext : Alloc.extent) ->
             let n = min ext.len (len - !written) in
             if n > 0 then
-              Device.write_nt (dev_of t) cpu ~off:ext.off ~src:src_b ~src_off:!written ~len:n;
+              Device.write_nt (dev_of t) cpu ~off:ext.off ~src:src_b
+                ~src_off:(src_off + !written) ~len:n;
             (* Staged map may overlap an earlier staged write; replace. *)
             let _ = Block_map.remove_range s.smap ~file_off:!fo ~len:ext.len in
             Block_map.insert s.smap ~file_off:!fo ~phys:ext.off ~len:ext.len;
@@ -150,6 +153,8 @@ let pwrite t cpu fd ~off ~src =
     len
   end
 
+let pwrite t cpu fd ~off ~src =
+  pwrite_sub t cpu fd ~off ~src ~src_off:0 ~len:(String.length src)
 
 let append t cpu fd ~src = pwrite t cpu fd ~off:(file_size t fd) ~src
 

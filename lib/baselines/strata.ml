@@ -422,13 +422,14 @@ let file_size t fd =
 (* ------------------------------------------------------------------ *)
 (* Data: log-append writes, digestion on pressure                      *)
 
-let pwrite t cpu fd ~off ~src =
+let pwrite_sub t cpu fd ~off ~src ~src_off ~len =
   Cost.charge_syscall cpu;
   let e = Fd_table.get t.fds fd in
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
   let f = find_file t e.ino in
   if f.kind = Types.Directory then Types.err EISDIR "fd %d" fd;
-  let len = String.length src in
+  if src_off < 0 || len < 0 || src_off + len > String.length src then
+    Types.err EINVAL "pwrite_sub outside src bounds";
   if len = 0 then 0
   else begin
     let lg = log_of t cpu in
@@ -441,8 +442,8 @@ let pwrite t cpu fd ~off ~src =
       if lg.head + n + 64 > lg.size then digest t cpu lg;
       let phys = lg.base + lg.head in
       Device.with_site t.dev site_data (fun () ->
-          Device.write_nt t.dev cpu ~off:phys ~src:(Bytes.unsafe_of_string src) ~src_off:!cur
-            ~len:n;
+          Device.write_nt t.dev cpu ~off:phys ~src:(Bytes.unsafe_of_string src)
+            ~src_off:(src_off + !cur) ~len:n;
           Device.fence t.dev cpu);
       lg.head <- lg.head + Units.round_up n 64;
       lg.entries <-
@@ -453,6 +454,9 @@ let pwrite t cpu fd ~off ~src =
     Counters.add t.counters "fs.write_bytes" len;
     len
   end
+
+let pwrite t cpu fd ~off ~src =
+  pwrite_sub t cpu fd ~off ~src ~src_off:0 ~len:(String.length src)
 
 let append t cpu fd ~src = pwrite t cpu fd ~off:(file_size t fd) ~src
 

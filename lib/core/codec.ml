@@ -119,6 +119,11 @@ module Inode = struct
 
   let decode_extent b = (g64 b 0, g64 b 8, g64 b 16)
 
+  (* Decode straight out of a bulk-read buffer: the mount-time slot walk
+     reads whole slot regions in one device access and decodes records in
+     place, with no per-record [Bytes.sub]. *)
+  let decode_extent_at b off = (g64 b off, g64 b (off + 8), g64 b (off + 16))
+
   let split_len_field lf = (lf land lnot asrc_bit, lf land asrc_bit <> 0)
 end
 
@@ -141,6 +146,14 @@ module Dentry = struct
     else
       let n = Char.code (Bytes.get b 8) in
       Some { ino; name = Bytes.sub_string b 16 n }
+
+  (* In-place variant for bulk-read directory extents. *)
+  let decode_at b off =
+    let ino = g64 b off in
+    if ino = 0 then None
+    else
+      let n = Char.code (Bytes.get b (off + 8)) in
+      Some { ino; name = Bytes.sub_string b (off + 16) n }
 
   let free_slot = Bytes.make dentry_bytes '\000'
 end

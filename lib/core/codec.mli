@@ -75,6 +75,10 @@ module Inode : sig
   val encode_extent : file_off:int -> phys:int -> len:int -> bytes
   val decode_extent : bytes -> int * int * int
 
+  val decode_extent_at : bytes -> int -> int * int * int
+  (** Decode the record at a byte offset of a bulk-read buffer (no
+      per-record allocation). *)
+
   val asrc_bit : int
   (** Bit 62 of the stored length field marks aligned-pool provenance. *)
 
@@ -90,6 +94,9 @@ module Dentry : sig
 
   val decode : bytes -> t option
   (** [None] for a free slot (ino = 0). *)
+
+  val decode_at : bytes -> int -> t option
+  (** {!decode} at a byte offset of a bulk-read buffer. *)
 
   val free_slot : bytes
 end

@@ -259,8 +259,9 @@ let zero_uncovered t cpu f holes ~off ~len =
       if h_hi > off + len then zero_range (max (off + len) h_lo) h_hi)
     holes
 
-let pwrite t cpu (f : Inode.file) ~off ~src =
-  let len = String.length src in
+let pwrite t cpu (f : Inode.file) ~off ~src ~src_off ~len =
+  if src_off < 0 || len < 0 || src_off + len > String.length src then
+    Types.err EINVAL "pwrite outside src bounds";
   if len = 0 then 0
   else begin
     if off < 0 then Types.err EINVAL "negative offset";
@@ -277,7 +278,8 @@ let pwrite t cpu (f : Inode.file) ~off ~src =
           while !cur < off + len do
             let phys, run = Option.get (lookup_run f ~file_off:!cur) in
             let n = min (off + len - !cur) run in
-            Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+            Device.write_nt t.dev cpu ~off:phys ~src:src_b
+              ~src_off:(src_off + (!cur - off)) ~len:n;
             cur := !cur + n
           done;
           if off + len > ext_lo then
@@ -293,7 +295,7 @@ let pwrite t cpu (f : Inode.file) ~off ~src =
               zero_uncovered t cpu f pre_holes ~off ~len;
               if overlap_hi > off then
                 freed :=
-                  overwrite_in_txn t cpu txn f ~off ~src:src_b ~src_off:0
+                  overwrite_in_txn t cpu txn f ~off ~src:src_b ~src_off
                     ~len:(overlap_hi - off);
               write_extension ();
               if off + len > f.size then begin
@@ -316,8 +318,8 @@ let pwrite t cpu (f : Inode.file) ~off ~src =
                     while !cur < overlap_hi do
                       let phys, run = Option.get (lookup_run f ~file_off:!cur) in
                       let n = min (overlap_hi - !cur) run in
-                      Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off)
-                        ~len:n;
+                      Device.write_nt t.dev cpu ~off:phys ~src:src_b
+                        ~src_off:(src_off + (!cur - off)) ~len:n;
                       f.dirty_bytes <- f.dirty_bytes + n;
                       cur := !cur + n
                     done);
@@ -341,7 +343,7 @@ let pwrite t cpu (f : Inode.file) ~off ~src =
               Txn.with_txn t.txns cpu ~reserve:200 (fun txn ->
                   freed :=
                     overwrite_in_txn t cpu txn f ~off:!cur ~src:src_b
-                      ~src_off:(!cur - off) ~len:piece);
+                      ~src_off:(src_off + (!cur - off)) ~len:piece);
               List.iter (fun (o, l) -> Alloc.free t.alloc ~off:o ~len:l) !freed;
               cur := !cur + piece
             done
@@ -353,7 +355,8 @@ let pwrite t cpu (f : Inode.file) ~off ~src =
                 while !cur < overlap_hi do
                   let phys, run = Option.get (lookup_run f ~file_off:!cur) in
                   let n = min (overlap_hi - !cur) run in
-                  Device.write_nt t.dev cpu ~off:phys ~src:src_b ~src_off:(!cur - off) ~len:n;
+                  Device.write_nt t.dev cpu ~off:phys ~src:src_b
+                    ~src_off:(src_off + (!cur - off)) ~len:n;
                   f.dirty_bytes <- f.dirty_bytes + n;
                   cur := !cur + n
                 done);

@@ -38,7 +38,7 @@ val ensure_backing_batched :
 (** Backing for every hole intersecting [off, off+len), block-granular,
     one bounded journal transaction per ~48MB segment. *)
 
-val pwrite : t -> Cpu.t -> Inode.file -> off:int -> src:string -> int
+val pwrite : t -> Cpu.t -> Inode.file -> off:int -> src:string -> src_off:int -> len:int -> int
 val pread : t -> Cpu.t -> Inode.file -> off:int -> len:int -> string
 val fsync : t -> Cpu.t -> Inode.file -> unit
 (** Strict mode is synchronous: nothing to do.  Relaxed mode flushes the

@@ -398,7 +398,7 @@ let file_size t fd =
 (* ------------------------------------------------------------------ *)
 (* Data operations                                                     *)
 
-let pwrite t cpu fd ~off ~src =
+let pwrite_sub t cpu fd ~off ~src ~src_off ~len =
   Stats.span ~op:"pwrite" cpu @@ fun () ->
   Cost.charge_syscall cpu;
   require_writable t;
@@ -406,7 +406,10 @@ let pwrite t cpu fd ~off ~src =
   if not e.flags.wr then Types.err EBADF "fd %d not writable" fd;
   let f = Inode.find t.inodes e.ino in
   if Types.is_dir f.kind then Types.err EISDIR "fd %d" fd;
-  Datapath.pwrite t.data cpu f ~off ~src
+  Datapath.pwrite t.data cpu f ~off ~src ~src_off ~len
+
+let pwrite t cpu fd ~off ~src =
+  pwrite_sub t cpu fd ~off ~src ~src_off:0 ~len:(String.length src)
 
 let append t cpu fd ~src =
   let e = Fd_table.get t.fds fd in

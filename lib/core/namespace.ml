@@ -232,14 +232,22 @@ let readdir t cpu path =
 let load_dir_index t cpu (f : Inode.file) =
   let idx = Option.get f.dir in
   let free = ref [] in
-  let buf = Bytes.create Codec.dentry_bytes in
+  (* One bulk read per directory extent, decoded slot by slot in place —
+     dentries are contiguous within an extent, so the per-dentry 64B
+     device reads collapse into one access per extent. *)
   Int_map.iter f.records (fun file_off (r : Inode.record) ->
       let slots = r.len / Codec.dentry_bytes in
-      for i = 0 to slots - 1 do
-        if file_off + (i * Codec.dentry_bytes) < f.size then begin
+      let live =
+        if f.size <= file_off then 0
+        else min slots ((f.size - file_off + Codec.dentry_bytes - 1) / Codec.dentry_bytes)
+      in
+      if live > 0 then begin
+        let buf = Bytes.create (live * Codec.dentry_bytes) in
+        Device.read t.dev cpu ~off:r.phys ~len:(live * Codec.dentry_bytes) ~dst:buf
+          ~dst_off:0;
+        for i = 0 to live - 1 do
           let phys = r.phys + (i * Codec.dentry_bytes) in
-          Device.read t.dev cpu ~off:phys ~len:Codec.dentry_bytes ~dst:buf ~dst_off:0;
-          match Codec.Dentry.decode buf with
+          match Codec.Dentry.decode_at buf (i * Codec.dentry_bytes) with
           | Some d ->
               Dir_index.add idx cpu ~name:d.name ~ino:d.ino ~slot:phys;
               (match Inode.find_opt t.inodes d.ino with
@@ -248,8 +256,8 @@ let load_dir_index t cpu (f : Inode.file) =
                   child.dname <- d.name
               | None -> ())
           | None -> free := phys :: !free
-        end
-      done);
+        done
+      end);
   f.free_dentries <- !free
 
 (* ------------------------------------------------------------------ *)

@@ -48,7 +48,7 @@ let record_csum header data =
   let acc = Crc32c.update Crc32c.init header ~off:0 ~len:rec_header_bytes in
   let acc =
     if String.length data = 0 then acc
-    else Crc32c.update acc (Bytes.of_string data) ~off:0 ~len:(String.length data)
+    else Crc32c.update_string acc data ~off:0 ~len:(String.length data)
   in
   Crc32c.finish acc
 

@@ -20,18 +20,23 @@
      callbacks [(fun _ v -> ...)] — the convention for commutative
      per-value effects (resetting counters, closing descriptors).
 
-   Additionally, inside the hot-path scope [lib/core/]/[lib/rbtree/],
-   polymorphic [=]/[<>] against a variant constructor and the bare
-   polymorphic [compare] are flagged: they cost an indirect call per
-   node on the extent-map paths and silently compare abstract
-   representations (ROADMAP item 2's perf direction). *)
+   Additionally, inside the hot-path scope [lib/core/]/[lib/rbtree/]/
+   [lib/util/], polymorphic [=]/[<>] against a variant constructor and
+   the bare polymorphic [compare] are flagged: they cost an indirect
+   call per node on the extent-map paths and silently compare abstract
+   representations (ROADMAP item 2's perf direction).  [lib/util/] is in
+   scope because the flat substrate (Flat_table/Flat_vec) lives there:
+   its probe sequences must come from explicit int hashing
+   (multiplicative mixing), never the runtime's polymorphic hash, and
+   its comparisons from monomorphic [Int.compare]. *)
 
 let rule = "determinism"
 let low = String.lowercase_ascii
 
 let starts p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
 let in_scope (f : Source.file) = f.kind = Source.Impl
-let poly_scope path = starts "lib/core/" path || starts "lib/rbtree/" path
+let poly_scope path =
+  starts "lib/core/" path || starts "lib/rbtree/" path || starts "lib/util/" path
 
 let wall_clock comps =
   match List.rev comps with

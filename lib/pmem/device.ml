@@ -42,6 +42,10 @@ end
 
 type pending = { old_bytes : bytes; mutable flushed : bool }
 
+(* Shared placeholder for empty Flat_table slots; never returned from a
+   live binding and never mutated. *)
+let no_pending = { old_bytes = Bytes.empty; flushed = false }
+
 (* Media faults (simulated MCE): a poisoned line delivers an uncorrectable
    error to any load touching it, the way a real Optane DIMM surfaces bit
    rot the ECC cannot repair. *)
@@ -91,6 +95,23 @@ type event =
 type hook = Cpu.t option -> Site.t -> event -> unit
 type hook_id = int
 
+(* Global stats registry wiring: when {!Repro_stats.Stats.enabled}, every
+   store/flush/fence is also counted per ambient {!Site} label.  Resolving
+   an instrument by (name, labels) renders strings per call, so the device
+   memoizes the counter cells per physically-distinct site, revalidating
+   against the registry generation (a {!Stats.reset} drops every
+   instrument, stranding cached cells). *)
+module Stats = Repro_stats.Stats
+
+type site_cells = {
+  sc_site : Site.t; (* cache key: physical identity *)
+  mutable sc_store : Stats.Counter.t option;
+  mutable sc_nt_store : Stats.Counter.t option;
+  mutable sc_load : Stats.Counter.t option;
+  mutable sc_flush_lines : Stats.Counter.t option;
+  mutable sc_fences : Stats.Counter.t option;
+}
+
 type t = {
   data : bytes;
   size : int;
@@ -98,16 +119,29 @@ type t = {
   numa_nodes : int;
   node_stripe : int;
   counters : Counters.t;
+  (* Pre-resolved device counter cells: the per-access string lookups of
+     Counters.add were measurable on the datapath. *)
+  c_bytes_read : int ref;
+  c_bytes_written : int ref;
+  c_flushes : int ref;
+  c_fences : int ref;
   mutable tracking : bool;
-  pending : (int, pending) Hashtbl.t; (* cache-line index -> undo info *)
+  pending : pending Flat_table.t; (* cache-line index -> undo info *)
+  flushed_lines : Flat_vec.t;
+      (* line indices whose pending entry transitioned to flushed since
+         the last fence: the fence sweep visits exactly these instead of
+         filtering every pending line *)
+  mutable fence_sweep_visits : int; (* cumulative; observable for tests *)
   mutable fence_seq : int;
   mutable fence_hook : (int -> unit) option;
   mutable site : Site.t;
   mutable hooks : (hook_id * hook) list; (* installation order *)
   mutable next_hook_id : int;
   mutable legacy_hook : hook_id option; (* the set_event_hook slot *)
-  poisoned : (int, unit) Hashtbl.t; (* cache-line index -> MCE on load *)
-  torn : (int, unit) Hashtbl.t; (* 8-aligned offsets that tear at crash *)
+  poisoned : unit Flat_table.t; (* cache-line index -> MCE on load *)
+  torn : unit Flat_table.t; (* 8-aligned offsets that tear at crash *)
+  mutable stat_gen : int;
+  mutable stat_cells : site_cells list;
 }
 
 let cl = Units.cacheline
@@ -116,23 +150,32 @@ let create ?(cost = Cost.optane) ?(numa_nodes = 1) ~size () =
   if size <= 0 then invalid_arg "Device.create: non-positive size";
   if numa_nodes <= 0 then invalid_arg "Device.create: non-positive numa_nodes";
   let size = Units.round_up size cl in
+  let counters = Counters.create () in
   {
     data = Bytes.make size '\000';
     size;
     cost;
     numa_nodes;
     node_stripe = Units.round_up (size / numa_nodes) cl;
-    counters = Counters.create ();
+    counters;
+    c_bytes_read = Counters.cell counters "pm.bytes_read";
+    c_bytes_written = Counters.cell counters "pm.bytes_written";
+    c_flushes = Counters.cell counters "pm.flushes";
+    c_fences = Counters.cell counters "pm.fences";
     tracking = false;
-    pending = Hashtbl.create 64;
+    pending = Flat_table.create ~capacity:64 ~dummy:no_pending ();
+    flushed_lines = Flat_vec.create ~capacity:64 ();
+    fence_sweep_visits = 0;
     fence_seq = 0;
     fence_hook = None;
     site = Site.unknown;
     hooks = [];
     next_hook_id = 0;
     legacy_hook = None;
-    poisoned = Hashtbl.create 4;
-    torn = Hashtbl.create 4;
+    poisoned = Flat_table.create ~capacity:8 ~dummy:() ();
+    torn = Flat_table.create ~capacity:8 ~dummy:() ();
+    stat_gen = -1;
+    stat_cells = [];
   }
 
 let size t = t.size
@@ -151,16 +194,13 @@ let check_range t off len =
       (Printf.sprintf "Device: range [%d,%d) out of bounds (size %d)" off (off + len)
          t.size)
 
-let lines_touched off len =
-  if len = 0 then (0, -1) else (off / cl, (off + len - 1) / cl)
-
 (* A load touching a poisoned line consumes the MCE before any data moves
    or cost is charged (the CPU never sees the bytes). *)
 let check_poison t off len =
-  if Hashtbl.length t.poisoned > 0 && len > 0 then begin
-    let lo, hi = lines_touched off len in
+  if Flat_table.length t.poisoned > 0 && len > 0 then begin
+    let lo = off / cl and hi = (off + len - 1) / cl in
     for line = lo to hi do
-      if Hashtbl.mem t.poisoned line then raise (Media_error { off = line * cl })
+      if Flat_table.mem t.poisoned line then raise (Media_error { off = line * cl })
     done
   end
 
@@ -168,10 +208,11 @@ let check_poison t off len =
    media contents: the poison clears (how pmem drivers repair poison —
    a full-line non-temporal overwrite).  Partial stores leave it set. *)
 let clear_poison_on_store t off len =
-  if Hashtbl.length t.poisoned > 0 && len > 0 then begin
-    let lo, hi = lines_touched off len in
+  if Flat_table.length t.poisoned > 0 && len > 0 then begin
+    let lo = off / cl and hi = (off + len - 1) / cl in
     for line = lo to hi do
-      if off <= line * cl && (line + 1) * cl <= off + len then Hashtbl.remove t.poisoned line
+      if off <= line * cl && (line + 1) * cl <= off + len then
+        Flat_table.remove t.poisoned line
     done
   end
 
@@ -183,12 +224,13 @@ let remote_factor t (cpu : Cpu.t) ~off ~write =
 (* Sequential lines pipeline: a run of n lines costs one full access latency
    plus a small pipelined per-line charge, plus the bandwidth term.
    Calibrated so single-threaded sequential memcpy lands near the paper's
-   ~3GB/s PM write / ~6GB/s read. *)
+   ~3GB/s PM write / ~6GB/s read.  The charge is per-extent arithmetic —
+   O(1) in the number of lines touched. *)
 let pipeline_factor = 0.08
 
 let charge_read t (cpu : Cpu.t) ~off ~len =
   if len > 0 then begin
-    let lo, hi = lines_touched off len in
+    let lo = off / cl and hi = (off + len - 1) / cl in
     let extra = float_of_int (hi - lo) in
     let ns =
       t.cost.read_ns_per_cl
@@ -198,11 +240,11 @@ let charge_read t (cpu : Cpu.t) ~off ~len =
     let ns = ns *. remote_factor t cpu ~off ~write:false in
     Simclock.advance cpu.clock (int_of_float ns)
   end;
-  Counters.add t.counters "pm.bytes_read" len
+  t.c_bytes_read := !(t.c_bytes_read) + len
 
 let charge_write t (cpu : Cpu.t) ~off ~len =
   if len > 0 then begin
-    let lo, hi = lines_touched off len in
+    let lo = off / cl and hi = (off + len - 1) / cl in
     let extra = float_of_int (hi - lo) in
     let ns =
       t.cost.write_ns_per_cl
@@ -212,50 +254,148 @@ let charge_write t (cpu : Cpu.t) ~off ~len =
     let ns = ns *. remote_factor t cpu ~off ~write:true in
     Simclock.advance cpu.clock (int_of_float ns)
   end;
-  Counters.add t.counters "pm.bytes_written" len
+  t.c_bytes_written := !(t.c_bytes_written) + len
 
-(* Global stats registry wiring: when {!Repro_stats.Stats.enabled}, every
-   store/flush/fence is also counted per ambient {!Site} label, so bench
-   artifacts can attribute device traffic to the layer that issued it.
-   Disabled (the default), the cost is one boolean check per access. *)
-module Stats = Repro_stats.Stats
+(* The memoized per-site stat cells for the ambient site.  Capped: sites
+   are module-level constants in practice, but a dynamically-created site
+   must not grow the memo without bound — past the cap the uncached entry
+   is returned and instruments resolve per call (the old behavior). *)
+let site_cells t =
+  let gen = Stats.Registry.generation Stats.global in
+  if gen <> t.stat_gen then begin
+    t.stat_gen <- gen;
+    t.stat_cells <- []
+  end;
+  let site = t.site in
+  let rec find = function
+    | c :: rest -> if c.sc_site == site then c else find rest
+    | [] ->
+        let c =
+          {
+            sc_site = site;
+            sc_store = None;
+            sc_nt_store = None;
+            sc_load = None;
+            sc_flush_lines = None;
+            sc_fences = None;
+          }
+        in
+        if List.length t.stat_cells < 64 then t.stat_cells <- c :: t.stat_cells;
+        c
+  in
+  find t.stat_cells
 
-let record_stat site ev =
-  let labels = [ ("site", Site.to_string site) ] in
-  match ev with
-  | Store { len; nt; _ } ->
-      Stats.counter_add ~labels (if nt then "pm.nt_store_bytes" else "pm.store_bytes") len
-  | Load { len; _ } -> Stats.counter_add ~labels "pm.load_bytes" len
-  | Flush { off; len } ->
-      if len > 0 then begin
-        let lo, hi = lines_touched off len in
-        Stats.counter_add ~labels "pm.flush_lines" (hi - lo + 1)
-      end
-  | Fence -> Stats.counter_add ~labels "pm.fences" 1
-  | Protocol _ -> ()
+let site_counter site name = Stats.Counter.v ~labels:[ ("site", Site.to_string site) ] name
+
+let stat_store t ~len ~nt =
+  if Stats.enabled () then begin
+    let c = site_cells t in
+    let cell =
+      if nt then
+        match c.sc_nt_store with
+        | Some r -> r
+        | None ->
+            let r = site_counter c.sc_site "pm.nt_store_bytes" in
+            c.sc_nt_store <- Some r;
+            r
+      else
+        match c.sc_store with
+        | Some r -> r
+        | None ->
+            let r = site_counter c.sc_site "pm.store_bytes" in
+            c.sc_store <- Some r;
+            r
+    in
+    Stats.Counter.add cell len
+  end
+
+let stat_load t ~len =
+  if Stats.enabled () then begin
+    let c = site_cells t in
+    let cell =
+      match c.sc_load with
+      | Some r -> r
+      | None ->
+          let r = site_counter c.sc_site "pm.load_bytes" in
+          c.sc_load <- Some r;
+          r
+    in
+    Stats.Counter.add cell len
+  end
+
+let stat_flush t ~lines =
+  if Stats.enabled () then begin
+    let c = site_cells t in
+    let cell =
+      match c.sc_flush_lines with
+      | Some r -> r
+      | None ->
+          let r = site_counter c.sc_site "pm.flush_lines" in
+          c.sc_flush_lines <- Some r;
+          r
+    in
+    Stats.Counter.add cell lines
+  end
+
+let stat_fence t =
+  if Stats.enabled () then begin
+    let c = site_cells t in
+    let cell =
+      match c.sc_fences with
+      | Some r -> r
+      | None ->
+          let r = site_counter c.sc_site "pm.fences" in
+          c.sc_fences <- Some r;
+          r
+    in
+    Stats.Counter.add cell 1
+  end
 
 (* Event-stream instrumentation: every installed hook observes every
    charged access plus the protocol annotations, tagged with the ambient
    site and (for data movement) the accessing CPU — the race detector
    needs to see which simulated thread issued each store.  Hooks run in
    installation order; uninstrumented devices pay one list check per
-   access. *)
-let emit ?cpu t ev =
+   access.  The specialized emit_* entry points build the event record
+   only when a hook is installed, so the common uninstrumented access
+   allocates nothing. *)
+let dispatch ?cpu t ev =
   (* The binding snapshots the (immutable) hook list before dispatch:
      a hook that calls [remove_event_hook] — even on itself — replaces
      [t.hooks] with a new list, so every sibling installed at emit time
      still fires exactly once. *)
+  match t.hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun (_, h) -> h cpu t.site ev) hooks
+
+let emit_store ?cpu t ~off ~len ~nt =
   (match t.hooks with
   | [] -> ()
-  | hooks -> List.iter (fun (_, h) -> h cpu t.site ev) hooks);
-  if Stats.enabled () then record_stat t.site ev
+  | _ -> dispatch ?cpu t (Store { off; len; nt }));
+  stat_store t ~len ~nt
+
+let emit_load ?cpu t ~off ~len =
+  (match t.hooks with
+  | [] -> ()
+  | _ -> dispatch ?cpu t (Load { off; len }));
+  stat_load t ~len
 
 let current_site t = t.site
 
+(* Hand-rolled unwind instead of Fun.protect: this brackets every
+   persistence call, and the finally-closure allocation was visible in
+   aging profiles. *)
 let with_site t site f =
   let prev = t.site in
   t.site <- site;
-  Fun.protect ~finally:(fun () -> t.site <- prev) f
+  match f () with
+  | v ->
+      t.site <- prev;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      t.site <- prev;
+      Printexc.raise_with_backtrace e bt
 
 let add_event_hook t hook =
   let id = t.next_hook_id in
@@ -273,17 +413,25 @@ let set_event_hook t hook =
   | None -> ());
   match hook with None -> () | Some h -> t.legacy_hook <- Some (add_event_hook t h)
 
-let annotate t p = emit t (Protocol p)
+let annotate t p = dispatch t (Protocol p)
 
 let track_store ?(nt = false) t off len =
   if t.tracking && len > 0 then begin
-    let lo, hi = lines_touched off len in
+    let lo = off / cl and hi = (off + len - 1) / cl in
     for line = lo to hi do
-      match Hashtbl.find_opt t.pending line with
-      | Some p -> p.flushed <- nt
+      match Flat_table.find t.pending line with
+      | Some p ->
+          if nt then begin
+            if not p.flushed then begin
+              p.flushed <- true;
+              Flat_vec.push t.flushed_lines line
+            end
+          end
+          else p.flushed <- false
       | None ->
           let old_bytes = Bytes.sub t.data (line * cl) cl in
-          Hashtbl.add t.pending line { old_bytes; flushed = nt }
+          Flat_table.set t.pending line { old_bytes; flushed = nt };
+          if nt then Flat_vec.push t.flushed_lines line
     done
   end
 
@@ -292,7 +440,7 @@ let read t cpu ~off ~len ~dst ~dst_off =
   check_poison t off len;
   charge_read t cpu ~off ~len;
   Bytes.blit t.data off dst dst_off len;
-  emit ~cpu t (Load { off; len })
+  emit_load ~cpu t ~off ~len
 
 let write t cpu ~off ~src ~src_off ~len =
   check_range t off len;
@@ -300,13 +448,13 @@ let write t cpu ~off ~src ~src_off ~len =
   clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit src src_off t.data off len;
-  emit ~cpu t (Store { off; len; nt = false })
+  emit_store ~cpu t ~off ~len ~nt:false
 
 let read_string t cpu ~off ~len =
   check_range t off len;
   check_poison t off len;
   charge_read t cpu ~off ~len;
-  emit ~cpu t (Load { off; len });
+  emit_load ~cpu t ~off ~len;
   Bytes.sub_string t.data off len
 
 let write_string t cpu ~off s =
@@ -316,7 +464,7 @@ let write_string t cpu ~off s =
   clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit_string s 0 t.data off len;
-  emit ~cpu t (Store { off; len; nt = false })
+  emit_store ~cpu t ~off ~len ~nt:false
 
 (* Non-temporal stores: bypass the cache and become durable at the next
    fence without explicit clwb (the fast path PM file systems use for bulk
@@ -327,7 +475,7 @@ let write_nt t cpu ~off ~src ~src_off ~len =
   clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit src src_off t.data off len;
-  emit ~cpu t (Store { off; len; nt = true })
+  emit_store ~cpu t ~off ~len ~nt:true
 
 let write_string_nt t cpu ~off s =
   let len = String.length s in
@@ -336,7 +484,7 @@ let write_string_nt t cpu ~off s =
   clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.blit_string s 0 t.data off len;
-  emit ~cpu t (Store { off; len; nt = true })
+  emit_store ~cpu t ~off ~len ~nt:true
 
 let memset_nt t cpu ~off ~len c =
   check_range t off len;
@@ -344,7 +492,7 @@ let memset_nt t cpu ~off ~len c =
   clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.fill t.data off len c;
-  emit ~cpu t (Store { off; len; nt = true })
+  emit_store ~cpu t ~off ~len ~nt:true
 
 let copy_within_nt t cpu ~src ~dst ~len =
   check_range t src len;
@@ -355,8 +503,8 @@ let copy_within_nt t cpu ~src ~dst ~len =
   clear_poison_on_store t dst len;
   charge_write t cpu ~off:dst ~len;
   Bytes.blit t.data src t.data dst len;
-  emit ~cpu t (Load { off = src; len });
-  emit ~cpu t (Store { off = dst; len; nt = true })
+  emit_load ~cpu t ~off:src ~len;
+  emit_store ~cpu t ~off:dst ~len ~nt:true
 
 let memset t cpu ~off ~len c =
   check_range t off len;
@@ -364,7 +512,7 @@ let memset t cpu ~off ~len c =
   clear_poison_on_store t off len;
   charge_write t cpu ~off ~len;
   Bytes.fill t.data off len c;
-  emit ~cpu t (Store { off; len; nt = false })
+  emit_store ~cpu t ~off ~len ~nt:false
 
 let copy_within t cpu ~src ~dst ~len =
   check_range t src len;
@@ -375,14 +523,14 @@ let copy_within t cpu ~src ~dst ~len =
   clear_poison_on_store t dst len;
   charge_write t cpu ~off:dst ~len;
   Bytes.blit t.data src t.data dst len;
-  emit ~cpu t (Load { off = src; len });
-  emit ~cpu t (Store { off = dst; len; nt = false })
+  emit_load ~cpu t ~off:src ~len;
+  emit_store ~cpu t ~off:dst ~len ~nt:false
 
 let read_u64 t cpu ~off =
   check_range t off 8;
   check_poison t off 8;
   charge_read t cpu ~off ~len:8;
-  emit ~cpu t (Load { off; len = 8 });
+  emit_load ~cpu t ~off ~len:8;
   Bytes.get_int64_le t.data off
 
 let write_u64 t cpu ~off v =
@@ -390,7 +538,7 @@ let write_u64 t cpu ~off v =
   track_store t off 8;
   charge_write t cpu ~off ~len:8;
   Bytes.set_int64_le t.data off v;
-  emit ~cpu t (Store { off; len = 8; nt = false })
+  emit_store ~cpu t ~off ~len:8 ~nt:false
 
 let peek t ~off ~len ~dst ~dst_off =
   check_range t off len;
@@ -401,31 +549,48 @@ let touch_read t cpu ~off ~len =
   check_range t off len;
   check_poison t off len;
   charge_read t cpu ~off ~len;
-  emit ~cpu t (Load { off; len })
+  emit_load ~cpu t ~off ~len
 
 let flush t (cpu : Cpu.t) ~off ~len =
   check_range t off len;
   if len > 0 then begin
-    let lo, hi = lines_touched off len in
-    Counters.add t.counters "pm.flushes" (hi - lo + 1);
-    Simclock.advance cpu.clock (int_of_float (t.cost.flush_ns *. float_of_int (hi - lo + 1)));
+    let lo = off / cl and hi = (off + len - 1) / cl in
+    let n_lines = hi - lo + 1 in
+    t.c_flushes := !(t.c_flushes) + n_lines;
+    Simclock.advance cpu.clock (int_of_float (t.cost.flush_ns *. float_of_int n_lines));
     if t.tracking then
       for line = lo to hi do
-        match Hashtbl.find_opt t.pending line with
-        | Some p -> p.flushed <- true
+        match Flat_table.find t.pending line with
+        | Some p ->
+            if not p.flushed then begin
+              p.flushed <- true;
+              Flat_vec.push t.flushed_lines line
+            end
         | None -> ()
       done;
-    emit ~cpu t (Flush { off; len })
+    (match t.hooks with
+    | [] -> ()
+    | _ -> dispatch ~cpu t (Flush { off; len }));
+    stat_flush t ~lines:n_lines
   end
 
 let fence t (cpu : Cpu.t) =
-  Counters.incr t.counters "pm.fences";
+  incr t.c_fences;
   Simclock.advance cpu.clock (int_of_float t.cost.fence_ns);
   t.fence_seq <- t.fence_seq + 1;
   (match t.fence_hook with Some hook -> hook t.fence_seq | None -> ());
-  emit ~cpu t Fence;
-  if t.tracking then
-    Hashtbl.filter_map_inplace (fun _ p -> if p.flushed then None else Some p) t.pending
+  (match t.hooks with [] -> () | _ -> dispatch ~cpu t Fence);
+  stat_fence t;
+  if t.tracking then begin
+    (* O(flushed): only lines recorded as flushed since the last fence
+       are visited, not every pending line. *)
+    Flat_vec.iter t.flushed_lines (fun line ->
+        t.fence_sweep_visits <- t.fence_sweep_visits + 1;
+        match Flat_table.find t.pending line with
+        | Some p when p.flushed -> Flat_table.remove t.pending line
+        | _ -> ());
+    Flat_vec.clear t.flushed_lines
+  end
 
 let persist t cpu ~off ~len =
   flush t cpu ~off ~len;
@@ -433,15 +598,19 @@ let persist t cpu ~off ~len =
 
 let set_tracking t on =
   t.tracking <- on;
-  if not on then Hashtbl.reset t.pending
+  if not on then begin
+    Flat_table.clear t.pending;
+    Flat_vec.clear t.flushed_lines
+  end
 
-let pending_lines t =
-  Hashtbl.fold (fun line _ acc -> line :: acc) t.pending [] |> List.sort compare
+let pending_lines t = Flat_table.keys_sorted t.pending
 
 let pending_old t line =
-  match Hashtbl.find_opt t.pending line with
+  match Flat_table.find t.pending line with
   | Some p -> Some (Bytes.copy p.old_bytes)
   | None -> None
+
+let fence_sweep_visits t = t.fence_sweep_visits
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection.  Deterministic campaigns plant faults directly on
@@ -461,23 +630,23 @@ let inject t fault =
       Bytes.set t.data off (Char.chr (Char.code (Bytes.get t.data off) lxor (1 lsl bit)))
   | Torn_word { off } ->
       check_range t off 8;
-      Hashtbl.replace t.torn (off land lnot 7) ()
+      Flat_table.set t.torn (off land lnot 7) ()
   | Poison_line { off } ->
       check_range t off 1;
-      Hashtbl.replace t.poisoned (off / cl) ());
+      Flat_table.set t.poisoned (off / cl) ());
   Counters.incr t.counters "pm.faults_injected";
   if Stats.enabled () then
     Stats.counter_add ~labels:[ ("kind", fault_kind_name fault) ] "fault.injected" 1
 
-let poisoned_lines t =
-  Hashtbl.fold (fun line _ acc -> line :: acc) t.poisoned [] |> List.sort compare
+let poisoned_lines t = Flat_table.keys_sorted t.poisoned
 
 let clear_faults t =
-  Hashtbl.reset t.poisoned;
-  Hashtbl.reset t.torn
+  Flat_table.clear t.poisoned;
+  Flat_table.clear t.torn
 
 let crash_image t ~persisted =
   if not t.tracking then invalid_arg "Device.crash_image: tracking disabled";
+  let counters = Counters.create () in
   let img =
     {
       data = Bytes.copy t.data;
@@ -485,32 +654,40 @@ let crash_image t ~persisted =
       cost = t.cost;
       numa_nodes = t.numa_nodes;
       node_stripe = t.node_stripe;
-      counters = Counters.create ();
+      counters;
+      c_bytes_read = Counters.cell counters "pm.bytes_read";
+      c_bytes_written = Counters.cell counters "pm.bytes_written";
+      c_flushes = Counters.cell counters "pm.flushes";
+      c_fences = Counters.cell counters "pm.fences";
       tracking = false;
-      pending = Hashtbl.create 1;
+      pending = Flat_table.create ~capacity:8 ~dummy:no_pending ();
+      flushed_lines = Flat_vec.create ~capacity:8 ();
+      fence_sweep_visits = 0;
       fence_seq = 0;
       fence_hook = None;
       site = Site.unknown;
       hooks = [];
       next_hook_id = 0;
       legacy_hook = None;
-      poisoned = Hashtbl.copy t.poisoned (* media faults survive a crash *);
-      torn = Hashtbl.create 4;
+      poisoned = Flat_table.copy t.poisoned (* media faults survive a crash *);
+      torn = Flat_table.create ~capacity:8 ~dummy:() ();
+      stat_gen = -1;
+      stat_cells = [];
     }
   in
-  Hashtbl.fold (fun line p acc -> (line, p) :: acc) t.pending []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  |> List.iter (fun (line, p) ->
-         if not (persisted line) then Bytes.blit p.old_bytes 0 img.data (line * cl) cl);
+  Flat_table.keys_sorted t.pending
+  |> List.iter (fun line ->
+         match Flat_table.find t.pending line with
+         | Some p when not (persisted line) -> Bytes.blit p.old_bytes 0 img.data (line * cl) cl
+         | _ -> ());
   (* Torn words compose with the surviving-line choice: even when the
      containing line is chosen as persisted, the registered 8-byte word
      reverts to its pre-store bytes (intra-line tearing — the store of
      that word never reached the media).  Words on lines with no pending
      store are already durable and cannot tear. *)
-  Hashtbl.fold (fun off () acc -> off :: acc) t.torn []
-  |> List.sort Int.compare
+  Flat_table.keys_sorted t.torn
   |> List.iter (fun off ->
-         match Hashtbl.find_opt t.pending (off / cl) with
+         match Flat_table.find t.pending (off / cl) with
          | Some p -> Bytes.blit p.old_bytes (off mod cl) img.data off 8
          | None -> ());
   img

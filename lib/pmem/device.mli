@@ -144,6 +144,12 @@ val pending_old : t -> int -> bytes option
     when the line has no store pending.  Fault campaigns use it to pick
     8-byte words that actually changed before registering a torn word. *)
 
+val fence_sweep_visits : t -> int
+(** Cumulative number of pending-line entries examined by fence sweeps
+    since creation.  The fence cost model is O(lines flushed since the
+    last fence), not O(all pending lines); tests assert this scaling
+    without measuring wall-clock time. *)
+
 val crash_image : t -> persisted:(int -> bool) -> t
 (** A fresh, tracking-off device representing post-crash contents: pending
     lines for which [persisted line = false] are reverted to their

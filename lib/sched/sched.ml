@@ -52,74 +52,137 @@ let mutex_name m = match m.name with Some n -> n | None -> "m" ^ string_of_int m
    degraded outside-scheduler mode (keyed as pseudo-thread -1). *)
 
 module Lock_order = struct
-  let held : (int, int list ref) Hashtbl.t = Hashtbl.create 8 (* thread -> mids, innermost first *)
-  let edge_tbl : (int * int, unit) Hashtbl.t = Hashtbl.create 64
-  let names : (int, string) Hashtbl.t = Hashtbl.create 16 (* only explicitly named mutexes *)
+  (* This recorder sits on every lock/unlock — millions of times per aged
+     image — so the structures are flat (ROADMAP item 2): per-thread held
+     stacks are plain int arrays (slot = thread id + 1, covering the
+     outside pseudo-thread -1), the edge relation is a {!Flat_table} set
+     keyed [(held lsl mid_bits) lor acquired], and mutex names live in a
+     mid-indexed array written once rather than Hashtbl.replace'd on
+     every acquisition. *)
+
+  (* Two mid fields must pack into one non-negative 63-bit int key:
+     31+31 bits exactly fits, and 2^31 mutexes outlasts any campaign
+     (the id counter is never reset — a full fig6 run mints ~10M). *)
+  let mid_bits = 31
+  let mid_mask = (1 lsl mid_bits) - 1
+
+  let stacks = ref (Array.make 8 [||])
+  let depths = ref (Array.make 8 0)
+  let names = ref (Array.make 64 "")
+  let edge_tbl : unit Flat_table.t = Flat_table.create ~dummy:() ()
   let acq_count = ref 0
 
   let reset () =
-    Hashtbl.reset held;
-    Hashtbl.reset edge_tbl;
-    Hashtbl.reset names;
+    stacks := Array.make 8 [||];
+    depths := Array.make 8 0;
+    names := Array.make 64 "";
+    Flat_table.clear edge_tbl;
     acq_count := 0
 
-  let stack thread =
-    match Hashtbl.find_opt held thread with
-    | Some s -> s
-    | None ->
-        let s = ref [] in
-        Hashtbl.add held thread s;
-        s
+  let ensure_thread slot =
+    if slot >= Array.length !depths then begin
+      let cap = max 8 (2 * (slot + 1)) in
+      let s = Array.make cap [||] and d = Array.make cap 0 in
+      Array.blit !stacks 0 s 0 (Array.length !stacks);
+      Array.blit !depths 0 d 0 (Array.length !depths);
+      stacks := s;
+      depths := d
+    end
+
+  let register_name mid n =
+    if mid >= Array.length !names then begin
+      let bigger = Array.make (max 64 (2 * (mid + 1))) "" in
+      Array.blit !names 0 bigger 0 (Array.length !names);
+      names := bigger
+    end;
+    if String.length !names.(mid) = 0 then !names.(mid) <- n
 
   let record_acquire ~thread m =
     incr acq_count;
-    (match m.name with Some n -> Hashtbl.replace names m.mid n | None -> ());
-    let s = stack thread in
+    if m.mid > mid_mask then invalid_arg "Sched.Lock_order: mutex id overflow";
+    (match m.name with Some n -> register_name m.mid n | None -> ());
+    let slot = thread + 1 in
+    ensure_thread slot;
+    let dep = !depths.(slot) in
+    let arr =
+      let a = !stacks.(slot) in
+      if dep < Array.length a then a
+      else begin
+        let bigger = Array.make (max 8 (2 * Array.length a)) 0 in
+        Array.blit a 0 bigger 0 dep;
+        !stacks.(slot) <- bigger;
+        bigger
+      end
+    in
     let fresh = ref 0 in
-    List.iter
-      (fun h ->
-        if not (Hashtbl.mem edge_tbl (h, m.mid)) then begin
-          Hashtbl.add edge_tbl (h, m.mid) ();
-          incr fresh
-        end)
-      !s;
-    s := m.mid :: !s;
+    for i = 0 to dep - 1 do
+      let key = (arr.(i) lsl mid_bits) lor m.mid in
+      if not (Flat_table.mem edge_tbl key) then begin
+        Flat_table.set edge_tbl key ();
+        incr fresh
+      end
+    done;
+    arr.(dep) <- m.mid;
+    !depths.(slot) <- dep + 1;
     if Repro_stats.Stats.enabled () then begin
       Repro_stats.Stats.counter_add "sched.lock_order.acquisitions" 1;
       if !fresh > 0 then Repro_stats.Stats.counter_add "sched.lock_order.edges" !fresh
     end
 
+  (* Drop the innermost occurrence (top-down scan); unknown mids are a
+     no-op, matching the old list-drop semantics. *)
   let record_release ~thread m =
-    let s = stack thread in
-    let rec drop = function
-      | [] -> []
-      | mid :: rest -> if mid = m.mid then rest else mid :: drop rest
-    in
-    s := drop !s
+    let slot = thread + 1 in
+    if slot < Array.length !depths then begin
+      let arr = !stacks.(slot) and dep = !depths.(slot) in
+      let i = ref (dep - 1) in
+      while !i >= 0 && arr.(!i) <> m.mid do decr i done;
+      if !i >= 0 then begin
+        for j = !i to dep - 2 do
+          arr.(j) <- arr.(j + 1)
+        done;
+        !depths.(slot) <- dep - 1
+      end
+    end
+
+  let clear_stack slot = if slot < Array.length !depths then !depths.(slot) <- 0
+  let thread_slots () = Array.length !depths
 
   let label mid =
-    match Hashtbl.find_opt names mid with Some n -> n | None -> "m" ^ string_of_int mid
+    let n = !names in
+    if mid < Array.length n && String.length n.(mid) > 0 then n.(mid)
+    else "m" ^ string_of_int mid
+
+  let name_of mid =
+    let n = !names in
+    if mid < Array.length n && String.length n.(mid) > 0 then Some n.(mid) else None
 
   let acquisitions () = !acq_count
-  let edges () = Hashtbl.fold (fun e () acc -> e :: acc) edge_tbl [] |> List.sort compare
+
+  let edges () =
+    (* Keys sort lexicographically as (held, acquired) pairs: held is the
+       high bits. *)
+    Flat_table.keys_sorted edge_tbl
+    |> List.map (fun k -> (k lsr mid_bits, k land mid_mask))
 
   let named_edges () =
-    Hashtbl.fold
-      (fun (a, b) () acc ->
-        match (Hashtbl.find_opt names a, Hashtbl.find_opt names b) with
+    Flat_table.fold edge_tbl ~init:[] ~f:(fun acc k () ->
+        match (name_of (k lsr mid_bits), name_of (k land mid_mask)) with
         | Some na, Some nb -> (na, nb) :: acc
         | _ -> acc)
-      edge_tbl []
     |> List.sort_uniq compare
 
   (* Smallest observed acquired-before cycle, as lock labels; [None] when
      the relation is acyclic.  Total: never raises. *)
   let cycle () =
+    let all = edges () in
     let succs v =
-      Hashtbl.fold (fun (a, b) () acc -> if a = v then b :: acc else acc) edge_tbl []
+      List.filter_map (fun (a, b) -> if a = v then Some b else None) all
       |> List.sort compare
     in
-    let nodes = Hashtbl.fold (fun (a, b) () acc -> a :: b :: acc) edge_tbl [] |> List.sort_uniq compare in
+    let nodes =
+      List.concat_map (fun (a, b) -> [ a; b ]) all |> List.sort_uniq compare
+    in
     (* DFS with colors; a back edge closes a cycle. *)
     let color = Hashtbl.create 16 in
     let found = ref None in
@@ -162,11 +225,11 @@ let reset_run_state () =
   current := None;
   lock_wait_total := 0;
   (* Drop held-lock stacks of simulated threads (a deadlocked run never
-     releases); the outside pseudo-thread's stack survives, as do the
-     accumulated acquired-before edges. *)
-  Hashtbl.fold (fun t s acc -> (t, s) :: acc) Lock_order.held []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  |> List.iter (fun (t, s) -> if t >= 0 then s := [])
+     releases); the outside pseudo-thread's stack (slot 0) survives, as do
+     the accumulated acquired-before edges. *)
+  for slot = 1 to Lock_order.thread_slots () - 1 do
+    Lock_order.clear_stack slot
+  done
 
 let uncontended_lock_ns = 18
 let handoff_ns = 40

@@ -25,15 +25,21 @@ module Registry = struct
     instruments : (string, string * labels * instrument) Hashtbl.t;
     spans : (int, frame list ref) Hashtbl.t; (* cpu id -> span stack *)
     mutable makespan_ns : int;
+    mutable generation : int;
+        (* bumped on [reset]: instrument handles resolved before a reset
+           point into dropped refs, so caches key on the generation *)
   }
 
   let create () =
-    { instruments = Hashtbl.create 64; spans = Hashtbl.create 8; makespan_ns = 0 }
+    { instruments = Hashtbl.create 64; spans = Hashtbl.create 8; makespan_ns = 0; generation = 0 }
 
   let reset t =
     Hashtbl.reset t.instruments;
     Hashtbl.reset t.spans;
-    t.makespan_ns <- 0
+    t.makespan_ns <- 0;
+    t.generation <- t.generation + 1
+
+  let generation t = t.generation
 
   let makespan_ns t = t.makespan_ns
 

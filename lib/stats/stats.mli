@@ -45,6 +45,11 @@ module Registry : sig
   (** Largest simulated-clock timestamp observed at a span end or via
       {!observe_clock}. *)
 
+  val generation : t -> int
+  (** Bumped by {!reset}: instrument handles resolved under an older
+      generation point into dropped refs, so per-call-site caches (the
+      PM device's per-site counter cells) revalidate against this. *)
+
   val observe_clock : t -> Cpu.t -> unit
   (** Fold a CPU clock into the makespan without recording a span. *)
 end

@@ -12,6 +12,11 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 val reset : t -> unit
 
+val cell : t -> string -> int ref
+(** Get-or-create the counter's cell.  Hot paths resolve the cell once
+    and bump the ref directly, skipping the per-call name lookup; cells
+    stay valid across {!reset} (which zeroes them in place). *)
+
 val snapshot : t -> (string * int) list
 (** All counters, sorted by name. *)
 

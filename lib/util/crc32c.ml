@@ -14,14 +14,57 @@ let table =
 
 let mask32 = 0xFFFFFFFF
 
+(* Slicing-by-8 (Intel's technique): seven derived tables let the fold
+   consume 8 bytes per step instead of one.  [tables.(0)] is the plain
+   byte-at-a-time table; [tables.(k).(n)] advances the CRC of byte [n]
+   through [k] further zero bytes. *)
+let tables =
+  let t = Array.make_matrix 8 256 0 in
+  Array.blit table 0 t.(0) 0 256;
+  for k = 1 to 7 do
+    for n = 0 to 255 do
+      let v = t.(k - 1).(n) in
+      t.(k).(n) <- table.(v land 0xFF) lxor (v lsr 8)
+    done
+  done;
+  t
+
 let update crc b ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Crc32c.update: range out of bounds";
   let c = ref (crc land mask32) in
-  for i = off to off + len - 1 do
-    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  let i = ref off in
+  let fin = off + len in
+  let t0 = tables.(0) and t1 = tables.(1) and t2 = tables.(2) and t3 = tables.(3) in
+  let t4 = tables.(4) and t5 = tables.(5) and t6 = tables.(6) and t7 = tables.(7) in
+  (* 32-bit halves, not one int64 load: [Int64.to_int] drops bit 63, which
+     would lose the top bit of the eighth byte. *)
+  while fin - !i >= 8 do
+    let lo = Int32.to_int (Bytes.get_int32_le b !i) land mask32 in
+    let hi = Int32.to_int (Bytes.get_int32_le b (!i + 4)) land mask32 in
+    let x = !c lxor lo in
+    c :=
+      t7.(x land 0xFF)
+      lxor t6.((x lsr 8) land 0xFF)
+      lxor t5.((x lsr 16) land 0xFF)
+      lxor t4.(x lsr 24)
+      lxor t3.(hi land 0xFF)
+      lxor t2.((hi lsr 8) land 0xFF)
+      lxor t1.((hi lsr 16) land 0xFF)
+      lxor t0.(hi lsr 24);
+    i := !i + 8
+  done;
+  while !i < fin do
+    c := t0.((!c lxor Char.code (Bytes.unsafe_get b !i)) land 0xFF) lxor (!c lsr 8);
+    incr i
   done;
   !c
+
+(* Same fold over an immutable string, without copying it into bytes
+   first: journal record payloads arrive as strings, and a Bytes.of_string
+   per record shows up in aging profiles. *)
+let update_string crc s ~off ~len =
+  update crc (Bytes.unsafe_of_string s) ~off ~len
 
 let init = mask32
 let finish crc = crc lxor mask32 land mask32

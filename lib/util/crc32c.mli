@@ -8,6 +8,9 @@ val init : int
 val update : int -> bytes -> off:int -> len:int -> int
 (** Fold a byte range into a running (un-finalised) accumulator. *)
 
+val update_string : int -> string -> off:int -> len:int -> int
+(** {!update} over a string, without an intermediate copy. *)
+
 val finish : int -> int
 (** Finalise an accumulator into the CRC value. *)
 

@@ -16,7 +16,7 @@ let lognormal ~mu ~sigma ~min ~max =
   Lognormal { mu; sigma; min; max }
 
 let mixture parts =
-  if parts = [] then invalid_arg "Dist.mixture: empty";
+  (match parts with [] -> invalid_arg "Dist.mixture: empty" | _ :: _ -> ());
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. parts in
   if total <= 0. then invalid_arg "Dist.mixture: non-positive total weight";
   Mixture (Array.of_list parts, total)

@@ -68,7 +68,7 @@ let max_value t = t.max_v
 let ensure_sorted t =
   if not t.sorted then begin
     let live = Array.sub t.samples 0 t.n in
-    Array.sort compare live;
+    Array.sort Int.compare live;
     Array.blit live 0 t.samples 0 t.n;
     t.sorted <- true
   end

@@ -54,6 +54,16 @@ module type S = sig
   (** {2 Data} *)
 
   val pwrite : t -> Cpu.t -> fd -> off:int -> src:string -> int
+
+  val pwrite_sub : t -> Cpu.t -> fd -> off:int -> src:string -> src_off:int -> len:int -> int
+  (** [pwrite] of the substring [src.[src_off .. src_off+len)], without
+      materialising it: the bytes are blitted straight from [src] to the
+      device.  Bulk writers (aging churn, benchmark streams) reuse one
+      large buffer across calls instead of allocating a copy per write —
+      the copy itself was measurable, and the multi-megabyte temporaries
+      land in the major heap and dominate GC time.  EINVAL outside
+      [src]'s bounds. *)
+
   val pread : t -> Cpu.t -> fd -> off:int -> len:int -> string
   (** Holes read as zeros; reads past EOF are truncated. *)
 

@@ -6,6 +6,7 @@ let () =
       ("util", Test_util.suite);
       ("stats", Test_stats.suite);
       ("pmem", Test_pmem.suite);
+      ("flat", Test_flat.suite);
       ("rbtree", Test_rbtree.suite);
       ("memsim", Test_memsim.suite);
       ("sched", Test_sched.suite);

@@ -30,6 +30,42 @@ let test_crc32c_vector () =
   let acc = Crc32c.update acc b ~off:4 ~len:5 in
   Alcotest.(check int) "incremental update" 0xE3069283 (Crc32c.finish acc)
 
+(* The production [update] consumes 8 bytes per step (slicing-by-8);
+   check it against an independent byte-at-a-time fold over every
+   alignment and length class, including bytes with the top bit set
+   (which an int64 load would truncate). *)
+let test_crc32c_slicing_matches_bytewise () =
+  let poly = 0x82F63B78 in
+  let table =
+    Array.init 256 (fun n ->
+        let c = ref n in
+        for _ = 0 to 7 do
+          c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+        done;
+        !c)
+  in
+  let reference b ~off ~len =
+    let c = ref Crc32c.init in
+    for i = off to off + len - 1 do
+      c := table.((!c lxor Char.code (Bytes.get b i)) land 0xFF) lxor (!c lsr 8)
+    done;
+    Crc32c.finish !c
+  in
+  let rng = Rng.create 0xC12C in
+  for _ = 1 to 500 do
+    let n = Rng.int rng 200 in
+    let b = Bytes.init n (fun _ -> Char.chr (Rng.int rng 256)) in
+    let off = if n = 0 then 0 else Rng.int rng (n + 1) in
+    let len = n - off in
+    Alcotest.(check int)
+      (Printf.sprintf "crc slicing off=%d len=%d" off len)
+      (reference b ~off ~len)
+      (Crc32c.finish (Crc32c.update Crc32c.init b ~off ~len))
+  done;
+  let ones = Bytes.make 33 '\xff' in
+  Alcotest.(check int) "all-0xff (top bits)" (reference ones ~off:0 ~len:33)
+    (Crc32c.finish (Crc32c.update Crc32c.init ones ~off:0 ~len:33))
+
 let test_crc32c_zeroed_field () =
   let b = Bytes.init 64 (fun i -> Char.chr (i * 7 mod 256)) in
   Crc32c.set_zeroed b ~off:0 ~len:64 ~csum_off:40;
@@ -155,6 +191,8 @@ let test_campaign_small () =
 let suite =
   [
     Alcotest.test_case "crc32c check vector" `Quick test_crc32c_vector;
+    Alcotest.test_case "crc32c slicing-by-8 = bytewise" `Quick
+      test_crc32c_slicing_matches_bytewise;
     Alcotest.test_case "crc32c zeroed-field covers every bit" `Quick test_crc32c_zeroed_field;
     Alcotest.test_case "sb repair from replica" `Quick test_sb_repair_from_replica;
     Alcotest.test_case "sb poison repair" `Quick test_sb_poison_repair;
